@@ -1,0 +1,27 @@
+//! E1 benchmark: end-to-end learn + auto-tag wall time for every protocol on
+//! the same workload (the time behind each row of the E1 accuracy table).
+
+use bench::{run_system, standard_protocols, Scale, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_accuracy(c: &mut Criterion) {
+    let workload = Workload::generate(8, Scale::Small, 11);
+    let mut group = c.benchmark_group("e1_accuracy");
+    group.sample_size(10);
+    for protocol in standard_protocols(8) {
+        group.bench_with_input(
+            BenchmarkId::new("learn_and_tag", protocol.name()),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let r = run_system(&workload, protocol.clone(), None, 11);
+                    r.outcome.metrics.micro_f1()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! E4 benchmark: churn-timeline generation and prediction under churn — the
+//! machinery behind the churn-resilience table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ml::{MultiLabelDataset, MultiLabelExample};
+use p2pclassify::{Centralized, CentralizedConfig, P2PTagClassifier, Pace, PaceConfig};
+use p2psim::churn::{ChurnModel, ChurnTimeline};
+use p2psim::{P2PNetwork, PeerId, SimConfig, SimTime};
+use textproc::SparseVector;
+
+fn peer_data(num_peers: usize) -> Vec<MultiLabelDataset> {
+    (0..num_peers)
+        .map(|i| {
+            (0..6)
+                .map(|j| {
+                    let tag = 1 + ((i + j) % 3) as u32;
+                    MultiLabelExample::new(
+                        SparseVector::from_pairs([(tag, 1.0 + 0.05 * j as f64)]),
+                        [tag],
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_churn");
+    group.sample_size(10);
+
+    group.bench_function("timeline_generation_512_peers", |b| {
+        b.iter(|| {
+            ChurnTimeline::generate(
+                ChurnModel::Exponential {
+                    mean_session_secs: 600.0,
+                    mean_offline_secs: 300.0,
+                },
+                512,
+                SimTime::from_secs(100_000),
+                9,
+            )
+            .events()
+            .len()
+        })
+    });
+
+    let churn_sim = SimConfig {
+        num_peers: 64,
+        churn: ChurnModel::Exponential {
+            mean_session_secs: 800.0,
+            mean_offline_secs: 400.0,
+        },
+        horizon_secs: 1_000_000,
+        ..SimConfig::default()
+    };
+    let data = peer_data(64);
+    let probe = SparseVector::from_pairs([(1, 1.0)]);
+
+    for (name, centralized) in [("pace", false), ("centralized", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("predict_under_churn", name),
+            &centralized,
+            |b, &centralized| {
+                let mut net = P2PNetwork::new(churn_sim.clone());
+                let proto: Box<dyn P2PTagClassifier> = if centralized {
+                    let mut p = Centralized::new(CentralizedConfig::default());
+                    p.train(&mut net, &data).unwrap();
+                    Box::new(p)
+                } else {
+                    let mut p = Pace::new(PaceConfig::default());
+                    p.train(&mut net, &data).unwrap();
+                    Box::new(p)
+                };
+                b.iter(|| {
+                    net.advance(SimTime::from_secs(500));
+                    let requester = net.online_peers().first().copied().unwrap_or(PeerId(0));
+                    proto.predict(&mut net, requester, &probe).is_ok()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 benchmark: the training (model/data propagation) phase of each protocol,
+//! which dominates its communication cost.
+
+use bench::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doctagger::{DocTaggerConfig, P2PDocTagger, ProtocolKind};
+use p2pclassify::CemparConfig;
+
+fn bench_communication(c: &mut Criterion) {
+    let workload = Workload::generate(12, Scale::Small, 13);
+    let mut group = c.benchmark_group("e3_training_phase");
+    group.sample_size(10);
+    for protocol in [
+        ProtocolKind::Cempar(CemparConfig::for_network(12)),
+        ProtocolKind::pace(),
+        ProtocolKind::centralized(),
+        ProtocolKind::local_only(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("learn", protocol.name()),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let mut system = P2PDocTagger::new(DocTaggerConfig {
+                        protocol: protocol.clone(),
+                        ..DocTaggerConfig::default()
+                    });
+                    system.ingest(&workload.corpus);
+                    system.learn(&workload.split).unwrap();
+                    system.network_stats().total_bytes()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_communication);
+criterion_main!(benches);

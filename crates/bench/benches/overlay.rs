@@ -1,0 +1,71 @@
+//! E5 substrate benchmarks: Chord DHT routing vs unstructured flooding, and
+//! raw discrete-event engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2psim::engine::{Application, Context, Engine};
+use p2psim::message::MessageKind;
+use p2psim::overlay::{ChordOverlay, Overlay, UnstructuredConfig, UnstructuredOverlay};
+use p2psim::peer::{content_key, PeerId};
+use p2psim::physical::PhysicalNetwork;
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(20);
+
+    for &n in &[128usize, 512] {
+        let chord = ChordOverlay::with_peers((0..n as u64).map(PeerId));
+        group.bench_with_input(BenchmarkId::new("chord_lookup", n), &n, |b, &n| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                chord
+                    .lookup(PeerId(i % n as u64), content_key(&i.to_le_bytes()))
+                    .map(|r| r.hops())
+            })
+        });
+
+        let flood = UnstructuredOverlay::with_peers(
+            UnstructuredConfig::default(),
+            (0..n as u64).map(PeerId),
+        );
+        group.bench_with_input(BenchmarkId::new("flood_lookup", n), &n, |b, &n| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                flood
+                    .lookup(PeerId(i % n as u64), content_key(&i.to_le_bytes()))
+                    .map(|r| r.messages)
+            })
+        });
+    }
+
+    // Discrete-event engine throughput: a ping storm among 64 peers.
+    struct Flood;
+    impl Application for Flood {
+        type Payload = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            for p in ctx.online_peers() {
+                if p != ctx.self_id() {
+                    ctx.send(p, MessageKind::Other, 16, 0);
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: PeerId, hop: u32) {
+            if hop < 1 {
+                ctx.send(from, MessageKind::Other, 16, hop + 1);
+            }
+        }
+    }
+    group.bench_function("event_engine_64_peer_ping_storm", |b| {
+        b.iter(|| {
+            let apps = (0..64).map(|_| Flood).collect();
+            let mut engine = Engine::new(apps, PhysicalNetwork::default(), 3);
+            engine.run_to_completion()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E10 — document preprocessing pipeline throughput (Figure 1, left box):
+//! tokenization, stop-word filtering, Porter stemming and TF-IDF vectorization.
+
+use bench::{corpus_spec, Scale};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dataset::CorpusGenerator;
+use textproc::{PorterStemmer, PreprocessPipeline, Tokenizer};
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(corpus_spec(8, Scale::Small, 7)).generate();
+    let texts: Vec<&str> = corpus.documents().iter().map(|d| d.text.as_str()).collect();
+
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(20);
+
+    group.bench_function("tokenize_corpus", |b| {
+        let tokenizer = Tokenizer::default();
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| tokenizer.tokenize(t).len())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("porter_stem_corpus", |b| {
+        let tokenizer = Tokenizer::default();
+        let stemmer = PorterStemmer::new();
+        let tokens: Vec<Vec<String>> = texts.iter().map(|t| tokenizer.tokenize(t)).collect();
+        b.iter_batched(
+            || tokens.clone(),
+            |mut tokens| {
+                for doc in &mut tokens {
+                    stemmer.stem_all(doc);
+                }
+                tokens.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fit_transform_tfidf", |b| {
+        b.iter(|| {
+            let mut pipeline = PreprocessPipeline::new();
+            pipeline.fit_transform(texts.iter().copied()).len()
+        })
+    });
+
+    group.bench_function("transform_single_document", |b| {
+        let mut pipeline = PreprocessPipeline::new();
+        pipeline.fit(texts.iter().copied());
+        b.iter(|| pipeline.transform(texts[0]).nnz())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E2 benchmark: protocol training time as the number of peers grows (the
+//! same sweep whose accuracy/communication rows the E2 table reports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ml::{MultiLabelDataset, MultiLabelExample};
+use p2pclassify::{Cempar, CemparConfig, P2PTagClassifier, Pace, PaceConfig};
+use p2psim::{P2PNetwork, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use textproc::SparseVector;
+
+fn peer_data(num_peers: usize, per_peer: usize, seed: u64) -> Vec<MultiLabelDataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_peers)
+        .map(|_| {
+            (0..per_peer)
+                .map(|_| {
+                    let tag = rng.gen_range(1..=4u32);
+                    let v = SparseVector::from_pairs(
+                        (0..12).map(|j| (tag * 20 + j, 1.0 + rng.gen_range(-0.3..0.3))),
+                    );
+                    MultiLabelExample::new(v, [tag])
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_scalability");
+    group.sample_size(10);
+    for &n in &[32usize, 128, 512] {
+        let data = peer_data(n, 6, 17);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("cempar_train", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = P2PNetwork::new(SimConfig::with_peers(n));
+                let mut proto = Cempar::new(CemparConfig::for_network(n));
+                proto.train(&mut net, &data).unwrap();
+                net.stats().total_bytes()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pace_train", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = P2PNetwork::new(SimConfig::with_peers(n));
+                let mut proto = Pace::new(PaceConfig::default());
+                proto.train(&mut net, &data).unwrap();
+                net.stats().total_bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

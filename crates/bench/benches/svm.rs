@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the learning substrate used by both protocols:
+//! linear SVM (PACE base classifier), kernel SVM + cascade merge (CEMPaR base
+//! classifier), k-means and LSH queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ml::cascade::CascadeSvm;
+use ml::kmeans::{KMeans, KMeansConfig};
+use ml::lsh::{LshConfig, LshIndex};
+use ml::svm::{KernelSvmTrainer, LinearSvmTrainer};
+use ml::Kernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use textproc::SparseVector;
+
+fn synthetic_problem(n: usize, dim: u32, nnz: usize, seed: u64) -> (Vec<SparseVector>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let y = rng.gen_bool(0.5);
+        let offset = if y { 1.0 } else { -1.0 };
+        let v = SparseVector::from_pairs(
+            (0..nnz).map(|_| (rng.gen_range(0..dim), offset + rng.gen_range(-0.5..0.5))),
+        );
+        xs.push(v);
+        ys.push(y);
+    }
+    (xs, ys)
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let (xs, ys) = synthetic_problem(200, 500, 30, 1);
+    let mut group = c.benchmark_group("svm");
+    group.sample_size(20);
+
+    group.bench_function("linear_svm_train_200x500", |b| {
+        let trainer = LinearSvmTrainer::default();
+        b.iter(|| trainer.train(&xs, &ys))
+    });
+
+    group.bench_function("kernel_svm_train_200x500", |b| {
+        let trainer = KernelSvmTrainer::with_kernel(Kernel::Linear);
+        b.iter(|| trainer.train(&xs, &ys))
+    });
+
+    group.bench_function("linear_svm_predict_1000", |b| {
+        let model = LinearSvmTrainer::default().train(&xs, &ys);
+        use ml::svm::BinaryClassifier;
+        b.iter(|| xs.iter().cycle().take(1000).filter(|x| model.predict(x)).count())
+    });
+
+    group.bench_function("cascade_merge_4_models", |b| {
+        let trainer = KernelSvmTrainer::with_kernel(Kernel::Linear);
+        let models: Vec<_> = (0..4)
+            .map(|i| {
+                let lo = i * 50;
+                trainer.train(&xs[lo..lo + 50], &ys[lo..lo + 50])
+            })
+            .collect();
+        let cascade = CascadeSvm::with_kernel(Kernel::Linear);
+        b.iter(|| cascade.merge(&models))
+    });
+
+    group.bench_function("kmeans_k4_200_points", |b| {
+        let config = KMeansConfig {
+            k: 4,
+            ..Default::default()
+        };
+        b.iter(|| KMeans::fit(&xs, &config))
+    });
+
+    group.bench_function("lsh_query_top7_of_500", |b| {
+        let mut index = LshIndex::new(LshConfig::default());
+        let (centroids, _) = synthetic_problem(500, 500, 20, 2);
+        for (i, c) in centroids.iter().enumerate() {
+            index.insert(c.clone(), i);
+        }
+        b.iter(|| index.query(&xs[0], 7).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_svm);
+criterion_main!(benches);

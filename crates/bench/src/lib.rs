@@ -1,0 +1,14 @@
+//! Experiment harness for the P2PDocTagger reproduction.
+//!
+//! Every scenario the demonstration section (§3) varies — and every
+//! quantitative claim of §1–2 — has a function here that builds the workload,
+//! runs the protocols over the simulated P2P environment, and returns the rows
+//! of the corresponding table. The `experiments` binary prints them; the
+//! Criterion benches in `benches/` time the hot paths of the same code.
+//! `DESIGN.md` (experiment index) maps experiment ids to paper anchors.
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::*;
+pub use workload::*;

@@ -1,0 +1,172 @@
+//! Workload construction shared by the experiments and the Criterion benches.
+
+use dataset::{Corpus, CorpusGenerator, CorpusSpec, TrainTestSplit, VectorizedCorpus};
+use doctagger::{AutoTagOutcome, DocTaggerConfig, P2PDocTagger, ProtocolKind};
+use p2pclassify::CemparConfig;
+use p2psim::churn::ChurnModel;
+use p2psim::SimConfig;
+
+/// Scale of a generated workload. Experiments default to [`Scale::Demo`];
+/// benches use [`Scale::Small`] to keep iteration times reasonable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred documents — unit-test sized.
+    Small,
+    /// A couple of thousand documents, tens of peers — the default experiment
+    /// scale (a scaled-down analogue of the filtered del.icio.us crawl).
+    Demo,
+}
+
+/// Builds the corpus spec for a workload of `num_users` users at a scale.
+pub fn corpus_spec(num_users: usize, scale: Scale, seed: u64) -> CorpusSpec {
+    match scale {
+        Scale::Small => CorpusSpec {
+            num_tags: 8,
+            num_users,
+            min_docs_per_user: 12,
+            max_docs_per_user: 20,
+            words_per_doc: 40,
+            words_per_tag: 25,
+            background_vocab: 200,
+            interests_per_user: 4,
+            seed,
+            ..CorpusSpec::default()
+        },
+        Scale::Demo => CorpusSpec {
+            num_tags: 12,
+            num_users,
+            // The demo filters users with 50–199 bookmarks; we keep the same
+            // shape but cap at 90 so a full sweep finishes in minutes.
+            min_docs_per_user: 50,
+            max_docs_per_user: 90,
+            words_per_doc: 60,
+            words_per_tag: 30,
+            background_vocab: 400,
+            interests_per_user: 5,
+            seed,
+            ..CorpusSpec::default()
+        },
+    }
+}
+
+/// A generated workload: corpus + 20/80 split (or a custom fraction).
+pub struct Workload {
+    /// The generated corpus.
+    pub corpus: Corpus,
+    /// The train/test split.
+    pub split: TrainTestSplit,
+}
+
+impl Workload {
+    /// Generates the standard workload (20 % training, per the demo protocol).
+    pub fn generate(num_users: usize, scale: Scale, seed: u64) -> Self {
+        Self::generate_with_fraction(num_users, scale, seed, 0.2)
+    }
+
+    /// Generates a workload with a custom training fraction.
+    pub fn generate_with_fraction(
+        num_users: usize,
+        scale: Scale,
+        seed: u64,
+        train_fraction: f64,
+    ) -> Self {
+        let corpus = CorpusGenerator::new(corpus_spec(num_users, scale, seed)).generate();
+        let split = TrainTestSplit::stratified_by_user(&corpus, train_fraction, seed ^ 0xABCD);
+        Self { corpus, split }
+    }
+
+    /// The vectorized form of the corpus (TF-IDF over the shared lexicon).
+    pub fn vectorize(&self) -> VectorizedCorpus {
+        VectorizedCorpus::build(&self.corpus)
+    }
+}
+
+/// The protocols compared throughout the evaluation, with configurations
+/// scaled to the network size.
+pub fn standard_protocols(num_peers: usize) -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::Cempar(CemparConfig::for_network(num_peers)),
+        ProtocolKind::pace(),
+        ProtocolKind::centralized(),
+        ProtocolKind::local_only(),
+    ]
+}
+
+/// Result of one end-to-end system run.
+pub struct RunResult {
+    /// Protocol name.
+    pub protocol: String,
+    /// Auto-tagging outcome (metrics + failure counts).
+    pub outcome: AutoTagOutcome,
+    /// Bytes exchanged during the learning phase only.
+    pub train_bytes: u64,
+    /// Bytes exchanged in total (learning + tagging).
+    pub total_bytes: u64,
+    /// Mean bytes sent per peer over the whole run.
+    pub bytes_per_peer: f64,
+    /// Largest number of bytes received by any single peer (hotspot load).
+    pub hotspot_bytes: u64,
+    /// Mean DHT lookup hops observed (0 for protocols that never route).
+    pub mean_hops: f64,
+}
+
+/// Runs one protocol end to end on a workload, optionally under churn, and
+/// returns quality + communication numbers.
+pub fn run_system(
+    workload: &Workload,
+    protocol: ProtocolKind,
+    churn: Option<ChurnModel>,
+    seed: u64,
+) -> RunResult {
+    let name = protocol.name().to_string();
+    let num_peers = workload.corpus.num_users().max(1);
+    let network = churn.map(|churn| SimConfig {
+        num_peers,
+        churn,
+        horizon_secs: 2_000_000,
+        seed,
+        ..SimConfig::default()
+    });
+    let mut system = P2PDocTagger::new(DocTaggerConfig {
+        protocol,
+        network,
+        seed,
+        ..DocTaggerConfig::default()
+    });
+    system.ingest(&workload.corpus);
+    system.learn(&workload.split).expect("learning succeeds");
+    let train_bytes = system.network_stats().total_bytes();
+    let outcome = system.auto_tag_all().expect("auto tagging runs");
+    let stats = system.network_stats();
+    RunResult {
+        protocol: name,
+        outcome,
+        train_bytes,
+        total_bytes: stats.total_bytes(),
+        bytes_per_peer: stats.mean_bytes_sent_per_peer(),
+        hotspot_bytes: stats.max_bytes_received_by_any_peer(),
+        mean_hops: stats.mean_lookup_hops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workload_runs_every_protocol() {
+        let workload = Workload::generate(8, Scale::Small, 1);
+        for protocol in standard_protocols(8) {
+            let result = run_system(&workload, protocol, None, 1);
+            assert!(result.outcome.metrics.micro_f1() > 0.3, "{}", result.protocol);
+            assert_eq!(result.outcome.failed, 0);
+        }
+    }
+
+    #[test]
+    fn custom_fraction_changes_the_split() {
+        let a = Workload::generate_with_fraction(6, Scale::Small, 2, 0.1);
+        let b = Workload::generate_with_fraction(6, Scale::Small, 2, 0.4);
+        assert!(a.split.train.len() < b.split.train.len());
+    }
+}

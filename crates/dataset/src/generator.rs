@@ -1,0 +1,362 @@
+//! Generative model for the synthetic delicious-like corpus.
+//!
+//! Each tag is a "topic" with its own characteristic vocabulary; a document's
+//! text is a mixture of the vocabularies of its tags plus shared background
+//! words. Crucially — as the paper stresses — the tag names themselves are
+//! **never** placed in the document text, so tags cannot be produced by
+//! indexing the documents' words; they must be *learned* from tagged examples.
+
+use crate::corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Parameters of the synthetic corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Number of distinct tags (topics).
+    pub num_tags: usize,
+    /// Number of users (peers' owners).
+    pub num_users: usize,
+    /// Minimum documents per user (the demo filters users with ≥ 50).
+    pub min_docs_per_user: usize,
+    /// Maximum documents per user, exclusive (the demo filters users with < 200).
+    pub max_docs_per_user: usize,
+    /// Words drawn for each document body.
+    pub words_per_doc: usize,
+    /// Size of each tag's characteristic vocabulary.
+    pub words_per_tag: usize,
+    /// Size of the shared background vocabulary.
+    pub background_vocab: usize,
+    /// Probability that a word position is filled from the background vocabulary.
+    pub background_ratio: f64,
+    /// Maximum number of tags per document (at least 1 is always assigned).
+    pub max_tags_per_doc: usize,
+    /// Number of topics each user is interested in (interest locality).
+    pub interests_per_user: usize,
+    /// Probability that a document's tags are drawn from the *global* tag
+    /// distribution instead of the user's interests — users stumble upon new
+    /// topics they have not manually tagged before, which is exactly the case
+    /// where collaborative knowledge from other peers is needed.
+    pub exploration_ratio: f64,
+    /// Zipf exponent of the global tag-popularity distribution.
+    pub tag_zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self {
+            num_tags: 20,
+            num_users: 32,
+            min_docs_per_user: 50,
+            max_docs_per_user: 200,
+            words_per_doc: 80,
+            words_per_tag: 40,
+            background_vocab: 400,
+            background_ratio: 0.35,
+            max_tags_per_doc: 3,
+            interests_per_user: 6,
+            exploration_ratio: 0.35,
+            tag_zipf_exponent: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A small spec for unit tests and doc examples (hundreds of documents).
+    pub fn tiny() -> Self {
+        Self {
+            num_tags: 6,
+            num_users: 8,
+            min_docs_per_user: 12,
+            max_docs_per_user: 20,
+            words_per_doc: 40,
+            words_per_tag: 25,
+            background_vocab: 150,
+            interests_per_user: 3,
+            ..Self::default()
+        }
+    }
+
+    /// A spec matching the scale the demo describes per peer (50–199 documents
+    /// per user) with a medium number of users; used by the experiment harness.
+    pub fn demo(num_users: usize, seed: u64) -> Self {
+        Self {
+            num_users,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Tag names used for readability in examples and the tag cloud; generated
+/// names (`topic17`) are used beyond the list length.
+const TAG_NAME_POOL: &[&str] = &[
+    "programming", "rust", "database", "web", "design", "music", "travel", "photography",
+    "science", "politics", "cooking", "sports", "machine-learning", "security", "networking",
+    "art", "history", "finance", "health", "games", "linux", "education", "video", "howto",
+    "reference", "opensource", "research", "blog", "news", "tools",
+];
+
+/// The synthetic-corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    spec: CorpusSpec,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator for the given spec.
+    pub fn new(spec: CorpusSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// Generates the corpus.
+    pub fn generate(&self) -> Corpus {
+        let spec = &self.spec;
+        assert!(spec.num_tags > 0, "need at least one tag");
+        assert!(spec.num_users > 0, "need at least one user");
+        assert!(
+            spec.max_docs_per_user > spec.min_docs_per_user,
+            "max_docs_per_user must exceed min_docs_per_user"
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut corpus = Corpus::new();
+
+        // Tag names and per-tag vocabularies. Word tokens are synthetic but
+        // pronounceable-ish ("datab3x17") so the Porter stemmer and stop-word
+        // filter see realistic-looking input without ever seeing the tag name.
+        let tag_names: Vec<String> = (0..spec.num_tags)
+            .map(|i| {
+                TAG_NAME_POOL
+                    .get(i)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("topic{i}"))
+            })
+            .collect();
+        for name in &tag_names {
+            corpus.intern_tag(name);
+        }
+        // Tokens must survive the preprocessing pipeline (which drops tokens
+        // containing digits), so numeric indices are encoded as syllables.
+        let tag_vocab: Vec<Vec<String>> = (0..spec.num_tags)
+            .map(|t| {
+                (0..spec.words_per_tag)
+                    .map(|w| format!("{}{}", synth_stem(t, w), syllables(w)))
+                    .collect()
+            })
+            .collect();
+        let background: Vec<String> = (0..spec.background_vocab)
+            .map(|w| format!("zq{}", syllables(w)))
+            .collect();
+
+        // Zipf weights over tags: tag popularity rank == tag index.
+        let tag_weights: Vec<f64> = (0..spec.num_tags)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(spec.tag_zipf_exponent))
+            .collect();
+
+        for user in 0..spec.num_users {
+            // Each user focuses on a few topics, sampled by global popularity.
+            let mut interests = BTreeSet::new();
+            let want = spec.interests_per_user.clamp(1, spec.num_tags);
+            let mut guard = 0;
+            while interests.len() < want && guard < 10_000 {
+                interests.insert(sample_weighted(&tag_weights, &mut rng));
+                guard += 1;
+            }
+            let interests: Vec<usize> = interests.into_iter().collect();
+            let interest_weights: Vec<f64> =
+                interests.iter().map(|&t| tag_weights[t]).collect();
+
+            let num_docs = rng.gen_range(spec.min_docs_per_user..spec.max_docs_per_user);
+            for _ in 0..num_docs {
+                let num_doc_tags = rng.gen_range(1..=spec.max_tags_per_doc.max(1));
+                // Exploration: some documents are about topics outside the
+                // user's usual interests (newly discovered content).
+                let explore = rng.gen_bool(spec.exploration_ratio.clamp(0.0, 1.0));
+                let mut doc_tags = BTreeSet::new();
+                let mut guard = 0;
+                while doc_tags.len() < num_doc_tags && guard < 1_000 {
+                    let t = if explore {
+                        sample_weighted(&tag_weights, &mut rng)
+                    } else {
+                        interests[sample_weighted(&interest_weights, &mut rng)]
+                    };
+                    doc_tags.insert(t);
+                    guard += 1;
+                }
+                let doc_tag_list: Vec<usize> = doc_tags.iter().copied().collect();
+                let mut words = Vec::with_capacity(spec.words_per_doc);
+                for _ in 0..spec.words_per_doc {
+                    if rng.gen_bool(spec.background_ratio.clamp(0.0, 1.0)) {
+                        words.push(background.choose(&mut rng).expect("non-empty").clone());
+                    } else {
+                        let &t = doc_tag_list.choose(&mut rng).expect("at least one tag");
+                        // Zipf-ish within-topic word choice: low indices more common.
+                        let v = &tag_vocab[t];
+                        let idx = zipf_index(v.len(), 1.1, &mut rng);
+                        words.push(v[idx].clone());
+                    }
+                }
+                let text = words.join(" ");
+                let tag_name_set: BTreeSet<String> = doc_tag_list
+                    .iter()
+                    .map(|&t| tag_names[t].clone())
+                    .collect();
+                corpus.push_document(user, text, tag_name_set);
+            }
+        }
+        corpus
+    }
+}
+
+/// A deterministic consonant-vowel stem so synthetic words look like words.
+fn synth_stem(tag: usize, word: usize) -> String {
+    const CONS: &[char] = &['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+    const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+    let mut s = String::new();
+    let mut x = (tag as u64 + 1).wrapping_mul(2654435761).wrapping_add(word as u64);
+    for i in 0..4 {
+        let set = if i % 2 == 0 { CONS } else { VOWELS };
+        s.push(set[(x % set.len() as u64) as usize]);
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 3;
+    }
+    s
+}
+
+/// Encodes a non-negative number as consonant-vowel syllables ("0" → "ba",
+/// "27" → "firu", …) so synthetic word tokens contain no digits and are not
+/// filtered out by the tokenizer.
+fn syllables(mut n: usize) -> String {
+    const CONS: &[char] = &['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r'];
+    const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+    let mut s = String::new();
+    loop {
+        let digit = n % 10;
+        s.push(CONS[digit]);
+        s.push(VOWELS[(n / 10) % 5]);
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Samples an index proportionally to `weights`.
+fn sample_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples an index in `[0, n)` with Zipf weight `1/(i+1)^s`.
+fn zipf_index(n: usize, s: f64, rng: &mut StdRng) -> usize {
+    // Small n: direct inverse-CDF sampling is fine.
+    let total: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for i in 1..=n {
+        let w = 1.0 / (i as f64).powf(s);
+        if x < w {
+            return i - 1;
+        }
+        x -= w;
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let spec = CorpusSpec::tiny();
+        let corpus = CorpusGenerator::new(spec.clone()).generate();
+        assert_eq!(corpus.num_users(), spec.num_users);
+        assert_eq!(corpus.num_tags(), spec.num_tags);
+        assert!(corpus.len() >= spec.num_users * spec.min_docs_per_user);
+        assert!(corpus.len() < spec.num_users * spec.max_docs_per_user);
+        for docs in corpus.documents_by_user() {
+            assert!(docs.len() >= spec.min_docs_per_user);
+            assert!(docs.len() < spec.max_docs_per_user);
+        }
+    }
+
+    #[test]
+    fn documents_have_tags_and_text() {
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        for d in corpus.documents() {
+            assert!(!d.tags.is_empty());
+            assert!(d.tags.len() <= CorpusSpec::tiny().max_tags_per_doc);
+            assert!(d.text.split_whitespace().count() >= 10);
+        }
+        assert!(corpus.mean_tags_per_document() > 1.0);
+    }
+
+    #[test]
+    fn tag_names_never_appear_in_text() {
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        for d in corpus.documents().iter().take(100) {
+            for tag in &d.tags {
+                assert!(
+                    !d.text.contains(tag),
+                    "tag {tag} leaked into document text"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tag_popularity_is_skewed() {
+        let corpus = CorpusGenerator::new(CorpusSpec::default()).generate();
+        let freq = corpus.tag_frequencies();
+        let max = freq.values().copied().max().unwrap() as f64;
+        let min = freq.values().copied().min().unwrap_or(0) as f64;
+        assert!(max > 3.0 * min.max(1.0), "max {max} min {min}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let b = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let b = CorpusGenerator::new(CorpusSpec {
+            seed: 999,
+            ..CorpusSpec::tiny()
+        })
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_docs_per_user")]
+    fn invalid_spec_panics() {
+        CorpusGenerator::new(CorpusSpec {
+            min_docs_per_user: 10,
+            max_docs_per_user: 10,
+            ..CorpusSpec::tiny()
+        })
+        .generate();
+    }
+}

@@ -1,0 +1,45 @@
+//! # dataset — synthetic delicious-like multi-label corpus
+//!
+//! The P2PDocTagger demonstration uses "real data from <http://delicious.com>
+//! collected by Wetzker et al, which consists of public bookmarks of about
+//! 950,000 users … Users with at least 50 (and, to avoid spammers, less than
+//! 200) annotated bookmarks were chosen and the corresponding web documents
+//! retrieved. 20 percent of the documents with tags are used for training the
+//! automated tagger, while tags of the remaining 80 percent documents are
+//! removed to be tagged by P2PDocTagger" (§3).
+//!
+//! The crawl itself is not redistributable, so this crate generates a
+//! **synthetic corpus with the same statistical shape**:
+//!
+//! * tag popularity follows a Zipf law (a few hugely popular tags, a long
+//!   tail) — as observed in the del.icio.us analyses;
+//! * documents are multi-labelled (1–4 tags) and their text is drawn from a
+//!   per-tag topic word distribution mixed with background vocabulary, so tags
+//!   are *predictable from content but not extractable from it verbatim*;
+//! * users hold between 50 and 199 documents each and focus on a subset of
+//!   topics (interest locality), which is what makes the per-peer data
+//!   non-IID in the P2P experiments;
+//! * a [`split::TrainTestSplit`] reproduces the 20 % / 80 % protocol.
+//!
+//! See `DESIGN.md` for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod generator;
+pub mod split;
+pub mod vectorize;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::corpus::{Corpus, Document, DocumentId, UserId};
+    pub use crate::generator::{CorpusGenerator, CorpusSpec};
+    pub use crate::split::TrainTestSplit;
+    pub use crate::vectorize::VectorizedCorpus;
+}
+
+pub use corpus::{Corpus, Document, DocumentId, UserId};
+pub use generator::{CorpusGenerator, CorpusSpec};
+pub use split::TrainTestSplit;
+pub use vectorize::VectorizedCorpus;

@@ -1,0 +1,79 @@
+//! # doctagger — the P2PDocTagger system
+//!
+//! This crate is the paper's primary contribution: "an automated and
+//! distributed document tagging system based on classification in P2P
+//! networks" (§1.1). It wires together the substrates built in the other
+//! crates into the workflow of Figure 1:
+//!
+//! ```text
+//!  Document Processing          Data Mining                 Tagging
+//!  ┌───────────────┐   ┌──────────────────────────┐   ┌──────────────┐
+//!  │ Preprocessing  │ → │ P2P Collaborative        │ → │ Auto Tagging │
+//!  │ (textproc)     │   │ Learning (p2pclassify    │   │  + Refine    │
+//!  │ Manual Tagging │   │  over p2psim)            │   │  (this crate)│
+//!  └───────────────┘   └──────────────────────────┘   └──────────────┘
+//! ```
+//!
+//! * [`system::P2PDocTagger`] — the orchestrator: ingest documents, learn the
+//!   global classification model collaboratively, auto-tag untagged documents,
+//!   suggest tags with confidences, and fold user refinements back into the
+//!   models.
+//! * [`library::DocumentLibrary`] — the "Library" navigation component: all
+//!   tagged documents, searchable and filterable by tags.
+//! * [`tagstore::TagStore`] — tags persisted as file metadata (extended
+//!   attributes), so other PIM tools can read them.
+//! * [`suggest::SuggestionCloud`] — the "Suggestion Cloud" panel with the
+//!   confidence slider (low-confidence tags are struck out and placed last).
+//! * [`tagcloud::TagCloud`] — the "Tag Cloud" interface with tag co-occurrence
+//!   edges, cluster detection and bridge tags (Figure 4).
+//! * [`refine::RefinementLog`] — the record of users' tag corrections that
+//!   drives model updates.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dataset::{CorpusGenerator, CorpusSpec, TrainTestSplit};
+//! use doctagger::prelude::*;
+//!
+//! // A small synthetic bookmark collection spread over 8 users/peers.
+//! let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+//! let split = TrainTestSplit::demo_protocol(&corpus, 7);
+//!
+//! let mut system = P2PDocTagger::new(DocTaggerConfig {
+//!     protocol: ProtocolKind::pace(),
+//!     ..DocTaggerConfig::default()
+//! });
+//! system.ingest(&corpus);
+//! system.learn(&split).unwrap();
+//! let outcome = system.auto_tag_all().unwrap();
+//! assert!(outcome.metrics.micro_f1() > 0.3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod library;
+pub mod refine;
+pub mod suggest;
+pub mod system;
+pub mod tagcloud;
+pub mod tagstore;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::config::{DocTaggerConfig, ProtocolKind};
+    pub use crate::library::DocumentLibrary;
+    pub use crate::refine::RefinementLog;
+    pub use crate::suggest::{SuggestionCloud, SuggestionEntry};
+    pub use crate::system::{AutoTagOutcome, P2PDocTagger};
+    pub use crate::tagcloud::{TagCloud, TagCloudEntry};
+    pub use crate::tagstore::TagStore;
+}
+
+pub use config::{DocTaggerConfig, ProtocolKind};
+pub use library::DocumentLibrary;
+pub use suggest::SuggestionCloud;
+pub use system::{AutoTagOutcome, P2PDocTagger};
+pub use tagcloud::TagCloud;
+pub use tagstore::TagStore;

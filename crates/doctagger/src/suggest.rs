@@ -1,0 +1,172 @@
+//! The "Suggestion Cloud" panel with the confidence slider.
+//!
+//! "Relevant tags will be shown in the 'Suggestion Cloud' panel, arranged in
+//! alphabetical order, where tags with higher confidence will be in larger
+//! font. Low confidence tags can be filtered out (struck out, and placed last)
+//! by adjusting the 'Confidence' slider" (§3).
+
+use ml::multilabel::TagPrediction;
+use serde::{Deserialize, Serialize};
+
+/// One tag in the suggestion cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuggestionEntry {
+    /// Tag name.
+    pub tag: String,
+    /// Confidence in (0, 1) from the classifier.
+    pub confidence: f64,
+    /// Relative font size in [1, 5] (5 = most confident).
+    pub font_size: u8,
+    /// Whether the tag falls below the confidence slider (rendered struck out
+    /// and placed after all accepted tags).
+    pub struck_out: bool,
+}
+
+/// The rendered suggestion cloud for one document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SuggestionCloud {
+    entries: Vec<SuggestionEntry>,
+    threshold: f64,
+}
+
+impl SuggestionCloud {
+    /// Builds a cloud from classifier predictions and tag names.
+    ///
+    /// `resolve` maps tag ids to display names; predictions whose tag id cannot
+    /// be resolved are skipped. `threshold` is the confidence slider position.
+    pub fn build<F>(predictions: &[TagPrediction], threshold: f64, mut resolve: F) -> Self
+    where
+        F: FnMut(u32) -> Option<String>,
+    {
+        let mut entries: Vec<SuggestionEntry> = predictions
+            .iter()
+            .filter_map(|p| {
+                resolve(p.tag).map(|tag| SuggestionEntry {
+                    tag,
+                    confidence: p.confidence,
+                    font_size: font_size(p.confidence),
+                    struck_out: p.confidence < threshold,
+                })
+            })
+            .collect();
+        // Accepted tags first in alphabetical order, then struck-out tags
+        // (also alphabetical), per the demo description.
+        entries.sort_by(|a, b| {
+            a.struck_out
+                .cmp(&b.struck_out)
+                .then_with(|| a.tag.cmp(&b.tag))
+        });
+        Self { entries, threshold }
+    }
+
+    /// The slider position this cloud was rendered with.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// All entries (accepted first, struck-out last).
+    pub fn entries(&self) -> &[SuggestionEntry] {
+        &self.entries
+    }
+
+    /// Only the accepted (not struck out) suggestions.
+    pub fn accepted(&self) -> impl Iterator<Item = &SuggestionEntry> {
+        self.entries.iter().filter(|e| !e.struck_out)
+    }
+
+    /// Names of the accepted suggestions.
+    pub fn accepted_tags(&self) -> Vec<String> {
+        self.accepted().map(|e| e.tag.clone()).collect()
+    }
+
+    /// Renders the cloud as a single text line (used by the terminal examples):
+    /// accepted tags with `*` repeated by font size, struck-out tags in ~~strikethrough~~.
+    pub fn render_line(&self) -> String {
+        let mut parts = Vec::new();
+        for e in &self.entries {
+            if e.struck_out {
+                parts.push(format!("~~{}~~", e.tag));
+            } else {
+                parts.push(format!("{}[{}]", e.tag, e.font_size));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+/// Maps a confidence in (0, 1) to a font-size bucket 1..=5.
+fn font_size(confidence: f64) -> u8 {
+    let c = confidence.clamp(0.0, 1.0);
+    (1.0 + (c * 4.999).floor()).min(5.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(tag: u32, confidence: f64) -> TagPrediction {
+        TagPrediction {
+            tag,
+            score: confidence * 2.0 - 1.0,
+            confidence,
+        }
+    }
+
+    fn names(tag: u32) -> Option<String> {
+        match tag {
+            1 => Some("rust".to_string()),
+            2 => Some("music".to_string()),
+            3 => Some("web".to_string()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn accepted_tags_are_alphabetical_and_struck_out_last() {
+        let cloud = SuggestionCloud::build(
+            &[pred(3, 0.9), pred(1, 0.8), pred(2, 0.2)],
+            0.5,
+            names,
+        );
+        let order: Vec<&str> = cloud.entries().iter().map(|e| e.tag.as_str()).collect();
+        assert_eq!(order, vec!["rust", "web", "music"]);
+        assert!(cloud.entries()[2].struck_out);
+        assert_eq!(cloud.accepted_tags(), vec!["rust", "web"]);
+    }
+
+    #[test]
+    fn font_size_grows_with_confidence() {
+        assert_eq!(font_size(0.05), 1);
+        assert_eq!(font_size(0.95), 5);
+        assert!(font_size(0.7) > font_size(0.3));
+        assert!(font_size(1.0) <= 5);
+        assert!(font_size(0.0) >= 1);
+    }
+
+    #[test]
+    fn slider_at_zero_accepts_everything() {
+        let cloud = SuggestionCloud::build(&[pred(1, 0.1), pred(2, 0.9)], 0.0, names);
+        assert_eq!(cloud.accepted().count(), 2);
+    }
+
+    #[test]
+    fn slider_at_one_strikes_everything() {
+        let cloud = SuggestionCloud::build(&[pred(1, 0.1), pred(2, 0.9)], 1.1, names);
+        assert_eq!(cloud.accepted().count(), 0);
+        assert_eq!(cloud.entries().len(), 2);
+    }
+
+    #[test]
+    fn unresolvable_tags_are_skipped() {
+        let cloud = SuggestionCloud::build(&[pred(1, 0.8), pred(99, 0.9)], 0.5, names);
+        assert_eq!(cloud.entries().len(), 1);
+    }
+
+    #[test]
+    fn render_line_marks_struck_out_tags() {
+        let cloud = SuggestionCloud::build(&[pred(1, 0.9), pred(2, 0.1)], 0.5, names);
+        let line = cloud.render_line();
+        assert!(line.contains("rust["));
+        assert!(line.contains("~~music~~"));
+    }
+}

@@ -1,0 +1,500 @@
+//! The P2PDocTagger orchestrator.
+//!
+//! Ties the preprocessing, P2P learning and tagging stages together, following
+//! the workflow of §2: users select documents → documents are preprocessed →
+//! some are manually tagged → a global classification model is constructed in
+//! a distributed manner → remaining documents are tagged automatically → users
+//! refine tags and the models adapt.
+
+use crate::config::DocTaggerConfig;
+use crate::library::{DocumentLibrary, TagSource};
+use crate::refine::{Refinement, RefinementLog};
+use crate::suggest::SuggestionCloud;
+use crate::tagcloud::TagCloud;
+use crate::tagstore::TagStore;
+use dataset::{Corpus, DocumentId, TrainTestSplit, VectorizedCorpus};
+use ml::{MultiLabelDataset, MultiLabelExample, MultiLabelMetrics};
+use p2pclassify::{P2PTagClassifier, ProtocolError};
+use p2psim::{P2PNetwork, PeerId, SimConfig, SimStats};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of an auto-tagging pass over the untagged documents.
+#[derive(Debug, Clone)]
+pub struct AutoTagOutcome {
+    /// Quality of the automatic tags against the held-out ground truth.
+    pub metrics: MultiLabelMetrics,
+    /// Number of documents successfully tagged.
+    pub tagged: usize,
+    /// Number of documents whose tagging failed (e.g. the peer or every model
+    /// holder was offline). Failed documents count as "no tags assigned" in
+    /// the metrics.
+    pub failed: usize,
+    /// Failures caused by the requesting peer itself being offline (these say
+    /// nothing about the protocol's fault tolerance).
+    pub failed_peer_offline: usize,
+    /// Failures caused by the tagging service being unreachable (central
+    /// server or every super-peer down) — the protocol-side failure mode.
+    pub failed_unreachable: usize,
+}
+
+impl AutoTagOutcome {
+    /// Fraction of requests issued by *online* peers that could not be served.
+    /// This isolates the protocol's availability from the requester's own
+    /// churn (a peer that is offline cannot ask for tags in the first place).
+    pub fn service_failure_rate(&self) -> f64 {
+        let served_or_failed = self.tagged + self.failed_unreachable;
+        if served_or_failed == 0 {
+            return 0.0;
+        }
+        self.failed_unreachable as f64 / served_or_failed as f64
+    }
+}
+
+/// The automated, distributed collaborative document tagging system.
+pub struct P2PDocTagger {
+    config: DocTaggerConfig,
+    protocol: Box<dyn P2PTagClassifier>,
+    corpus: Option<Corpus>,
+    vectorized: Option<VectorizedCorpus>,
+    network: Option<P2PNetwork>,
+    split: Option<TrainTestSplit>,
+    library: DocumentLibrary,
+    tag_store: TagStore,
+    refinements: RefinementLog,
+    learned: bool,
+}
+
+impl P2PDocTagger {
+    /// Creates a system with the given configuration.
+    pub fn new(config: DocTaggerConfig) -> Self {
+        let protocol = config.protocol.build();
+        Self {
+            config,
+            protocol,
+            corpus: None,
+            vectorized: None,
+            network: None,
+            split: None,
+            library: DocumentLibrary::new(),
+            tag_store: TagStore::new(),
+            refinements: RefinementLog::new(),
+            learned: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DocTaggerConfig {
+        &self.config
+    }
+
+    /// The name of the plugged-in P2P classification protocol.
+    pub fn protocol_name(&self) -> &'static str {
+        self.protocol.name()
+    }
+
+    /// Ingests a corpus: runs the preprocessing pipeline over every selected
+    /// document and builds the simulated P2P environment (one peer per user
+    /// unless an explicit network configuration was provided).
+    pub fn ingest(&mut self, corpus: &Corpus) {
+        let vectorized = VectorizedCorpus::build_with_weighting(corpus, self.config.weighting);
+        let sim = self.config.network.clone().unwrap_or_else(|| SimConfig {
+            num_peers: corpus.num_users().max(1),
+            seed: self.config.seed,
+            ..SimConfig::default()
+        });
+        self.network = Some(P2PNetwork::new(sim));
+        self.vectorized = Some(vectorized);
+        self.corpus = Some(corpus.clone());
+        self.library = DocumentLibrary::new();
+        self.tag_store = TagStore::new();
+        self.refinements = RefinementLog::new();
+        self.learned = false;
+    }
+
+    /// Number of peers in the simulated network (0 before ingestion).
+    pub fn num_peers(&self) -> usize {
+        self.network.as_ref().map_or(0, P2PNetwork::num_peers)
+    }
+
+    /// Runs the P2P collaborative learning phase: the training side of `split`
+    /// plays the role of the users' manually tagged documents; the global
+    /// classification model is then constructed in a distributed manner.
+    pub fn learn(&mut self, split: &TrainTestSplit) -> Result<(), ProtocolError> {
+        let corpus = self.corpus.as_ref().expect("ingest() must be called before learn()");
+        let vectorized = self.vectorized.as_ref().expect("vectorized corpus present");
+        let network = self.network.as_mut().expect("network present");
+
+        // Record the manual tags in the library and the file-metadata store.
+        for &doc in &split.train {
+            let d = corpus.document(doc).expect("split refers to corpus documents");
+            self.library
+                .assign(doc, d.user, d.tags.clone(), TagSource::Manual);
+            self.tag_store
+                .set_tags(&Self::path_of(doc, d.user), d.tags.iter().cloned());
+        }
+
+        // Each user's peer contributes its manually tagged documents.
+        let num_peers = network.num_peers();
+        let mut peer_data: Vec<MultiLabelDataset> = vec![MultiLabelDataset::new(); num_peers];
+        for &doc in &split.train {
+            let d = corpus.document(doc).expect("split refers to corpus documents");
+            let peer = d.user % num_peers;
+            peer_data[peer].push(vectorized.example(doc));
+        }
+
+        self.protocol.train(network, &peer_data)?;
+        self.split = Some(split.clone());
+        self.learned = true;
+        Ok(())
+    }
+
+    /// Automatically tags one document on behalf of its owner's peer and
+    /// records the result in the library and the tag store.
+    pub fn auto_tag(&mut self, doc: DocumentId) -> Result<BTreeSet<String>, ProtocolError> {
+        if !self.learned {
+            return Err(ProtocolError::NotTrained);
+        }
+        let corpus = self.corpus.as_ref().expect("ingested");
+        let vectorized = self.vectorized.as_ref().expect("ingested");
+        let network = self.network.as_mut().expect("ingested");
+        let d = corpus.document(doc).expect("document exists");
+        let peer = PeerId::from(d.user % network.num_peers());
+        let tag_ids = self.protocol.predict(network, peer, vectorized.vector(doc))?;
+        let names: BTreeSet<String> = tag_ids
+            .iter()
+            .filter_map(|&t| corpus.tag_name(t).map(str::to_string))
+            .collect();
+        self.library
+            .assign(doc, d.user, names.clone(), TagSource::Automatic);
+        self.tag_store
+            .set_tags(&Self::path_of(doc, d.user), names.iter().cloned());
+        Ok(names)
+    }
+
+    /// Automatically tags every untagged (test) document and evaluates the
+    /// result against the held-out ground truth.
+    pub fn auto_tag_all(&mut self) -> Result<AutoTagOutcome, ProtocolError> {
+        let split = self
+            .split
+            .clone()
+            .ok_or(ProtocolError::NotTrained)?;
+        let mut predictions = Vec::with_capacity(split.test.len());
+        let mut truths = Vec::with_capacity(split.test.len());
+        let mut tagged = 0;
+        let mut failed = 0;
+        let mut failed_peer_offline = 0;
+        let mut failed_unreachable = 0;
+        for &doc in &split.test {
+            let truth = {
+                let corpus = self.corpus.as_ref().expect("ingested");
+                corpus.tag_ids_of(doc)
+            };
+            match self.auto_tag(doc) {
+                Ok(_) => {
+                    tagged += 1;
+                    let corpus = self.corpus.as_ref().expect("ingested");
+                    let assigned: BTreeSet<u32> = self
+                        .library
+                        .tags_of(doc)
+                        .iter()
+                        .filter_map(|t| corpus.tag_id(t))
+                        .collect();
+                    predictions.push(assigned);
+                }
+                Err(e) => {
+                    failed += 1;
+                    match e {
+                        ProtocolError::PeerOffline => failed_peer_offline += 1,
+                        _ => failed_unreachable += 1,
+                    }
+                    predictions.push(BTreeSet::new());
+                }
+            }
+            truths.push(truth);
+        }
+        let corpus = self.corpus.as_ref().expect("ingested");
+        let universe: BTreeSet<u32> = (0..corpus.num_tags() as u32).collect();
+        let metrics = MultiLabelMetrics::evaluate(&predictions, &truths, &universe);
+        Ok(AutoTagOutcome {
+            metrics,
+            tagged,
+            failed,
+            failed_peer_offline,
+            failed_unreachable,
+        })
+    }
+
+    /// Builds the "Suggestion Cloud" for a document: scored tag suggestions,
+    /// filtered by the confidence slider at `threshold` (defaults to the
+    /// configured threshold when `None`).
+    pub fn suggest(
+        &mut self,
+        doc: DocumentId,
+        threshold: Option<f64>,
+    ) -> Result<SuggestionCloud, ProtocolError> {
+        if !self.learned {
+            return Err(ProtocolError::NotTrained);
+        }
+        let corpus = self.corpus.as_ref().expect("ingested");
+        let vectorized = self.vectorized.as_ref().expect("ingested");
+        let network = self.network.as_mut().expect("ingested");
+        let d = corpus.document(doc).expect("document exists");
+        let peer = PeerId::from(d.user % network.num_peers());
+        let scores = self.protocol.scores(network, peer, vectorized.vector(doc))?;
+        let threshold = threshold.unwrap_or(self.config.confidence_threshold);
+        Ok(SuggestionCloud::build(&scores, threshold, |t| {
+            corpus.tag_name(t).map(str::to_string)
+        }))
+    }
+
+    /// Applies a user's tag correction: the library and tag store are updated,
+    /// the correction is logged, and the classification models adapt.
+    pub fn refine(
+        &mut self,
+        doc: DocumentId,
+        corrected: BTreeSet<String>,
+    ) -> Result<(), ProtocolError> {
+        if !self.learned {
+            return Err(ProtocolError::NotTrained);
+        }
+        let before = self.library.tags_of(doc);
+        let (user, example) = {
+            let corpus = self.corpus.as_mut().expect("ingested");
+            let user = corpus.document(doc).expect("document exists").user;
+            let tag_ids: BTreeSet<u32> = corrected.iter().map(|t| corpus.intern_tag(t)).collect();
+            let vectorized = self.vectorized.as_ref().expect("ingested");
+            (
+                user,
+                MultiLabelExample::new(vectorized.vector(doc).clone(), tag_ids),
+            )
+        };
+        let network = self.network.as_mut().expect("ingested");
+        let peer = PeerId::from(user % network.num_peers());
+        self.protocol.refine(network, peer, &example)?;
+        self.library
+            .assign(doc, user, corrected.clone(), TagSource::Refined);
+        self.tag_store
+            .set_tags(&Self::path_of(doc, user), corrected.iter().cloned());
+        self.refinements.record(Refinement {
+            doc,
+            user,
+            before,
+            after: corrected,
+        });
+        Ok(())
+    }
+
+    /// Advances simulated time (churn takes effect), e.g. between the learning
+    /// phase and a later tagging phase.
+    pub fn advance_time(&mut self, dt: p2psim::SimTime) {
+        if let Some(net) = self.network.as_mut() {
+            net.advance(dt);
+        }
+    }
+
+    /// The document library (the "Library" navigation component).
+    pub fn library(&self) -> &DocumentLibrary {
+        &self.library
+    }
+
+    /// The file-metadata tag store.
+    pub fn tag_store(&self) -> &TagStore {
+        &self.tag_store
+    }
+
+    /// The refinement log.
+    pub fn refinements(&self) -> &RefinementLog {
+        &self.refinements
+    }
+
+    /// The current tag cloud (the "Tag Cloud" navigation component).
+    pub fn tag_cloud(&self) -> TagCloud {
+        TagCloud::from_library(&self.library)
+    }
+
+    /// Communication statistics accumulated so far (empty before ingestion).
+    pub fn network_stats(&self) -> SimStats {
+        self.network
+            .as_ref()
+            .map(|n| n.stats().clone())
+            .unwrap_or_default()
+    }
+
+    /// The simulated network, when ingested (read access for experiments).
+    pub fn network(&self) -> Option<&P2PNetwork> {
+        self.network.as_ref()
+    }
+
+    /// The ingested corpus, if any.
+    pub fn corpus(&self) -> Option<&Corpus> {
+        self.corpus.as_ref()
+    }
+
+    /// Number of tags currently known to the system (including ones introduced
+    /// through refinement).
+    pub fn known_tags(&self) -> BTreeMap<String, usize> {
+        self.library.tag_counts()
+    }
+
+    /// The synthetic file path under which a document's tags are stored as
+    /// metadata.
+    pub fn path_of(doc: DocumentId, user: usize) -> String {
+        format!("/home/user{user}/documents/doc{doc:05}.txt")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+    use dataset::{CorpusGenerator, CorpusSpec};
+
+    fn system_with(protocol: ProtocolKind) -> (P2PDocTagger, Corpus, TrainTestSplit) {
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let split = TrainTestSplit::demo_protocol(&corpus, 3);
+        let mut sys = P2PDocTagger::new(DocTaggerConfig {
+            protocol,
+            ..Default::default()
+        });
+        sys.ingest(&corpus);
+        (sys, corpus, split)
+    }
+
+    #[test]
+    fn end_to_end_with_pace() {
+        let (mut sys, corpus, split) = system_with(ProtocolKind::pace());
+        assert_eq!(sys.num_peers(), corpus.num_users());
+        sys.learn(&split).unwrap();
+        let outcome = sys.auto_tag_all().unwrap();
+        assert_eq!(outcome.tagged + outcome.failed, split.test.len());
+        assert_eq!(outcome.failed, 0);
+        assert!(
+            outcome.metrics.micro_f1() > 0.3,
+            "micro-F1 {}",
+            outcome.metrics.micro_f1()
+        );
+        // Every test document is now in the library with automatic tags.
+        assert!(sys.library().auto_tagged_count() >= split.test.len());
+        // Tags are persisted as file metadata too.
+        assert_eq!(sys.tag_store().len(), corpus.len());
+    }
+
+    #[test]
+    fn end_to_end_with_local_baseline_is_worse_than_pace() {
+        let (mut pace_sys, _, split) = system_with(ProtocolKind::pace());
+        pace_sys.learn(&split).unwrap();
+        let pace = pace_sys.auto_tag_all().unwrap();
+
+        let (mut local_sys, _, split) = system_with(ProtocolKind::local_only());
+        local_sys.learn(&split).unwrap();
+        let local = local_sys.auto_tag_all().unwrap();
+
+        eprintln!(
+            "pace P={:.3} R={:.3} F1={:.3} macro={:.3} | local P={:.3} R={:.3} F1={:.3} macro={:.3}",
+            pace.metrics.micro_precision(),
+            pace.metrics.micro_recall(),
+            pace.metrics.micro_f1(),
+            pace.metrics.macro_f1(),
+            local.metrics.micro_precision(),
+            local.metrics.micro_recall(),
+            local.metrics.micro_f1(),
+            local.metrics.macro_f1(),
+        );
+        assert!(
+            pace.metrics.micro_f1() > local.metrics.micro_f1(),
+            "pace {} vs local {}",
+            pace.metrics.micro_f1(),
+            local.metrics.micro_f1()
+        );
+    }
+
+    #[test]
+    fn suggestions_respect_the_confidence_slider() {
+        let (mut sys, _, split) = system_with(ProtocolKind::pace());
+        sys.learn(&split).unwrap();
+        let doc = split.test[0];
+        let permissive = sys.suggest(doc, Some(0.0)).unwrap();
+        let strict = sys.suggest(doc, Some(0.99)).unwrap();
+        assert!(permissive.accepted().count() >= strict.accepted().count());
+        assert_eq!(permissive.entries().len(), strict.entries().len());
+    }
+
+    #[test]
+    fn refinement_is_recorded_and_changes_the_library() {
+        let (mut sys, corpus, split) = system_with(ProtocolKind::pace());
+        sys.learn(&split).unwrap();
+        let doc = split.test[0];
+        sys.auto_tag(doc).unwrap();
+        let mut corrected = sys.library().tags_of(doc);
+        corrected.insert("entirely-new-tag".to_string());
+        sys.refine(doc, corrected.clone()).unwrap();
+        assert_eq!(sys.library().tags_of(doc), corrected);
+        assert_eq!(sys.refinements().len(), 1);
+        assert_eq!(sys.library().refined_count(), 1);
+        // The new tag becomes part of the system's vocabulary.
+        assert!(sys.known_tags().contains_key("entirely-new-tag"));
+        // The original corpus is untouched.
+        assert!(corpus.tag_id("entirely-new-tag").is_none());
+    }
+
+    #[test]
+    fn tag_cloud_reflects_assigned_tags() {
+        let (mut sys, _, split) = system_with(ProtocolKind::pace());
+        sys.learn(&split).unwrap();
+        sys.auto_tag_all().unwrap();
+        let cloud = sys.tag_cloud();
+        assert!(cloud.num_tags() > 0);
+        assert!(cloud.num_edges() > 0, "multi-tag documents create edges");
+    }
+
+    #[test]
+    fn communication_is_accounted_per_protocol() {
+        let (mut pace_sys, _, split) = system_with(ProtocolKind::pace());
+        pace_sys.learn(&split).unwrap();
+        assert!(pace_sys.network_stats().total_bytes() > 0);
+
+        let (mut local_sys, _, split) = system_with(ProtocolKind::local_only());
+        local_sys.learn(&split).unwrap();
+        assert_eq!(local_sys.network_stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn auto_tag_before_learn_fails() {
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let mut sys = P2PDocTagger::new(DocTaggerConfig::default());
+        sys.ingest(&corpus);
+        assert!(matches!(
+            sys.auto_tag(0).unwrap_err(),
+            ProtocolError::NotTrained
+        ));
+    }
+
+    #[test]
+    fn cempar_end_to_end_smoke() {
+        // CEMPaR with kernel SVMs is heavier; use a small corpus and just check
+        // it runs end to end and beats random guessing.
+        let corpus = CorpusGenerator::new(CorpusSpec {
+            num_tags: 4,
+            num_users: 6,
+            min_docs_per_user: 12,
+            max_docs_per_user: 18,
+            words_per_doc: 30,
+            ..CorpusSpec::tiny()
+        })
+        .generate();
+        let split = TrainTestSplit::stratified_by_user(&corpus, 0.3, 9);
+        let mut sys = P2PDocTagger::new(DocTaggerConfig {
+            protocol: ProtocolKind::cempar(),
+            ..Default::default()
+        });
+        sys.ingest(&corpus);
+        sys.learn(&split).unwrap();
+        let outcome = sys.auto_tag_all().unwrap();
+        assert!(outcome.tagged > 0);
+        assert!(
+            outcome.metrics.micro_f1() > 0.2,
+            "micro-F1 {}",
+            outcome.metrics.micro_f1()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The tag cloud with co-occurrence edges, clusters and bridge tags.
+//!
+//! "In the Tag Cloud interface … tags that co-occur in documents are connected
+//! by edges. This provides users with information regarding the tag
+//! relationships and captures higher level concepts … where we see two clusters
+//! of highly interconnected tags bridged by the word 'navigation'" (§3 /
+//! Figure 4). This module computes the weighted co-occurrence graph from the
+//! library, detects clusters (connected components after pruning weak edges)
+//! and identifies bridge tags (articulation points of the pruned graph).
+
+use crate::library::DocumentLibrary;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One tag in the cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagCloudEntry {
+    /// Tag name.
+    pub tag: String,
+    /// Number of documents carrying the tag.
+    pub count: usize,
+    /// Relative font size in [1, 5], proportional to the count.
+    pub font_size: u8,
+}
+
+/// The tag cloud and its co-occurrence structure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TagCloud {
+    entries: Vec<TagCloudEntry>,
+    /// Undirected co-occurrence edges with document counts, keyed by
+    /// lexicographically ordered tag pairs.
+    edges: BTreeMap<(String, String), usize>,
+}
+
+impl TagCloud {
+    /// Builds the cloud from the current library contents.
+    pub fn from_library(library: &DocumentLibrary) -> Self {
+        let counts = library.tag_counts();
+        let max = counts.values().copied().max().unwrap_or(1).max(1);
+        let entries = counts
+            .iter()
+            .map(|(tag, &count)| TagCloudEntry {
+                tag: tag.clone(),
+                count,
+                font_size: font_size(count, max),
+            })
+            .collect();
+        let mut edges: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for entry in library.iter() {
+            let tags: Vec<&String> = entry.tags.iter().collect();
+            for i in 0..tags.len() {
+                for j in (i + 1)..tags.len() {
+                    let key = if tags[i] <= tags[j] {
+                        (tags[i].clone(), tags[j].clone())
+                    } else {
+                        (tags[j].clone(), tags[i].clone())
+                    };
+                    *edges.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        Self { entries, edges }
+    }
+
+    /// The tags with counts and font sizes, alphabetically ordered.
+    pub fn entries(&self) -> &[TagCloudEntry] {
+        &self.entries
+    }
+
+    /// The co-occurrence edges and their document counts.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.edges
+            .iter()
+            .map(|((a, b), &w)| (a.as_str(), b.as_str(), w))
+    }
+
+    /// Number of distinct tags.
+    pub fn num_tags(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of co-occurrence edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The co-occurrence count of two tags (0 when they never co-occur).
+    pub fn co_occurrence(&self, a: &str, b: &str) -> usize {
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        self.edges.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Adjacency over edges with weight ≥ `min_weight`.
+    fn adjacency(&self, min_weight: usize) -> BTreeMap<&str, BTreeSet<&str>> {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &self.entries {
+            adj.entry(e.tag.as_str()).or_default();
+        }
+        for ((a, b), &w) in &self.edges {
+            if w >= min_weight {
+                adj.entry(a.as_str()).or_default().insert(b.as_str());
+                adj.entry(b.as_str()).or_default().insert(a.as_str());
+            }
+        }
+        adj
+    }
+
+    /// Clusters of tags: connected components of the graph restricted to edges
+    /// seen in at least `min_weight` documents. Components are returned sorted
+    /// by decreasing size, tags within a component alphabetically.
+    pub fn clusters(&self, min_weight: usize) -> Vec<Vec<String>> {
+        let adj = self.adjacency(min_weight);
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        let mut components = Vec::new();
+        for &start in adj.keys() {
+            if visited.contains(start) {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut component = Vec::new();
+            while let Some(node) = stack.pop() {
+                if !visited.insert(node) {
+                    continue;
+                }
+                component.push(node.to_string());
+                if let Some(neigh) = adj.get(node) {
+                    stack.extend(neigh.iter().copied().filter(|n| !visited.contains(*n)));
+                }
+            }
+            component.sort();
+            components.push(component);
+        }
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        components
+    }
+
+    /// Bridge tags: articulation points of the pruned co-occurrence graph —
+    /// tags whose removal would split a cluster into disconnected parts
+    /// (like "navigation" bridging the two clusters in Figure 4).
+    pub fn bridge_tags(&self, min_weight: usize) -> Vec<String> {
+        let adj = self.adjacency(min_weight);
+        let nodes: Vec<&str> = adj.keys().copied().collect();
+        let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let n = nodes.len();
+        let mut visited = vec![false; n];
+        let mut disc = vec![0usize; n];
+        let mut low = vec![0usize; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut articulation = vec![false; n];
+        let mut timer = 0usize;
+
+        // Iterative Tarjan articulation-point computation (avoids recursion
+        // depth issues on large tag vocabularies).
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            let mut root_children = 0usize;
+            while let Some(top) = stack.last_mut() {
+                let u = top.0;
+                let child_idx = top.1;
+                if !visited[u] {
+                    visited[u] = true;
+                    timer += 1;
+                    disc[u] = timer;
+                    low[u] = timer;
+                }
+                let neighbors: Vec<usize> =
+                    adj[nodes[u]].iter().map(|v| index[*v]).collect();
+                if child_idx < neighbors.len() {
+                    top.1 += 1;
+                    let v = neighbors[child_idx];
+                    if !visited[v] {
+                        parent[v] = u;
+                        if u == start {
+                            root_children += 1;
+                        }
+                        stack.push((v, 0));
+                    } else if v != parent[u] {
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        low[p] = low[p].min(low[u]);
+                        if parent[u] == p && p != start && low[u] >= disc[p] {
+                            articulation[p] = true;
+                        }
+                    }
+                }
+            }
+            if root_children > 1 {
+                articulation[index[nodes[start]]] = true;
+            }
+        }
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| articulation[*i])
+            .map(|(_, &n)| n.to_string())
+            .collect()
+    }
+}
+
+/// Maps a count to a font-size bucket 1..=5 relative to the most frequent tag.
+fn font_size(count: usize, max: usize) -> u8 {
+    let ratio = count as f64 / max as f64;
+    (1.0 + (ratio * 4.0).round()).min(5.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::TagSource;
+
+    fn tags(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A library shaped like Figure 4: a "web design" cluster and a "travel"
+    /// cluster bridged by the tag "navigation".
+    fn figure4_library() -> DocumentLibrary {
+        let mut lib = DocumentLibrary::new();
+        // Web cluster.
+        lib.assign(0, 0, tags(&["web", "design", "css"]), TagSource::Manual);
+        lib.assign(1, 0, tags(&["web", "design"]), TagSource::Manual);
+        lib.assign(2, 0, tags(&["web", "css"]), TagSource::Manual);
+        // Travel cluster.
+        lib.assign(3, 1, tags(&["travel", "maps", "hiking"]), TagSource::Manual);
+        lib.assign(4, 1, tags(&["travel", "maps"]), TagSource::Manual);
+        lib.assign(5, 1, tags(&["hiking", "maps"]), TagSource::Manual);
+        // The bridge: "navigation" co-occurs with both clusters.
+        lib.assign(6, 0, tags(&["web", "navigation"]), TagSource::Automatic);
+        lib.assign(7, 1, tags(&["maps", "navigation"]), TagSource::Automatic);
+        lib
+    }
+
+    #[test]
+    fn counts_and_font_sizes() {
+        let cloud = TagCloud::from_library(&figure4_library());
+        assert_eq!(cloud.num_tags(), 7);
+        let web = cloud.entries().iter().find(|e| e.tag == "web").unwrap();
+        let nav = cloud.entries().iter().find(|e| e.tag == "navigation").unwrap();
+        assert!(web.count > nav.count);
+        assert!(web.font_size >= nav.font_size);
+        assert!((1..=5).contains(&web.font_size));
+    }
+
+    #[test]
+    fn co_occurrence_edges() {
+        let cloud = TagCloud::from_library(&figure4_library());
+        assert_eq!(cloud.co_occurrence("web", "design"), 2);
+        assert_eq!(cloud.co_occurrence("design", "web"), 2);
+        assert_eq!(cloud.co_occurrence("web", "travel"), 0);
+        assert!(cloud.num_edges() >= 8);
+    }
+
+    #[test]
+    fn single_connected_cluster_with_bridge() {
+        let cloud = TagCloud::from_library(&figure4_library());
+        let clusters = cloud.clusters(1);
+        assert_eq!(clusters.len(), 1, "bridge connects everything: {clusters:?}");
+        assert_eq!(clusters[0].len(), 7);
+    }
+
+    #[test]
+    fn bridge_tag_is_detected() {
+        let cloud = TagCloud::from_library(&figure4_library());
+        let bridges = cloud.bridge_tags(1);
+        assert!(
+            bridges.contains(&"navigation".to_string()),
+            "bridges: {bridges:?}"
+        );
+        // Core in-cluster tags are not articulation points.
+        assert!(!bridges.contains(&"design".to_string()));
+    }
+
+    #[test]
+    fn pruning_weak_edges_splits_clusters() {
+        let cloud = TagCloud::from_library(&figure4_library());
+        // Navigation edges have weight 1; requiring weight ≥ 2 splits the graph.
+        let clusters = cloud.clusters(2);
+        assert!(clusters.len() >= 2, "clusters: {clusters:?}");
+        let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        assert!(sizes[0] >= 3);
+    }
+
+    #[test]
+    fn empty_library_yields_empty_cloud() {
+        let cloud = TagCloud::from_library(&DocumentLibrary::new());
+        assert_eq!(cloud.num_tags(), 0);
+        assert_eq!(cloud.num_edges(), 0);
+        assert!(cloud.clusters(1).is_empty());
+        assert!(cloud.bridge_tags(1).is_empty());
+    }
+
+    #[test]
+    fn documents_with_single_tags_produce_no_edges() {
+        let mut lib = DocumentLibrary::new();
+        lib.assign(0, 0, tags(&["a"]), TagSource::Manual);
+        lib.assign(1, 0, tags(&["b"]), TagSource::Manual);
+        let cloud = TagCloud::from_library(&lib);
+        assert_eq!(cloud.num_edges(), 0);
+        assert_eq!(cloud.clusters(1).len(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Labeled-example containers shared by the learning and P2P layers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use textproc::SparseVector;
+
+/// Identifier of a tag in the global tag universe `Y`.
+pub type TagId = u32;
+
+/// A document vector together with its assigned tag set.
+///
+/// This is the unit of training data exchanged (in feature-vector form only —
+/// never raw text) between the tagging system and the classification layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLabelExample {
+    /// Preprocessed sparse document vector.
+    pub vector: SparseVector,
+    /// Tags assigned to the document (possibly empty).
+    pub tags: BTreeSet<TagId>,
+}
+
+impl MultiLabelExample {
+    /// Creates an example from a vector and any iterable of tag ids.
+    pub fn new<I: IntoIterator<Item = TagId>>(vector: SparseVector, tags: I) -> Self {
+        Self {
+            vector,
+            tags: tags.into_iter().collect(),
+        }
+    }
+
+    /// Returns whether the example carries the given tag.
+    pub fn has_tag(&self, tag: TagId) -> bool {
+        self.tags.contains(&tag)
+    }
+
+    /// Approximate wire size in bytes when the vector and tag list are shipped
+    /// to another peer (used for communication-cost accounting).
+    pub fn wire_size(&self) -> usize {
+        self.vector.wire_size() + self.tags.len() * std::mem::size_of::<TagId>() + 4
+    }
+}
+
+/// A collection of multi-label examples with helpers for the one-vs-all
+/// reduction described in §2 of the paper.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultiLabelDataset {
+    examples: Vec<MultiLabelExample>,
+}
+
+impl MultiLabelDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from a vector of examples.
+    pub fn from_examples(examples: Vec<MultiLabelExample>) -> Self {
+        Self { examples }
+    }
+
+    /// Adds an example.
+    pub fn push(&mut self, example: MultiLabelExample) {
+        self.examples.push(example);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The examples, in insertion order.
+    pub fn examples(&self) -> &[MultiLabelExample] {
+        &self.examples
+    }
+
+    /// Iterates over the examples.
+    pub fn iter(&self) -> impl Iterator<Item = &MultiLabelExample> {
+        self.examples.iter()
+    }
+
+    /// The set of all tags occurring in the dataset (the observed universe `Y`).
+    pub fn tag_universe(&self) -> BTreeSet<TagId> {
+        self.examples
+            .iter()
+            .flat_map(|e| e.tags.iter().copied())
+            .collect()
+    }
+
+    /// Number of examples carrying the given tag.
+    pub fn tag_count(&self, tag: TagId) -> usize {
+        self.examples.iter().filter(|e| e.has_tag(tag)).count()
+    }
+
+    /// Produces the one-against-all binary view for `tag`: data from the target
+    /// tag belongs to the positive class and all other data to the negative
+    /// class.
+    pub fn one_vs_all(&self, tag: TagId) -> (Vec<SparseVector>, Vec<bool>) {
+        let xs = self.examples.iter().map(|e| e.vector.clone()).collect();
+        let ys = self.examples.iter().map(|e| e.has_tag(tag)).collect();
+        (xs, ys)
+    }
+
+    /// Merges another dataset into this one.
+    pub fn extend_from(&mut self, other: &MultiLabelDataset) {
+        self.examples.extend_from_slice(&other.examples);
+    }
+
+    /// Total wire size of the dataset if shipped raw to another peer.
+    pub fn wire_size(&self) -> usize {
+        self.examples.iter().map(MultiLabelExample::wire_size).sum()
+    }
+
+    /// Splits the dataset into `n` nearly equal chunks (for distributing among
+    /// peers in tests).
+    pub fn chunks(&self, n: usize) -> Vec<MultiLabelDataset> {
+        assert!(n > 0, "cannot split into zero chunks");
+        let mut out = vec![MultiLabelDataset::new(); n];
+        for (i, ex) in self.examples.iter().enumerate() {
+            out[i % n].push(ex.clone());
+        }
+        out
+    }
+}
+
+impl FromIterator<MultiLabelExample> for MultiLabelDataset {
+    fn from_iter<T: IntoIterator<Item = MultiLabelExample>>(iter: T) -> Self {
+        Self {
+            examples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(tags: &[TagId]) -> MultiLabelExample {
+        MultiLabelExample::new(
+            SparseVector::from_pairs([(0, 1.0)]),
+            tags.iter().copied(),
+        )
+    }
+
+    #[test]
+    fn tag_universe_and_counts() {
+        let ds = MultiLabelDataset::from_examples(vec![ex(&[1, 2]), ex(&[2]), ex(&[3])]);
+        assert_eq!(ds.tag_universe(), BTreeSet::from([1, 2, 3]));
+        assert_eq!(ds.tag_count(2), 2);
+        assert_eq!(ds.tag_count(9), 0);
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn one_vs_all_labels() {
+        let ds = MultiLabelDataset::from_examples(vec![ex(&[1]), ex(&[2]), ex(&[1, 2])]);
+        let (xs, ys) = ds.one_vs_all(1);
+        assert_eq!(xs.len(), 3);
+        assert_eq!(ys, vec![true, false, true]);
+    }
+
+    #[test]
+    fn chunks_cover_all_examples() {
+        let ds = MultiLabelDataset::from_examples(vec![ex(&[1]); 10]);
+        let chunks = ds.chunks(3);
+        assert_eq!(chunks.len(), 3);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn wire_size_is_positive() {
+        let ds = MultiLabelDataset::from_examples(vec![ex(&[1, 2])]);
+        assert!(ds.wire_size() > 0);
+    }
+}

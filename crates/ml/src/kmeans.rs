@@ -1,0 +1,246 @@
+//! K-means clustering of sparse document vectors.
+//!
+//! PACE peers "perform clustering on the training data" and propagate the
+//! cluster centroids together with their linear model; the centroids act as a
+//! compact sketch of the local data distribution that other peers use to decide
+//! which models are relevant for a given test document.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use textproc::{sparse, SparseVector};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters `k` (clamped to the number of points).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            max_iter: 50,
+            tol: 1e-6,
+            seed: 17,
+        }
+    }
+}
+
+/// Result of running k-means: centroids and point assignments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<SparseVector>,
+    assignments: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Runs k-means++ initialization followed by Lloyd's algorithm.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `config.k == 0`.
+    pub fn fit(points: &[SparseVector], config: &KMeansConfig) -> Self {
+        assert!(!points.is_empty(), "cannot cluster an empty set");
+        assert!(config.k > 0, "k must be positive");
+        let k = config.k.min(points.len());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centroids = Self::kmeanspp_init(points, k, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut inertia = f64::INFINITY;
+
+        for _ in 0..config.max_iter {
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (best, dist) = Self::nearest(&centroids, p);
+                assignments[i] = best;
+                new_inertia += dist;
+            }
+            // Update step.
+            let mut movement = 0.0;
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<SparseVector> = points
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(p, _)| p.clone())
+                    .collect();
+                if members.is_empty() {
+                    continue; // keep the old centroid for an empty cluster
+                }
+                let new_centroid = sparse::mean(&members);
+                movement += centroid.distance(&new_centroid);
+                *centroid = new_centroid;
+            }
+            inertia = new_inertia;
+            if movement < config.tol {
+                break;
+            }
+        }
+        Self {
+            centroids,
+            assignments,
+            inertia,
+        }
+    }
+
+    fn kmeanspp_init(points: &[SparseVector], k: usize, rng: &mut StdRng) -> Vec<SparseVector> {
+        let mut centroids = Vec::with_capacity(k);
+        centroids.push(points[rng.gen_range(0..points.len())].clone());
+        while centroids.len() < k {
+            // Squared distance of every point to its nearest chosen centroid.
+            let d2: Vec<f64> = points
+                .iter()
+                .map(|p| Self::nearest(&centroids, p).1)
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= f64::EPSILON {
+                // All remaining points coincide with existing centroids.
+                centroids.push(points[rng.gen_range(0..points.len())].clone());
+                continue;
+            }
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            centroids.push(points[chosen].clone());
+        }
+        centroids
+    }
+
+    fn nearest(centroids: &[SparseVector], p: &SparseVector) -> (usize, f64) {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d = c.distance_sq(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        (best, best_d)
+    }
+
+    /// The cluster centroids.
+    pub fn centroids(&self) -> &[SparseVector] {
+        &self.centroids
+    }
+
+    /// Cluster index assigned to each input point (same order as the input).
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances of points to their assigned centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Index of the centroid nearest to `x`.
+    pub fn predict(&self, x: &SparseVector) -> usize {
+        Self::nearest(&self.centroids, x).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), n: usize, seed: u64) -> Vec<SparseVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                SparseVector::from_pairs([
+                    (0, center.0 + rng.gen_range(-0.2..0.2)),
+                    (1, center.1 + rng.gen_range(-0.2..0.2)),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let mut pts = blob((5.0, 5.0), 30, 1);
+        pts.extend(blob((-5.0, -5.0), 30, 2));
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        // All points of each blob must share a cluster.
+        let first = km.assignments()[0];
+        assert!(km.assignments()[..30].iter().all(|&a| a == first));
+        let second = km.assignments()[30];
+        assert!(km.assignments()[30..].iter().all(|&a| a == second));
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn k_clamped_to_number_of_points() {
+        let pts = blob((0.0, 0.0), 3, 3);
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(km.centroids().len(), 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut pts = blob((5.0, 5.0), 20, 4);
+        pts.extend(blob((-5.0, -5.0), 20, 5));
+        pts.extend(blob((5.0, -5.0), 20, 6));
+        let one = KMeans::fit(&pts, &KMeansConfig { k: 1, ..Default::default() });
+        let three = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        assert!(three.inertia() < one.inertia());
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest_centroid() {
+        let mut pts = blob((5.0, 5.0), 20, 7);
+        pts.extend(blob((-5.0, -5.0), 20, 8));
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 2, ..Default::default() });
+        let near_first = SparseVector::from_pairs([(0, 4.9), (1, 5.1)]);
+        assert_eq!(km.predict(&near_first), km.assignments()[0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = blob((1.0, 1.0), 25, 9);
+        let a = KMeans::fit(&pts, &KMeansConfig::default());
+        let b = KMeans::fit(&pts, &KMeansConfig::default());
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let pts = vec![SparseVector::from_pairs([(0, 1.0)]); 5];
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        assert_eq!(km.centroids().len(), 3);
+        assert!(km.inertia() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        KMeans::fit(&[], &KMeansConfig::default());
+    }
+}

@@ -1,0 +1,286 @@
+//! Locality-sensitive hashing for cosine similarity (random hyperplanes).
+//!
+//! PACE peers "index the models using the centroids (based on locality
+//! sensitive hashing)"; at prediction time "the algorithm retrieves the top k
+//! 'nearest' models (with respect to the distance between the test data and
+//! the models' centroids) from the index" (§2). This module provides that
+//! index: items are keyed by a sparse centroid, signatures are sign patterns
+//! of random-hyperplane projections, and queries return the top-k items by
+//! exact distance among hash-collision candidates (falling back to scanning
+//! when too few candidates collide, so recall never collapses).
+//!
+//! To avoid materializing dense random hyperplanes over a vocabulary-sized
+//! space, hyperplane components are derived on the fly from a deterministic
+//! 64-bit mix of `(seed, bit index, feature index)`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use textproc::SparseVector;
+
+/// Configuration of the random-hyperplane LSH index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshConfig {
+    /// Number of signature bits per band.
+    pub bits_per_band: usize,
+    /// Number of independent bands (hash tables).
+    pub num_bands: usize,
+    /// Seed from which all hyperplanes are derived.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            bits_per_band: 8,
+            num_bands: 4,
+            seed: 2010,
+        }
+    }
+}
+
+/// An LSH index mapping sparse key vectors to items of type `T`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshIndex<T> {
+    config: LshConfig,
+    /// One hash table per band: band signature → entry indices.
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    entries: Vec<(SparseVector, T)>,
+}
+
+impl<T> LshIndex<T> {
+    /// Creates an empty index.
+    pub fn new(config: LshConfig) -> Self {
+        let tables = (0..config.num_bands).map(|_| HashMap::new()).collect();
+        Self {
+            config,
+            tables,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LshConfig {
+        &self.config
+    }
+
+    /// Inserts an item keyed by `key`.
+    pub fn insert(&mut self, key: SparseVector, item: T) {
+        let idx = self.entries.len();
+        for band in 0..self.config.num_bands {
+            let sig = self.band_signature(&key, band);
+            self.tables[band].entry(sig).or_default().push(idx);
+        }
+        self.entries.push((key, item));
+    }
+
+    /// Returns the indices of candidate entries colliding with `query` in at
+    /// least one band.
+    fn candidates(&self, query: &SparseVector) -> Vec<usize> {
+        let mut seen = vec![false; self.entries.len()];
+        let mut out = Vec::new();
+        for band in 0..self.config.num_bands {
+            let sig = self.band_signature(query, band);
+            if let Some(list) = self.tables[band].get(&sig) {
+                for &idx in list {
+                    if !seen[idx] {
+                        seen[idx] = true;
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns up to `k` items nearest to `query` (by Euclidean distance of the
+    /// key vectors), preferring LSH candidates and falling back to a full scan
+    /// when fewer than `k` candidates collide.
+    pub fn query(&self, query: &SparseVector, k: usize) -> Vec<(&T, f64)> {
+        if self.entries.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut candidates = self.candidates(query);
+        if candidates.len() < k {
+            candidates = (0..self.entries.len()).collect();
+        }
+        let mut scored: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|i| (i, self.entries[i].0.distance(query)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, d)| (&self.entries[i].1, d))
+            .collect()
+    }
+
+    /// Exact (brute force) top-k query, for testing recall and the LSH-off
+    /// ablation.
+    pub fn query_exact(&self, query: &SparseVector, k: usize) -> Vec<(&T, f64)> {
+        let mut scored: Vec<(usize, f64)> = (0..self.entries.len())
+            .map(|i| (i, self.entries[i].0.distance(query)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, d)| (&self.entries[i].1, d))
+            .collect()
+    }
+
+    /// The signature of `v` in the given band.
+    fn band_signature(&self, v: &SparseVector, band: usize) -> u64 {
+        let mut sig = 0u64;
+        for bit in 0..self.config.bits_per_band {
+            if self.project(v, band, bit) >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+
+    /// Signed projection of `v` onto the pseudo-random hyperplane `(band, bit)`.
+    fn project(&self, v: &SparseVector, band: usize, bit: usize) -> f64 {
+        let plane_id = (band as u64) << 32 | bit as u64;
+        v.iter()
+            .map(|(idx, val)| hyperplane_component(self.config.seed, plane_id, idx) * val)
+            .sum()
+    }
+
+    /// Full signature of a vector across all bands (useful for diagnostics).
+    pub fn signature(&self, v: &SparseVector) -> Vec<u64> {
+        (0..self.config.num_bands)
+            .map(|b| self.band_signature(v, b))
+            .collect()
+    }
+}
+
+/// Deterministic pseudo-random hyperplane component in [-1, 1), derived from
+/// (seed, hyperplane id, feature index) via a 64-bit finalizer (splitmix64).
+fn hyperplane_component(seed: u64, plane_id: u64, feature: u32) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(plane_id)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(feature as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map to [-1, 1).
+    (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(rng: &mut StdRng, dim: u32, nnz: usize) -> SparseVector {
+        SparseVector::from_pairs(
+            (0..nnz).map(|_| (rng.gen_range(0..dim), rng.gen_range(-1.0..1.0))),
+        )
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let idx = LshIndex::<u32>::new(LshConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = random_vec(&mut rng, 100, 10);
+        assert_eq!(idx.signature(&v), idx.signature(&v));
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let mut idx = LshIndex::new(LshConfig::default());
+        let v = SparseVector::from_pairs([(0, 1.0), (5, -2.0)]);
+        idx.insert(v.clone(), "a");
+        let hits = idx.query(&v, 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(*hits[0].0, "a");
+        assert!(hits[0].1 < 1e-12);
+    }
+
+    #[test]
+    fn query_returns_nearest_items() {
+        let mut idx = LshIndex::new(LshConfig::default());
+        for i in 0..20u32 {
+            idx.insert(SparseVector::from_pairs([(0, i as f64)]), i);
+        }
+        let hits = idx.query(&SparseVector::from_pairs([(0, 7.2)]), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(*hits[0].0, 7);
+    }
+
+    #[test]
+    fn falls_back_to_scan_when_no_candidates() {
+        // A single far-away item may not collide, but the fallback must find it.
+        let mut idx = LshIndex::new(LshConfig {
+            bits_per_band: 16,
+            num_bands: 1,
+            seed: 3,
+        });
+        idx.insert(SparseVector::from_pairs([(9, 100.0)]), "far");
+        let hits = idx.query(&SparseVector::from_pairs([(0, 1.0)]), 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn lsh_topk_matches_exact_topk_reasonably() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut idx = LshIndex::new(LshConfig::default());
+        let items: Vec<SparseVector> = (0..200).map(|_| random_vec(&mut rng, 50, 8)).collect();
+        for (i, v) in items.iter().enumerate() {
+            idx.insert(v.clone(), i);
+        }
+        let mut overlap = 0usize;
+        let queries: Vec<SparseVector> = (0..20).map(|_| random_vec(&mut rng, 50, 8)).collect();
+        for q in &queries {
+            let approx: Vec<usize> = idx.query(q, 5).into_iter().map(|(i, _)| *i).collect();
+            let exact: Vec<usize> = idx.query_exact(q, 5).into_iter().map(|(i, _)| *i).collect();
+            overlap += approx.iter().filter(|i| exact.contains(i)).count();
+        }
+        // At least half of the exact top-5 should be recovered on average.
+        assert!(overlap >= 50, "overlap {overlap}");
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = LshIndex::<u32>::new(LshConfig::default());
+        assert!(idx.query(&SparseVector::from_pairs([(0, 1.0)]), 3).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let mut idx = LshIndex::new(LshConfig::default());
+        idx.insert(SparseVector::from_pairs([(0, 1.0)]), 1);
+        assert!(idx.query(&SparseVector::from_pairs([(0, 1.0)]), 0).is_empty());
+    }
+
+    #[test]
+    fn similar_vectors_share_more_signature_bits_than_dissimilar() {
+        let idx = LshIndex::<u32>::new(LshConfig {
+            bits_per_band: 32,
+            num_bands: 1,
+            seed: 7,
+        });
+        let a = SparseVector::from_pairs((0..20).map(|i| (i, 1.0)));
+        let near = SparseVector::from_pairs((0..20).map(|i| (i, if i == 0 { 0.9 } else { 1.0 })));
+        let far = SparseVector::from_pairs((0..20).map(|i| (i, if i % 2 == 0 { -1.0 } else { 1.0 })));
+        let sig = |v: &SparseVector| idx.signature(v)[0];
+        let hamming = |x: u64, y: u64| (x ^ y).count_ones();
+        assert!(hamming(sig(&a), sig(&near)) < hamming(sig(&a), sig(&far)));
+    }
+}

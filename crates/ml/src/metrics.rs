@@ -1,0 +1,300 @@
+//! Evaluation metrics for binary and multi-label tagging.
+//!
+//! The experiment harness reports micro/macro F1, Hamming loss, subset accuracy
+//! and per-tag precision/recall, the standard measures for automated-tagging
+//! quality.
+
+use crate::data::TagId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Confusion-matrix-derived metrics for a single binary problem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl BinaryMetrics {
+    /// Accumulates one prediction.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Computes metrics from parallel prediction/truth slices.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len());
+        let mut m = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            m.observe(p, a);
+        }
+        m
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions (1.0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision `tp / (tp + fp)` (1.0 when no positive predictions).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall `tp / (tp + fn)` (1.0 when no actual positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges counts from another confusion matrix.
+    pub fn merge(&mut self, other: &BinaryMetrics) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Multi-label evaluation over a set of documents.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultiLabelMetrics {
+    /// Micro-averaged confusion counts (pooled over all tags and documents).
+    pub micro: BinaryMetrics,
+    /// Per-tag confusion counts.
+    pub per_tag: Vec<(TagId, BinaryMetrics)>,
+    /// Number of evaluated documents.
+    pub num_docs: u64,
+    /// Sum over documents of `|pred Δ truth| / |universe|` (Hamming loss numerator).
+    hamming_sum: f64,
+    /// Number of documents whose predicted set equals the true set exactly.
+    exact_matches: u64,
+}
+
+impl MultiLabelMetrics {
+    /// Evaluates predictions against ground truth.
+    ///
+    /// `universe` is the full tag universe `Y` used for the Hamming-loss
+    /// denominator; it must contain every tag appearing in either set.
+    pub fn evaluate(
+        predictions: &[BTreeSet<TagId>],
+        truths: &[BTreeSet<TagId>],
+        universe: &BTreeSet<TagId>,
+    ) -> Self {
+        assert_eq!(
+            predictions.len(),
+            truths.len(),
+            "predictions and truths must have equal length"
+        );
+        let mut micro = BinaryMetrics::default();
+        let mut per_tag: Vec<(TagId, BinaryMetrics)> = universe
+            .iter()
+            .map(|&t| (t, BinaryMetrics::default()))
+            .collect();
+        let mut hamming_sum = 0.0;
+        let mut exact_matches = 0;
+        for (pred, truth) in predictions.iter().zip(truths) {
+            if pred == truth {
+                exact_matches += 1;
+            }
+            let sym_diff = pred.symmetric_difference(truth).count();
+            if !universe.is_empty() {
+                hamming_sum += sym_diff as f64 / universe.len() as f64;
+            }
+            for (tag, m) in per_tag.iter_mut() {
+                let p = pred.contains(tag);
+                let a = truth.contains(tag);
+                m.observe(p, a);
+                micro.observe(p, a);
+            }
+        }
+        Self {
+            micro,
+            per_tag,
+            num_docs: predictions.len() as u64,
+            hamming_sum,
+            exact_matches,
+        }
+    }
+
+    /// Micro-averaged F1 (pooled confusion matrix).
+    pub fn micro_f1(&self) -> f64 {
+        self.micro.f1()
+    }
+
+    /// Micro-averaged precision.
+    pub fn micro_precision(&self) -> f64 {
+        self.micro.precision()
+    }
+
+    /// Micro-averaged recall.
+    pub fn micro_recall(&self) -> f64 {
+        self.micro.recall()
+    }
+
+    /// Macro-averaged F1 (unweighted mean of per-tag F1; 1.0 with no tags).
+    pub fn macro_f1(&self) -> f64 {
+        if self.per_tag.is_empty() {
+            return 1.0;
+        }
+        self.per_tag.iter().map(|(_, m)| m.f1()).sum::<f64>() / self.per_tag.len() as f64
+    }
+
+    /// Hamming loss: average fraction of tags mispredicted per document.
+    pub fn hamming_loss(&self) -> f64 {
+        if self.num_docs == 0 {
+            return 0.0;
+        }
+        self.hamming_sum / self.num_docs as f64
+    }
+
+    /// Subset (exact-match) accuracy.
+    pub fn subset_accuracy(&self) -> f64 {
+        if self.num_docs == 0 {
+            return 1.0;
+        }
+        self.exact_matches as f64 / self.num_docs as f64
+    }
+
+    /// Per-tag metrics, sorted by tag id.
+    pub fn per_tag(&self) -> &[(TagId, BinaryMetrics)] {
+        &self.per_tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(tags: &[TagId]) -> BTreeSet<TagId> {
+        tags.iter().copied().collect()
+    }
+
+    #[test]
+    fn binary_metrics_basic() {
+        let m = BinaryMetrics::from_predictions(
+            &[true, true, false, false],
+            &[true, false, true, false],
+        );
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.f1(), 0.5);
+    }
+
+    #[test]
+    fn binary_metrics_degenerate_cases() {
+        let empty = BinaryMetrics::default();
+        assert_eq!(empty.accuracy(), 1.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+
+        let all_negative = BinaryMetrics::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(all_negative.accuracy(), 1.0);
+        assert_eq!(all_negative.f1(), 1.0);
+    }
+
+    #[test]
+    fn binary_metrics_merge() {
+        let mut a = BinaryMetrics::from_predictions(&[true], &[true]);
+        let b = BinaryMetrics::from_predictions(&[false], &[true]);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fn_, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn perfect_multilabel_prediction() {
+        let truth = vec![set(&[1, 2]), set(&[3])];
+        let universe = set(&[1, 2, 3]);
+        let m = MultiLabelMetrics::evaluate(&truth, &truth, &universe);
+        assert_eq!(m.micro_f1(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.hamming_loss(), 0.0);
+        assert_eq!(m.subset_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn completely_wrong_prediction() {
+        let pred = vec![set(&[3])];
+        let truth = vec![set(&[1, 2])];
+        let universe = set(&[1, 2, 3]);
+        let m = MultiLabelMetrics::evaluate(&pred, &truth, &universe);
+        assert_eq!(m.micro_f1(), 0.0);
+        assert_eq!(m.subset_accuracy(), 0.0);
+        assert!((m.hamming_loss() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let pred = vec![set(&[1, 3])];
+        let truth = vec![set(&[1, 2])];
+        let universe = set(&[1, 2, 3, 4]);
+        let m = MultiLabelMetrics::evaluate(&pred, &truth, &universe);
+        // tp=1 (tag1), fp=1 (tag3), fn=1 (tag2), tn=1 (tag4)
+        assert_eq!(m.micro.tp, 1);
+        assert_eq!(m.micro.fp, 1);
+        assert_eq!(m.micro.fn_, 1);
+        assert_eq!(m.micro.tn, 1);
+        assert!((m.hamming_loss() - 0.5).abs() < 1e-12);
+        assert_eq!(m.subset_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_differs_from_micro_with_imbalanced_tags() {
+        // Tag 1 appears often and is predicted well; tag 2 is rare and always missed.
+        let pred = vec![set(&[1]), set(&[1]), set(&[1]), set(&[])];
+        let truth = vec![set(&[1]), set(&[1]), set(&[1]), set(&[2])];
+        let universe = set(&[1, 2]);
+        let m = MultiLabelMetrics::evaluate(&pred, &truth, &universe);
+        assert!(m.micro_f1() > m.macro_f1());
+    }
+
+    #[test]
+    fn empty_evaluation() {
+        let m = MultiLabelMetrics::evaluate(&[], &[], &set(&[1]));
+        assert_eq!(m.num_docs, 0);
+        assert_eq!(m.hamming_loss(), 0.0);
+        assert_eq!(m.subset_accuracy(), 1.0);
+    }
+}

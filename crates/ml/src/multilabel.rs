@@ -1,0 +1,292 @@
+//! One-vs-all reduction of multi-label tagging to binary classification.
+//!
+//! "We simplify the multi-label classification problem into numerous
+//! single-label classification problems […] for each c ∈ Y, we learn a function
+//! f_c : X → {0, 1} indicating whether or not the tag is assigned to the
+//! document. The binary classifiers are constructed using the one-against-all
+//! method" (§2). This module implements that reduction generically over any
+//! [`BinaryClassifier`].
+
+use crate::data::{MultiLabelDataset, TagId};
+use crate::svm::{
+    BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use textproc::SparseVector;
+
+/// A scored tag suggestion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagPrediction {
+    /// The suggested tag.
+    pub tag: TagId,
+    /// Raw decision value of the tag's binary classifier (higher = more confident).
+    pub score: f64,
+    /// Squashed confidence in (0, 1) (logistic of the score), used by the tag
+    /// cloud font sizing and the confidence slider.
+    pub confidence: f64,
+}
+
+/// Configuration of the one-vs-all reduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneVsAllTrainer {
+    /// Decision threshold above which a tag is assigned.
+    pub threshold: f64,
+    /// If no score reaches the threshold, assign the top `min_tags` tags anyway
+    /// (documents in the corpus always carry at least one tag).
+    pub min_tags: usize,
+    /// Tags with fewer positive training examples than this are skipped.
+    pub min_positive: usize,
+}
+
+impl Default for OneVsAllTrainer {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            min_tags: 1,
+            min_positive: 1,
+        }
+    }
+}
+
+/// A trained set of per-tag binary classifiers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneVsAllModel<C> {
+    classifiers: BTreeMap<TagId, C>,
+    threshold: f64,
+    min_tags: usize,
+}
+
+impl OneVsAllTrainer {
+    /// Trains one binary classifier per tag using `train_fn`.
+    ///
+    /// `train_fn` receives the one-against-all view for each tag: the feature
+    /// vectors and, for each, whether it is a positive example of the tag.
+    pub fn train_with<C, F>(&self, data: &MultiLabelDataset, mut train_fn: F) -> OneVsAllModel<C>
+    where
+        C: BinaryClassifier,
+        F: FnMut(TagId, &[SparseVector], &[bool]) -> C,
+    {
+        let mut classifiers = BTreeMap::new();
+        for tag in data.tag_universe() {
+            if data.tag_count(tag) < self.min_positive {
+                continue;
+            }
+            let (xs, ys) = data.one_vs_all(tag);
+            classifiers.insert(tag, train_fn(tag, &xs, &ys));
+        }
+        OneVsAllModel {
+            classifiers,
+            threshold: self.threshold,
+            min_tags: self.min_tags,
+        }
+    }
+
+    /// Convenience: one linear SVM per tag (the PACE base classifier).
+    pub fn train_linear(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &LinearSvmTrainer,
+    ) -> OneVsAllModel<LinearSvm> {
+        self.train_with(data, |_, xs, ys| svm.train(xs, ys))
+    }
+
+    /// Convenience: one kernel SVM per tag (the CEMPaR base classifier).
+    pub fn train_kernel(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &KernelSvmTrainer,
+    ) -> OneVsAllModel<KernelSvm> {
+        self.train_with(data, |_, xs, ys| svm.train(xs, ys))
+    }
+}
+
+impl<C: BinaryClassifier> OneVsAllModel<C> {
+    /// Builds a model directly from per-tag classifiers (used when per-tag
+    /// models are merged across peers, e.g. by the CEMPaR cascade).
+    pub fn from_classifiers(
+        classifiers: BTreeMap<TagId, C>,
+        threshold: f64,
+        min_tags: usize,
+    ) -> Self {
+        Self {
+            classifiers,
+            threshold,
+            min_tags,
+        }
+    }
+
+    /// The tags this model can assign.
+    pub fn tags(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.classifiers.keys().copied()
+    }
+
+    /// Number of per-tag classifiers.
+    pub fn num_tags(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// The per-tag classifier, if the tag is known.
+    pub fn classifier(&self, tag: TagId) -> Option<&C> {
+        self.classifiers.get(&tag)
+    }
+
+    /// Iterates over `(tag, classifier)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &C)> {
+        self.classifiers.iter().map(|(&t, c)| (t, c))
+    }
+
+    /// Scores every known tag for the document, sorted by descending score.
+    pub fn scores(&self, x: &SparseVector) -> Vec<TagPrediction> {
+        let mut out: Vec<TagPrediction> = self
+            .classifiers
+            .iter()
+            .map(|(&tag, c)| {
+                let score = c.decision(x);
+                TagPrediction {
+                    tag,
+                    score,
+                    confidence: logistic(score),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Predicts the tag set: tags whose decision value reaches the threshold,
+    /// or the top `min_tags` tags if none does.
+    pub fn predict(&self, x: &SparseVector) -> BTreeSet<TagId> {
+        let scores = self.scores(x);
+        let above: BTreeSet<TagId> = scores
+            .iter()
+            .filter(|p| p.score >= self.threshold)
+            .map(|p| p.tag)
+            .collect();
+        if !above.is_empty() {
+            return above;
+        }
+        scores.iter().take(self.min_tags).map(|p| p.tag).collect()
+    }
+
+    /// Total wire size of all per-tag classifiers.
+    pub fn wire_size(&self) -> usize {
+        self.classifiers.values().map(BinaryClassifier::wire_size).sum()
+    }
+}
+
+/// Logistic squashing used to turn decision values into display confidences.
+fn logistic(score: f64) -> f64 {
+    1.0 / (1.0 + (-score).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::MultiLabelExample;
+
+    /// Builds a small synthetic multi-label corpus where tag 1 fires on feature
+    /// 0, tag 2 on feature 1, and documents can carry both.
+    fn toy_dataset() -> MultiLabelDataset {
+        let mut ds = MultiLabelDataset::new();
+        for i in 0..20 {
+            let strength = 1.0 + (i % 3) as f64 * 0.1;
+            ds.push(MultiLabelExample::new(
+                SparseVector::from_pairs([(0, strength)]),
+                [1],
+            ));
+            ds.push(MultiLabelExample::new(
+                SparseVector::from_pairs([(1, strength)]),
+                [2],
+            ));
+            ds.push(MultiLabelExample::new(
+                SparseVector::from_pairs([(0, strength), (1, strength)]),
+                [1, 2],
+            ));
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_per_tag_classifiers() {
+        let ds = toy_dataset();
+        let model = OneVsAllTrainer::default().train_linear(&ds, &LinearSvmTrainer::default());
+        assert_eq!(model.num_tags(), 2);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs([(0, 1.0)])),
+            BTreeSet::from([1])
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs([(1, 1.0)])),
+            BTreeSet::from([2])
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs([(0, 1.0), (1, 1.0)])),
+            BTreeSet::from([1, 2])
+        );
+    }
+
+    #[test]
+    fn scores_are_sorted_and_confidences_bounded() {
+        let ds = toy_dataset();
+        let model = OneVsAllTrainer::default().train_linear(&ds, &LinearSvmTrainer::default());
+        let scores = model.scores(&SparseVector::from_pairs([(0, 1.0)]));
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0].score >= scores[1].score);
+        for s in &scores {
+            assert!(s.confidence > 0.0 && s.confidence < 1.0);
+        }
+        assert_eq!(scores[0].tag, 1);
+    }
+
+    #[test]
+    fn min_tags_forces_at_least_one_tag() {
+        let ds = toy_dataset();
+        let model = OneVsAllTrainer::default().train_linear(&ds, &LinearSvmTrainer::default());
+        // A document far from every positive region still receives one tag.
+        let pred = model.predict(&SparseVector::from_pairs([(5, 1.0)]));
+        assert_eq!(pred.len(), 1);
+    }
+
+    #[test]
+    fn min_positive_skips_rare_tags() {
+        let mut ds = toy_dataset();
+        ds.push(MultiLabelExample::new(
+            SparseVector::from_pairs([(3, 1.0)]),
+            [99],
+        ));
+        let trainer = OneVsAllTrainer {
+            min_positive: 2,
+            ..Default::default()
+        };
+        let model = trainer.train_linear(&ds, &LinearSvmTrainer::default());
+        assert!(model.classifier(99).is_none());
+        assert_eq!(model.num_tags(), 2);
+    }
+
+    #[test]
+    fn kernel_one_vs_all_also_works() {
+        let ds = toy_dataset();
+        let model = OneVsAllTrainer::default().train_kernel(&ds, &KernelSvmTrainer::default());
+        assert_eq!(model.num_tags(), 2);
+        let pred = model.predict(&SparseVector::from_pairs([(0, 1.0)]));
+        assert!(pred.contains(&1));
+    }
+
+    #[test]
+    fn wire_size_sums_over_tags() {
+        let ds = toy_dataset();
+        let model = OneVsAllTrainer::default().train_linear(&ds, &LinearSvmTrainer::default());
+        let per_tag: usize = model.iter().map(|(_, c)| c.wire_size()).sum();
+        assert_eq!(model.wire_size(), per_tag);
+        assert!(per_tag > 0);
+    }
+
+    #[test]
+    fn logistic_is_monotone_and_bounded() {
+        assert!(logistic(-10.0) < 0.01);
+        assert!(logistic(10.0) > 0.99);
+        assert!((logistic(0.0) - 0.5).abs() < 1e-12);
+        assert!(logistic(1.0) > logistic(0.5));
+    }
+}

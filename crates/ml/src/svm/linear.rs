@@ -1,0 +1,279 @@
+//! Linear SVM trained with dual coordinate descent or Pegasos.
+//!
+//! PACE uses "the state-of-the-art linear SVM algorithm to reduce computation
+//! and communication cost": a linear model is a single dense weight vector, so
+//! propagating it to other peers costs `O(m)` instead of `O(#SV · m)`.
+
+use super::BinaryClassifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use textproc::SparseVector;
+
+/// Which optimization algorithm trains the linear SVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinearSolver {
+    /// Dual coordinate descent for L1-loss (hinge) SVM — Hsieh et al. 2008,
+    /// the LIBLINEAR default. Deterministic given the seed, converges fast.
+    DualCoordinateDescent,
+    /// Pegasos primal stochastic sub-gradient descent (Shalev-Shwartz et al.).
+    Pegasos,
+}
+
+/// Hyper-parameters for linear SVM training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSvmTrainer {
+    /// Soft-margin cost parameter `C` (dual) / `1/(λ·n)` (Pegasos).
+    pub c: f64,
+    /// Maximum number of passes over the data.
+    pub max_iter: usize,
+    /// Convergence tolerance on the projected gradient (dual solver).
+    pub tol: f64,
+    /// Optimization algorithm.
+    pub solver: LinearSolver,
+    /// RNG seed controlling example shuffling.
+    pub seed: u64,
+}
+
+impl Default for LinearSvmTrainer {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            max_iter: 100,
+            tol: 1e-4,
+            solver: LinearSolver::DualCoordinateDescent,
+            seed: 7,
+        }
+    }
+}
+
+/// A trained linear SVM: `decision(x) = w · x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// The dense weight vector `w`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Number of non-zero weights (a proxy for model sparsity).
+    pub fn nonzero_weights(&self) -> usize {
+        self.weights.iter().filter(|w| **w != 0.0).count()
+    }
+}
+
+impl BinaryClassifier for LinearSvm {
+    fn decision(&self, x: &SparseVector) -> f64 {
+        x.dot_dense(&self.weights) + self.bias
+    }
+
+    fn wire_size(&self) -> usize {
+        // A dense weight vector plus the bias. In practice LIBLINEAR-style
+        // models are shipped sparsely; we charge for the non-zero entries,
+        // matching how PACE counts model transfer cost.
+        self.nonzero_weights() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>())
+            + std::mem::size_of::<f64>()
+    }
+}
+
+impl LinearSvmTrainer {
+    /// Creates a trainer with the given cost parameter and default settings.
+    pub fn with_c(c: f64) -> Self {
+        Self {
+            c,
+            ..Self::default()
+        }
+    }
+
+    /// Trains a linear SVM on `(xs, ys)`.
+    ///
+    /// # Panics
+    /// Panics when `xs` and `ys` have different lengths or are empty.
+    pub fn train(&self, xs: &[SparseVector], ys: &[bool]) -> LinearSvm {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        assert!(!xs.is_empty(), "cannot train on an empty dataset");
+        let dim = xs
+            .iter()
+            .map(SparseVector::dim_lower_bound)
+            .max()
+            .unwrap_or(0);
+        match self.solver {
+            LinearSolver::DualCoordinateDescent => self.train_dcd(xs, ys, dim),
+            LinearSolver::Pegasos => self.train_pegasos(xs, ys, dim),
+        }
+    }
+
+    /// Dual coordinate descent for the L1-loss SVM with an augmented bias
+    /// feature (a constant 1.0 appended to every example).
+    fn train_dcd(&self, xs: &[SparseVector], ys: &[bool], dim: usize) -> LinearSvm {
+        let n = xs.len();
+        let bias_index = dim; // virtual constant feature
+        let mut w = vec![0.0; dim + 1];
+        let mut alpha = vec![0.0; n];
+        // Q_ii = x_i·x_i + 1 (for the bias feature).
+        let q: Vec<f64> = xs.iter().map(|x| x.norm_sq() + 1.0).collect();
+        let y: Vec<f64> = ys.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        for _pass in 0..self.max_iter {
+            order.shuffle(&mut rng);
+            let mut max_pg: f64 = 0.0;
+            for &i in &order {
+                if q[i] == 0.0 {
+                    continue;
+                }
+                // G = y_i * (w·x_i + w_bias) - 1
+                let wx = xs[i].dot_dense(&w[..dim]) + w[bias_index];
+                let g = y[i] * wx - 1.0;
+                // Projected gradient.
+                let pg = if alpha[i] == 0.0 {
+                    g.min(0.0)
+                } else if alpha[i] >= self.c {
+                    g.max(0.0)
+                } else {
+                    g
+                };
+                max_pg = max_pg.max(pg.abs());
+                if pg.abs() > 1e-12 {
+                    let old = alpha[i];
+                    alpha[i] = (old - g / q[i]).clamp(0.0, self.c);
+                    let delta = (alpha[i] - old) * y[i];
+                    if delta != 0.0 {
+                        for (idx, v) in xs[i].iter() {
+                            w[idx as usize] += delta * v;
+                        }
+                        w[bias_index] += delta;
+                    }
+                }
+            }
+            if max_pg < self.tol {
+                break;
+            }
+        }
+        let bias = w[bias_index];
+        w.truncate(dim);
+        LinearSvm { weights: w, bias }
+    }
+
+    /// Pegasos: primal stochastic sub-gradient descent on the hinge loss with
+    /// L2 regularization `λ = 1 / (C · n)`.
+    fn train_pegasos(&self, xs: &[SparseVector], ys: &[bool], dim: usize) -> LinearSvm {
+        let n = xs.len();
+        let lambda = 1.0 / (self.c * n as f64);
+        let mut w = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t: usize = 0;
+        for _pass in 0..self.max_iter {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (lambda * t as f64);
+                let y = if ys[i] { 1.0 } else { -1.0 };
+                let margin = y * (xs[i].dot_dense(&w) + bias);
+                // w ← (1 - ηλ) w [+ η y x when the margin is violated]
+                let shrink = 1.0 - eta * lambda;
+                for wj in &mut w {
+                    *wj *= shrink;
+                }
+                if margin < 1.0 {
+                    for (idx, v) in xs[i].iter() {
+                        w[idx as usize] += eta * y * v;
+                    }
+                    bias += eta * y * 0.1; // smaller learning rate on the (unregularized) bias
+                }
+            }
+        }
+        LinearSvm { weights: w, bias }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{accuracy_on, test_util};
+    use super::*;
+
+    #[test]
+    fn dcd_separates_linearly_separable_data() {
+        let (xs, ys) = test_util::separable(200, 1);
+        let model = LinearSvmTrainer::default().train(&xs, &ys);
+        assert!(accuracy_on(&model, &xs, &ys) > 0.97);
+    }
+
+    #[test]
+    fn pegasos_separates_linearly_separable_data() {
+        let (xs, ys) = test_util::separable(200, 2);
+        let trainer = LinearSvmTrainer {
+            solver: LinearSolver::Pegasos,
+            max_iter: 50,
+            ..Default::default()
+        };
+        let model = trainer.train(&xs, &ys);
+        assert!(accuracy_on(&model, &xs, &ys) > 0.95);
+    }
+
+    #[test]
+    fn generalizes_to_unseen_points() {
+        let (xs, ys) = test_util::separable(300, 3);
+        let (train_x, test_x) = xs.split_at(200);
+        let (train_y, test_y) = ys.split_at(200);
+        let model = LinearSvmTrainer::default().train(train_x, train_y);
+        assert!(accuracy_on(&model, test_x, test_y) > 0.95);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let (xs, ys) = test_util::separable(100, 4);
+        let a = LinearSvmTrainer::default().train(&xs, &ys);
+        let b = LinearSvmTrainer::default().train(&xs, &ys);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let xs = vec![
+            SparseVector::from_pairs([(0, 1.0)]),
+            SparseVector::from_pairs([(0, 2.0)]),
+        ];
+        let ys = vec![true, true];
+        let model = LinearSvmTrainer::default().train(&xs, &ys);
+        assert!(model.predict(&xs[0]));
+        assert!(model.predict(&xs[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        LinearSvmTrainer::default().train(&[], &[]);
+    }
+
+    #[test]
+    fn wire_size_reflects_sparsity() {
+        let (xs, ys) = test_util::separable(50, 5);
+        let model = LinearSvmTrainer::default().train(&xs, &ys);
+        assert!(model.wire_size() >= std::mem::size_of::<f64>());
+        assert!(model.wire_size() <= (2 + 1) * 12 + 8 + 12);
+    }
+
+    #[test]
+    fn c_controls_margin_softness() {
+        // With tiny C the model barely fits the data; with large C it fits it
+        // well. Just assert training succeeds and large C is at least as good.
+        let (xs, ys) = test_util::separable(100, 6);
+        let loose = LinearSvmTrainer::with_c(1e-4).train(&xs, &ys);
+        let tight = LinearSvmTrainer::with_c(10.0).train(&xs, &ys);
+        assert!(accuracy_on(&tight, &xs, &ys) >= accuracy_on(&loose, &xs, &ys));
+    }
+}

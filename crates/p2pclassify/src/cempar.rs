@@ -1,0 +1,540 @@
+//! CEMPaR — Communication-Efficient classification in P2P networks (cascade
+//! SVM over a DHT with super-peers).
+//!
+//! Protocol phases, following §2 of the P2PDocTagger paper:
+//!
+//! 1. **Local training** — every peer constructs a non-linear (kernel) SVM per
+//!    tag from its local tagged documents.
+//! 2. **Model propagation** — the local models (their support vectors) are
+//!    propagated *once* to the super-peer of the peer's DHT region. Super-peers
+//!    are elected deterministically from the identifier ring, so every peer can
+//!    locate its super-peer with a plain DHT lookup.
+//! 3. **Cascading** — each super-peer cascades the collected local models into
+//!    a *regional* cascaded model (per tag) by pooling support vectors and
+//!    retraining.
+//! 4. **Prediction** — untagged document vectors are routed to the super-peers,
+//!    whose regional models predict; tags are selected by weighted majority
+//!    voting over the regional votes (weight = how many peers contributed to
+//!    the region).
+//! 5. **Refinement** — when a user corrects tags, the peer retrains its local
+//!    model and re-propagates it; the super-peer re-cascades.
+//!
+//! Only support vectors (word-id/weight pairs) ever leave a peer — never raw
+//! text — which is the privacy argument the paper makes.
+
+use crate::error::ProtocolError;
+use crate::protocol::{combine_weighted_scores, P2PTagClassifier, PeerDataMap};
+use ml::cascade::{CascadeConfig, CascadeSvm};
+use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
+use ml::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer};
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2psim::message::MessageKind;
+use p2psim::overlay::SuperPeerDirectory;
+use p2psim::{P2PNetwork, PeerId};
+use std::collections::BTreeMap;
+use textproc::SparseVector;
+
+/// Configuration of the CEMPaR protocol.
+#[derive(Debug, Clone)]
+pub struct CemparConfig {
+    /// Number of super-peer regions the identifier ring is divided into.
+    pub regions: usize,
+    /// Trainer for the per-tag local kernel SVMs.
+    pub svm: KernelSvmTrainer,
+    /// One-vs-all reduction settings.
+    pub one_vs_all: OneVsAllTrainer,
+    /// Cascade-merge settings used by super-peers.
+    pub cascade: CascadeConfig,
+    /// Decision threshold for assigning a tag after voting.
+    pub vote_threshold: f64,
+    /// Relative vote cutoff: a tag must also reach this fraction of the best
+    /// tag's score (calibrates ensemble votes; see
+    /// [`crate::protocol::select_tags_adaptive`]).
+    pub rel_threshold: f64,
+    /// Minimum number of tags assigned when nothing reaches the threshold.
+    pub min_tags: usize,
+}
+
+impl Default for CemparConfig {
+    fn default() -> Self {
+        // Text classification on TF-IDF vectors is close to linearly separable;
+        // a linear kernel with a softer margin fits the small per-peer
+        // collections far better than a narrow RBF and keeps the cascade's
+        // support-vector sets compact. RBF remains available through `svm`.
+        let svm = KernelSvmTrainer {
+            kernel: ml::Kernel::Linear,
+            c: 10.0,
+            ..KernelSvmTrainer::default()
+        };
+        Self {
+            regions: 8,
+            cascade: CascadeConfig {
+                trainer: svm.clone(),
+                retrain: true,
+                fan_in: 0,
+            },
+            svm,
+            one_vs_all: OneVsAllTrainer::default(),
+            vote_threshold: 0.0,
+            rel_threshold: 0.5,
+            min_tags: 1,
+        }
+    }
+}
+
+impl CemparConfig {
+    /// A configuration whose number of super-peer regions is scaled to the
+    /// network size (roughly one region per eight peers, at least two), so
+    /// that every regional cascade aggregates the knowledge of several peers.
+    pub fn for_network(num_peers: usize) -> Self {
+        let regions = (num_peers / 8).clamp(2, 32);
+        Self {
+            regions,
+            ..Self::default()
+        }
+    }
+}
+
+/// State of one super-peer region.
+#[derive(Debug, Clone)]
+struct RegionState {
+    /// The super-peer elected for this region at training time.
+    super_peer: PeerId,
+    /// Local models contributed by peers of this region.
+    contributed: BTreeMap<PeerId, OneVsAllModel<KernelSvm>>,
+    /// The cascaded regional model, per tag.
+    regional: BTreeMap<TagId, KernelSvm>,
+}
+
+impl RegionState {
+    fn weight(&self) -> f64 {
+        self.contributed.len() as f64
+    }
+}
+
+/// The CEMPaR protocol instance.
+#[derive(Debug, Clone)]
+pub struct Cempar {
+    config: CemparConfig,
+    directory: SuperPeerDirectory,
+    regions: Vec<Option<RegionState>>,
+    /// Per-peer local data retained for refinement retraining.
+    local_data: Vec<MultiLabelDataset>,
+    trained: bool,
+}
+
+impl Cempar {
+    /// Creates an untrained CEMPaR instance.
+    pub fn new(config: CemparConfig) -> Self {
+        let directory = SuperPeerDirectory::new(config.regions);
+        Self {
+            config,
+            directory,
+            regions: Vec::new(),
+            local_data: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CemparConfig {
+        &self.config
+    }
+
+    /// The super-peers elected at training time (one per region that received
+    /// at least one model).
+    pub fn super_peers(&self) -> Vec<PeerId> {
+        self.regions
+            .iter()
+            .flatten()
+            .map(|r| r.super_peer)
+            .collect()
+    }
+
+    /// Total number of support vectors held by the regional models (a proxy
+    /// for global model size).
+    pub fn regional_support_vectors(&self) -> usize {
+        self.regions
+            .iter()
+            .flatten()
+            .flat_map(|r| r.regional.values())
+            .map(KernelSvm::num_support_vectors)
+            .sum()
+    }
+
+    /// The region index a peer belongs to.
+    fn region_of_peer(&self, peer: PeerId) -> usize {
+        self.directory.region_of_key(peer.ring_key())
+    }
+
+    /// Trains a peer's local one-vs-all kernel model.
+    fn train_local(&self, data: &MultiLabelDataset) -> Option<OneVsAllModel<KernelSvm>> {
+        if data.is_empty() {
+            return None;
+        }
+        let model = self.config.one_vs_all.train_kernel(data, &self.config.svm);
+        if model.num_tags() == 0 {
+            None
+        } else {
+            Some(model)
+        }
+    }
+
+    /// Re-cascades the regional per-tag models of one region from all
+    /// contributed local models.
+    fn cascade_region(&mut self, region: usize) {
+        let Some(state) = self.regions[region].as_mut() else {
+            return;
+        };
+        let cascade = CascadeSvm::new(self.config.cascade.clone());
+        let mut tags: BTreeMap<TagId, Vec<KernelSvm>> = BTreeMap::new();
+        for model in state.contributed.values() {
+            for (tag, clf) in model.iter() {
+                tags.entry(tag).or_default().push(clf.clone());
+            }
+        }
+        state.regional = tags
+            .into_iter()
+            .filter_map(|(tag, models)| cascade.merge(&models).map(|m| (tag, m)))
+            .collect();
+    }
+
+    /// Propagates a peer's local model to its region's super-peer, charging the
+    /// DHT lookup and the model transfer. Returns the region index on success.
+    fn propagate_model(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        model: OneVsAllModel<KernelSvm>,
+        kind: MessageKind,
+    ) -> Result<usize, ProtocolError> {
+        let region = self.region_of_peer(peer);
+        let anchor = self.directory.anchor_key(region);
+        let (super_peer, _hops) = net.dht_lookup(peer, anchor)?;
+        net.send(peer, super_peer, kind, model.wire_size())?;
+        let state = self.regions[region].get_or_insert_with(|| RegionState {
+            super_peer,
+            contributed: BTreeMap::new(),
+            regional: BTreeMap::new(),
+        });
+        // The DHT may have re-elected a successor since the region was first
+        // populated (churn); the latest resolved owner is authoritative.
+        state.super_peer = super_peer;
+        state.contributed.insert(peer, model);
+        Ok(region)
+    }
+}
+
+impl P2PTagClassifier for Cempar {
+    fn name(&self) -> &'static str {
+        "cempar"
+    }
+
+    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+        self.regions = vec![None; self.config.regions];
+        self.local_data = peer_data.clone();
+        self.local_data.resize(net.num_peers(), MultiLabelDataset::new());
+
+        let mut touched_regions = Vec::new();
+        for (i, data) in peer_data.iter().enumerate() {
+            let peer = PeerId::from(i);
+            if !net.is_online(peer) {
+                continue;
+            }
+            let Some(model) = self.train_local(data) else {
+                continue;
+            };
+            match self.propagate_model(net, peer, model, MessageKind::ModelPropagation) {
+                Ok(region) => touched_regions.push(region),
+                Err(_) => {
+                    // The peer could not reach its super-peer; its knowledge is
+                    // simply not contributed this round (no global failure).
+                    let now = net.now();
+                    net.log_mut().log(
+                        now,
+                        Some(peer),
+                        "cempar",
+                        "model propagation failed; peer not contributing",
+                    );
+                }
+            }
+        }
+        touched_regions.sort_unstable();
+        touched_regions.dedup();
+        for region in touched_regions {
+            self.cascade_region(region);
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn scores(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<Vec<TagPrediction>, ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let mut votes: Vec<(f64, Vec<TagPrediction>)> = Vec::new();
+        for state in self.regions.iter().flatten() {
+            if state.regional.is_empty() {
+                continue;
+            }
+            // Route the query to the region's super-peer: DHT lookup + the
+            // document vector itself + the response.
+            let anchor_owner = net.dht_lookup(peer, state.super_peer.ring_key());
+            if anchor_owner.is_err() {
+                continue;
+            }
+            if net
+                .send(peer, state.super_peer, MessageKind::PredictionQuery, x.wire_size())
+                .is_err()
+            {
+                // Super-peer offline: this region's vote is lost (fault
+                // tolerance: remaining regions still answer).
+                continue;
+            }
+            let scores: Vec<TagPrediction> = state
+                .regional
+                .iter()
+                .map(|(&tag, clf)| {
+                    let score = clf.decision(x);
+                    TagPrediction {
+                        tag,
+                        score,
+                        confidence: 1.0 / (1.0 + (-score).exp()),
+                    }
+                })
+                .collect();
+            let response_size = scores.len() * (std::mem::size_of::<TagId>() + 8);
+            let _ = net.send(
+                state.super_peer,
+                peer,
+                MessageKind::PredictionResponse,
+                response_size,
+            );
+            votes.push((state.weight(), scores));
+        }
+        if votes.is_empty() {
+            return Err(ProtocolError::NoModelReachable);
+        }
+        Ok(combine_weighted_scores(&votes))
+    }
+
+    fn predict(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<std::collections::BTreeSet<TagId>, ProtocolError> {
+        let scores = self.scores(net, peer, x)?;
+        Ok(crate::protocol::select_tags_adaptive(
+            &scores,
+            self.config.vote_threshold,
+            self.config.rel_threshold,
+            self.config.min_tags,
+        ))
+    }
+
+    fn refine(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        example: &MultiLabelExample,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let idx = peer.index();
+        if idx >= self.local_data.len() {
+            self.local_data.resize(idx + 1, MultiLabelDataset::new());
+        }
+        self.local_data[idx].push(example.clone());
+        let Some(model) = self.train_local(&self.local_data[idx]) else {
+            return Ok(());
+        };
+        let region = self.propagate_model(net, peer, model, MessageKind::RefinementUpdate)?;
+        self.cascade_region(region);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::P2PTagClassifier;
+    use ml::MultiLabelExample;
+    use p2psim::SimConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    /// Builds per-peer datasets for a toy 2-tag problem: tag 1 fires on feature
+    /// 0, tag 2 on feature 1.
+    fn toy_peer_data(num_peers: usize, per_peer: usize, seed: u64) -> PeerDataMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..num_peers)
+            .map(|_| {
+                let mut ds = MultiLabelDataset::new();
+                for _ in 0..per_peer {
+                    let which = rng.gen_range(0..3);
+                    let a = 0.8 + rng.gen_range(0.0..0.4);
+                    let b = 0.8 + rng.gen_range(0.0..0.4);
+                    let (vector, tags): (SparseVector, Vec<TagId>) = match which {
+                        0 => (SparseVector::from_pairs([(0, a)]), vec![1]),
+                        1 => (SparseVector::from_pairs([(1, b)]), vec![2]),
+                        _ => (SparseVector::from_pairs([(0, a), (1, b)]), vec![1, 2]),
+                    };
+                    ds.push(MultiLabelExample::new(vector, tags));
+                }
+                ds
+            })
+            .collect()
+    }
+
+    fn network(num_peers: usize) -> P2PNetwork {
+        P2PNetwork::new(SimConfig {
+            num_peers,
+            horizon_secs: 100_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn trains_and_predicts_correct_tags() {
+        let mut net = network(16);
+        let data = toy_peer_data(16, 12, 1);
+        let mut cempar = Cempar::new(CemparConfig {
+            regions: 4,
+            ..Default::default()
+        });
+        cempar.train(&mut net, &data).unwrap();
+        assert!(!cempar.super_peers().is_empty());
+
+        let query_peer = PeerId(3);
+        let pred1 = cempar
+            .predict(&mut net, query_peer, &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert!(pred1.contains(&1), "prediction {pred1:?}");
+        let pred2 = cempar
+            .predict(&mut net, query_peer, &SparseVector::from_pairs([(1, 1.0)]))
+            .unwrap();
+        assert!(pred2.contains(&2), "prediction {pred2:?}");
+        let both = cempar
+            .predict(
+                &mut net,
+                query_peer,
+                &SparseVector::from_pairs([(0, 1.0), (1, 1.0)]),
+            )
+            .unwrap();
+        assert_eq!(both, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn model_propagation_is_accounted() {
+        let mut net = network(16);
+        let data = toy_peer_data(16, 10, 2);
+        let mut cempar = Cempar::new(CemparConfig::default());
+        cempar.train(&mut net, &data).unwrap();
+        let stats = net.stats();
+        assert!(stats.kind(MessageKind::ModelPropagation).messages >= 10);
+        assert!(stats.kind(MessageKind::ModelPropagation).bytes > 0);
+        assert!(stats.kind(MessageKind::DhtLookup).messages > 0);
+        // No raw training data is ever shipped.
+        assert_eq!(stats.kind(MessageKind::TrainingData).messages, 0);
+    }
+
+    #[test]
+    fn prediction_queries_cost_communication() {
+        let mut net = network(16);
+        let data = toy_peer_data(16, 10, 3);
+        let mut cempar = Cempar::new(CemparConfig { regions: 4, ..Default::default() });
+        cempar.train(&mut net, &data).unwrap();
+        let before = net.stats().kind(MessageKind::PredictionQuery).messages;
+        cempar
+            .predict(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        let after = net.stats().kind(MessageKind::PredictionQuery).messages;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn untrained_protocol_errors() {
+        let mut net = network(4);
+        let cempar = Cempar::new(CemparConfig::default());
+        let r = cempar.scores(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]));
+        assert_eq!(r.unwrap_err(), ProtocolError::NotTrained);
+    }
+
+    #[test]
+    fn refinement_updates_the_model() {
+        let mut net = network(8);
+        // Initially tag 3 is unknown anywhere.
+        let data = toy_peer_data(8, 10, 4);
+        let mut cempar = Cempar::new(CemparConfig { regions: 2, ..Default::default() });
+        cempar.train(&mut net, &data).unwrap();
+        let probe = SparseVector::from_pairs([(5, 1.5)]);
+        let before = cempar.predict(&mut net, PeerId(1), &probe).unwrap();
+        assert!(!before.contains(&3));
+        // The user of peer 1 refines several documents with the new tag 3.
+        for i in 0..8 {
+            let v = SparseVector::from_pairs([(5, 1.0 + i as f64 * 0.1)]);
+            cempar
+                .refine(&mut net, PeerId(1), &MultiLabelExample::new(v, [3]))
+                .unwrap();
+        }
+        let scores = cempar.scores(&mut net, PeerId(1), &probe).unwrap();
+        assert!(scores.iter().any(|p| p.tag == 3), "tag 3 now known: {scores:?}");
+        assert!(
+            net.stats().kind(MessageKind::RefinementUpdate).messages >= 1,
+            "refinement traffic accounted"
+        );
+    }
+
+    #[test]
+    fn super_peer_failure_degrades_gracefully() {
+        use p2psim::churn::ChurnModel;
+        let mut net = P2PNetwork::new(SimConfig {
+            num_peers: 32,
+            churn: ChurnModel::Exponential {
+                mean_session_secs: 400.0,
+                mean_offline_secs: 200.0,
+            },
+            horizon_secs: 100_000,
+            ..Default::default()
+        });
+        let data = toy_peer_data(32, 10, 5);
+        let mut cempar = Cempar::new(CemparConfig { regions: 8, ..Default::default() });
+        cempar.train(&mut net, &data).unwrap();
+        // Let a lot of time pass so some super-peers churn out.
+        net.advance(p2psim::SimTime::from_secs(20_000));
+        let online_peer = net.online_peers().first().copied();
+        let Some(peer) = online_peer else { return };
+        // Prediction must either succeed (some region reachable) or fail with
+        // NoModelReachable — it must never panic or hang.
+        let result = cempar.predict(&mut net, peer, &SparseVector::from_pairs([(0, 1.0)]));
+        match result {
+            Ok(tags) => assert!(!tags.is_empty()),
+            Err(e) => assert_eq!(e, ProtocolError::NoModelReachable),
+        }
+    }
+
+    #[test]
+    fn regional_models_compress_the_contributed_support_vectors() {
+        let mut net = network(16);
+        let data = toy_peer_data(16, 20, 6);
+        let mut cempar = Cempar::new(CemparConfig { regions: 2, ..Default::default() });
+        cempar.train(&mut net, &data).unwrap();
+        let total_training: usize = data.iter().map(|d| d.len()).sum();
+        assert!(cempar.regional_support_vectors() > 0);
+        assert!(cempar.regional_support_vectors() < 2 * total_training);
+    }
+}

@@ -1,0 +1,327 @@
+//! Centralized baseline: ship everything to one server.
+//!
+//! This is the setting the paper argues *against*: "centralized solutions …
+//! scalability can become an issue … system failures can result in catastrophic
+//! outcomes … centralization of personal data increases the chances of privacy
+//! leaks" (§1). Every peer uploads its raw training vectors to a single server
+//! peer, which trains one global model; every prediction is a round trip to the
+//! server. Accuracy-wise this is the upper bound the P2P protocols are compared
+//! against; communication- and availability-wise it is the worst case.
+
+use crate::error::ProtocolError;
+use crate::protocol::{P2PTagClassifier, PeerDataMap};
+use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
+use ml::svm::{LinearSvm, LinearSvmTrainer};
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2psim::message::MessageKind;
+use p2psim::{P2PNetwork, PeerId};
+use std::collections::BTreeSet;
+use textproc::SparseVector;
+
+/// Configuration of the centralized baseline.
+#[derive(Debug, Clone)]
+pub struct CentralizedConfig {
+    /// The peer acting as the central server.
+    pub server: PeerId,
+    /// Trainer for the per-tag linear SVMs on the pooled data.
+    pub svm: LinearSvmTrainer,
+    /// One-vs-all reduction settings.
+    pub one_vs_all: OneVsAllTrainer,
+    /// Decision threshold for assigning a tag.
+    pub vote_threshold: f64,
+    /// Minimum number of tags assigned when nothing reaches the threshold.
+    pub min_tags: usize,
+}
+
+impl Default for CentralizedConfig {
+    fn default() -> Self {
+        Self {
+            server: PeerId(0),
+            svm: LinearSvmTrainer::default(),
+            one_vs_all: OneVsAllTrainer::default(),
+            vote_threshold: 0.0,
+            min_tags: 1,
+        }
+    }
+}
+
+/// The centralized baseline instance.
+#[derive(Debug, Clone)]
+pub struct Centralized {
+    config: CentralizedConfig,
+    model: Option<OneVsAllModel<LinearSvm>>,
+    pooled: MultiLabelDataset,
+    trained: bool,
+}
+
+impl Centralized {
+    /// Creates an untrained centralized baseline.
+    pub fn new(config: CentralizedConfig) -> Self {
+        Self {
+            config,
+            model: None,
+            pooled: MultiLabelDataset::new(),
+            trained: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CentralizedConfig {
+        &self.config
+    }
+
+    /// Number of training examples pooled at the server.
+    pub fn pooled_examples(&self) -> usize {
+        self.pooled.len()
+    }
+
+    fn retrain(&mut self) {
+        if self.pooled.is_empty() {
+            self.model = None;
+            return;
+        }
+        let model = self
+            .config
+            .one_vs_all
+            .train_linear(&self.pooled, &self.config.svm);
+        self.model = (model.num_tags() > 0).then_some(model);
+    }
+}
+
+impl P2PTagClassifier for Centralized {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+        self.pooled = MultiLabelDataset::new();
+        let server = self.config.server;
+        for (i, data) in peer_data.iter().enumerate() {
+            let peer = PeerId::from(i);
+            if data.is_empty() {
+                continue;
+            }
+            if peer == server {
+                self.pooled.extend_from(data);
+                continue;
+            }
+            if !net.is_online(peer) {
+                continue;
+            }
+            // The raw document vectors travel to the server.
+            match net.send(peer, server, MessageKind::TrainingData, data.wire_size()) {
+                Ok(_) => self.pooled.extend_from(data),
+                Err(_) => {
+                    // Server or sender unreachable: that peer's data is lost to
+                    // the global model.
+                }
+            }
+        }
+        self.retrain();
+        self.trained = true;
+        Ok(())
+    }
+
+    fn scores(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<Vec<TagPrediction>, ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let Some(model) = &self.model else {
+            return Err(ProtocolError::NoModelReachable);
+        };
+        let server = self.config.server;
+        if peer != server {
+            // Round trip to the server; if it is down, the whole system is down
+            // (the single point of failure the paper warns about).
+            net.send(peer, server, MessageKind::PredictionQuery, x.wire_size())
+                .map_err(|_| ProtocolError::NoModelReachable)?;
+            let response_size = model.num_tags() * (std::mem::size_of::<TagId>() + 8);
+            let _ = net.send(server, peer, MessageKind::PredictionResponse, response_size);
+        }
+        Ok(model.scores(x))
+    }
+
+    fn predict(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<BTreeSet<TagId>, ProtocolError> {
+        let scores = self.scores(net, peer, x)?;
+        Ok(crate::protocol::select_tags(
+            &scores,
+            self.config.vote_threshold,
+            self.config.min_tags,
+        ))
+    }
+
+    fn refine(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        example: &MultiLabelExample,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let server = self.config.server;
+        if peer != server {
+            net.send(
+                peer,
+                server,
+                MessageKind::RefinementUpdate,
+                example.wire_size(),
+            )
+            .map_err(|_| ProtocolError::NoModelReachable)?;
+        }
+        self.pooled.push(example.clone());
+        self.retrain();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2psim::churn::ChurnModel;
+    use p2psim::SimConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_peer_data(num_peers: usize, per_peer: usize, seed: u64) -> PeerDataMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..num_peers)
+            .map(|_| {
+                let mut ds = MultiLabelDataset::new();
+                for _ in 0..per_peer {
+                    let a = 0.8 + rng.gen_range(0.0..0.4);
+                    if rng.gen_bool(0.5) {
+                        ds.push(MultiLabelExample::new(
+                            SparseVector::from_pairs([(0, a)]),
+                            [1],
+                        ));
+                    } else {
+                        ds.push(MultiLabelExample::new(
+                            SparseVector::from_pairs([(1, a)]),
+                            [2],
+                        ));
+                    }
+                }
+                ds
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pools_all_data_and_predicts() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(8));
+        let data = toy_peer_data(8, 10, 1);
+        let mut c = Centralized::new(CentralizedConfig::default());
+        c.train(&mut net, &data).unwrap();
+        assert_eq!(c.pooled_examples(), 80);
+        let pred = c
+            .predict(&mut net, PeerId(3), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert!(pred.contains(&1));
+    }
+
+    #[test]
+    fn training_ships_raw_data_to_the_server() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(8));
+        let data = toy_peer_data(8, 10, 2);
+        let expected_bytes: usize = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 0)
+            .map(|(_, d)| d.wire_size())
+            .sum();
+        let mut c = Centralized::new(CentralizedConfig::default());
+        c.train(&mut net, &data).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.kind(MessageKind::TrainingData).bytes as usize, expected_bytes);
+        // The server is the hot spot: it receives everything.
+        assert_eq!(
+            stats.bytes_received_by(PeerId(0)) as usize,
+            expected_bytes
+        );
+    }
+
+    #[test]
+    fn predictions_cost_a_round_trip_except_at_the_server() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(4));
+        let data = toy_peer_data(4, 10, 3);
+        let mut c = Centralized::new(CentralizedConfig::default());
+        c.train(&mut net, &data).unwrap();
+        let before = net.stats().kind(MessageKind::PredictionQuery).messages;
+        c.predict(&mut net, PeerId(2), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert_eq!(net.stats().kind(MessageKind::PredictionQuery).messages, before + 1);
+        c.predict(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert_eq!(net.stats().kind(MessageKind::PredictionQuery).messages, before + 1);
+    }
+
+    #[test]
+    fn server_failure_is_catastrophic() {
+        // Heavy churn: when the server is offline, every remote prediction fails.
+        let mut net = P2PNetwork::new(SimConfig {
+            num_peers: 16,
+            churn: ChurnModel::Exponential {
+                mean_session_secs: 10.0,
+                mean_offline_secs: 1_000.0,
+            },
+            horizon_secs: 100_000,
+            seed: 5,
+            ..Default::default()
+        });
+        let data = toy_peer_data(16, 5, 4);
+        let mut c = Centralized::new(CentralizedConfig::default());
+        c.train(&mut net, &data).unwrap();
+        net.advance(p2psim::SimTime::from_secs(50_000));
+        assert!(!net.is_online(PeerId(0)), "server should be offline under this churn");
+        if let Some(&alive) = net.online_peers().iter().find(|&&p| p != PeerId(0)) {
+            let r = c.predict(&mut net, alive, &SparseVector::from_pairs([(0, 1.0)]));
+            assert_eq!(r.unwrap_err(), ProtocolError::NoModelReachable);
+        }
+    }
+
+    #[test]
+    fn refinement_updates_the_global_model() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(4));
+        let data = toy_peer_data(4, 10, 6);
+        let mut c = Centralized::new(CentralizedConfig::default());
+        c.train(&mut net, &data).unwrap();
+        let probe = SparseVector::from_pairs([(9, 2.0)]);
+        for i in 0..6 {
+            c.refine(
+                &mut net,
+                PeerId(1),
+                &MultiLabelExample::new(SparseVector::from_pairs([(9, 1.0 + i as f64 * 0.1)]), [7]),
+            )
+            .unwrap();
+        }
+        let scores = c.scores(&mut net, PeerId(1), &probe).unwrap();
+        assert!(scores.iter().any(|p| p.tag == 7));
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(2));
+        let c = Centralized::new(CentralizedConfig::default());
+        assert_eq!(
+            c.scores(&mut net, PeerId(1), &SparseVector::new()).unwrap_err(),
+            ProtocolError::NotTrained
+        );
+    }
+}

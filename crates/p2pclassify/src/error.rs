@@ -1,0 +1,50 @@
+//! Protocol-level errors.
+
+use p2psim::network::DeliveryError;
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the P2P classification protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolError {
+    /// The protocol has not been trained yet.
+    NotTrained,
+    /// No model could be reached to answer the query (e.g. every super-peer or
+    /// the central server is offline).
+    NoModelReachable,
+    /// The querying peer is itself offline.
+    PeerOffline,
+    /// A network-level delivery failure.
+    Delivery(DeliveryError),
+}
+
+impl From<DeliveryError> for ProtocolError {
+    fn from(e: DeliveryError) -> Self {
+        ProtocolError::Delivery(e)
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NotTrained => f.write_str("protocol has not been trained"),
+            ProtocolError::NoModelReachable => f.write_str("no model reachable for prediction"),
+            ProtocolError::PeerOffline => f.write_str("querying peer is offline"),
+            ProtocolError::Delivery(e) => write!(f, "delivery failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: ProtocolError = DeliveryError::ReceiverOffline.into();
+        assert!(matches!(e, ProtocolError::Delivery(_)));
+        assert!(e.to_string().contains("delivery failure"));
+        assert!(ProtocolError::NotTrained.to_string().contains("trained"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Local-only baseline: no collaboration at all.
+//!
+//! Every peer learns exclusively from its own manually tagged documents. This
+//! is the lower bound that motivates collaborative tagging in the first place:
+//! a single user's "small number of tagged documents" is not enough to learn
+//! accurate models, which is exactly why P2PDocTagger consolidates knowledge
+//! across peers (§2).
+
+use crate::error::ProtocolError;
+use crate::protocol::{P2PTagClassifier, PeerDataMap};
+use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
+use ml::svm::{LinearSvm, LinearSvmTrainer};
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2psim::{P2PNetwork, PeerId};
+use std::collections::BTreeSet;
+use textproc::SparseVector;
+
+/// Configuration of the local-only baseline.
+#[derive(Debug, Clone, Default)]
+pub struct LocalOnlyConfig {
+    /// Trainer for the per-tag linear SVMs.
+    pub svm: LinearSvmTrainer,
+    /// One-vs-all reduction settings.
+    pub one_vs_all: OneVsAllTrainer,
+}
+
+/// The local-only baseline instance.
+#[derive(Debug, Clone)]
+pub struct LocalOnly {
+    config: LocalOnlyConfig,
+    models: Vec<Option<OneVsAllModel<LinearSvm>>>,
+    local_data: Vec<MultiLabelDataset>,
+    trained: bool,
+}
+
+impl LocalOnly {
+    /// Creates an untrained local-only baseline.
+    pub fn new(config: LocalOnlyConfig) -> Self {
+        Self {
+            config,
+            models: Vec::new(),
+            local_data: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// Number of peers that managed to train a usable local model.
+    pub fn peers_with_models(&self) -> usize {
+        self.models.iter().flatten().count()
+    }
+
+    fn train_peer(&mut self, peer: PeerId) {
+        let idx = peer.index();
+        let data = &self.local_data[idx];
+        self.models[idx] = if data.is_empty() {
+            None
+        } else {
+            let m = self.config.one_vs_all.train_linear(data, &self.config.svm);
+            (m.num_tags() > 0).then_some(m)
+        };
+    }
+}
+
+impl P2PTagClassifier for LocalOnly {
+    fn name(&self) -> &'static str {
+        "local-only"
+    }
+
+    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+        self.local_data = peer_data.clone();
+        self.local_data.resize(net.num_peers(), MultiLabelDataset::new());
+        self.models = vec![None; net.num_peers()];
+        for i in 0..net.num_peers() {
+            self.train_peer(PeerId::from(i));
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn scores(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<Vec<TagPrediction>, ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let model = self
+            .models
+            .get(peer.index())
+            .and_then(|m| m.as_ref())
+            .ok_or(ProtocolError::NoModelReachable)?;
+        Ok(model.scores(x))
+    }
+
+    fn predict(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<BTreeSet<TagId>, ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let model = self
+            .models
+            .get(peer.index())
+            .and_then(|m| m.as_ref())
+            .ok_or(ProtocolError::NoModelReachable)?;
+        Ok(model.predict(x))
+    }
+
+    fn refine(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        example: &MultiLabelExample,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let idx = peer.index();
+        if idx >= self.local_data.len() {
+            self.local_data.resize(idx + 1, MultiLabelDataset::new());
+            self.models.resize(idx + 1, None);
+        }
+        self.local_data[idx].push(example.clone());
+        self.train_peer(peer);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2psim::SimConfig;
+
+    fn two_tag_example(feature: u32, tag: TagId, v: f64) -> MultiLabelExample {
+        MultiLabelExample::new(SparseVector::from_pairs([(feature, v)]), [tag])
+    }
+
+    #[test]
+    fn peers_only_know_their_own_tags() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(2));
+        // Peer 0 only ever saw tag 1; peer 1 only tag 2.
+        let data = vec![
+            MultiLabelDataset::from_examples(vec![
+                two_tag_example(0, 1, 1.0),
+                two_tag_example(0, 1, 1.2),
+                two_tag_example(1, 5, 1.0),
+                two_tag_example(1, 5, 0.9),
+            ]),
+            MultiLabelDataset::from_examples(vec![
+                two_tag_example(2, 2, 1.0),
+                two_tag_example(2, 2, 1.1),
+                two_tag_example(3, 6, 1.0),
+                two_tag_example(3, 6, 0.8),
+            ]),
+        ];
+        let mut local = LocalOnly::new(LocalOnlyConfig::default());
+        local.train(&mut net, &data).unwrap();
+        assert_eq!(local.peers_with_models(), 2);
+        // Peer 0 cannot ever produce tag 2, no matter the document.
+        let scores = local
+            .scores(&mut net, PeerId(0), &SparseVector::from_pairs([(2, 1.0)]))
+            .unwrap();
+        assert!(scores.iter().all(|p| p.tag != 2));
+        // Peer 1 can.
+        let scores = local
+            .scores(&mut net, PeerId(1), &SparseVector::from_pairs([(2, 1.0)]))
+            .unwrap();
+        assert!(scores.iter().any(|p| p.tag == 2));
+    }
+
+    #[test]
+    fn no_communication_at_all() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(4));
+        let data = vec![
+            MultiLabelDataset::from_examples(vec![two_tag_example(0, 1, 1.0); 4]),
+            MultiLabelDataset::from_examples(vec![two_tag_example(1, 2, 1.0); 4]),
+            MultiLabelDataset::new(),
+            MultiLabelDataset::new(),
+        ];
+        let mut local = LocalOnly::new(LocalOnlyConfig::default());
+        local.train(&mut net, &data).unwrap();
+        local
+            .predict(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert_eq!(net.stats().total_messages(), 0);
+        assert_eq!(net.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn peer_without_data_cannot_predict() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(2));
+        let data = vec![
+            MultiLabelDataset::from_examples(vec![two_tag_example(0, 1, 1.0); 4]),
+            MultiLabelDataset::new(),
+        ];
+        let mut local = LocalOnly::new(LocalOnlyConfig::default());
+        local.train(&mut net, &data).unwrap();
+        assert_eq!(
+            local
+                .predict(&mut net, PeerId(1), &SparseVector::from_pairs([(0, 1.0)]))
+                .unwrap_err(),
+            ProtocolError::NoModelReachable
+        );
+    }
+
+    #[test]
+    fn refinement_gives_a_dataless_peer_a_model() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(2));
+        let data = vec![
+            MultiLabelDataset::from_examples(vec![two_tag_example(0, 1, 1.0); 4]),
+            MultiLabelDataset::new(),
+        ];
+        let mut local = LocalOnly::new(LocalOnlyConfig::default());
+        local.train(&mut net, &data).unwrap();
+        for i in 0..4 {
+            local
+                .refine(&mut net, PeerId(1), &two_tag_example(4, 8, 1.0 + i as f64 * 0.1))
+                .unwrap();
+        }
+        let pred = local
+            .predict(&mut net, PeerId(1), &SparseVector::from_pairs([(4, 1.0)]))
+            .unwrap();
+        assert!(pred.contains(&8));
+    }
+}

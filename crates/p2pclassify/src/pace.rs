@@ -1,0 +1,511 @@
+//! PACE — adaptive ensemble classification in P2P networks.
+//!
+//! Protocol phases, following §2 of the P2PDocTagger paper:
+//!
+//! 1. **Local training** — every peer trains a *linear* SVM per tag on its
+//!    local data (cheap to train, tiny to ship) and clusters its local
+//!    training vectors with k-means.
+//! 2. **Propagation** — the linear models and the cluster centroids are
+//!    propagated to all other peers. No document vectors ever travel, which is
+//!    PACE's privacy and cost advantage.
+//! 3. **Indexing** — receivers index the models by their centroids using
+//!    locality-sensitive hashing.
+//! 4. **Prediction** — given a document vector, the peer retrieves the top-k
+//!    "nearest" models from its index (distance between the test vector and
+//!    the models' centroids), lets them vote, and weights each vote by the
+//!    model's training accuracy and its distance to the test vector — thereby
+//!    *adapting to the test data distribution*. Prediction is entirely local:
+//!    zero communication per query.
+//! 5. **Refinement** — the peer retrains its local model with the corrected
+//!    example and re-propagates it.
+
+use crate::error::ProtocolError;
+use crate::protocol::{combine_weighted_scores, P2PTagClassifier, PeerDataMap};
+use ml::kmeans::{KMeans, KMeansConfig};
+use ml::lsh::{LshConfig, LshIndex};
+use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
+use ml::svm::{accuracy_on, LinearSvm, LinearSvmTrainer};
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2psim::message::MessageKind;
+use p2psim::{P2PNetwork, PeerId};
+use std::collections::{BTreeMap, BTreeSet};
+use textproc::SparseVector;
+
+/// Configuration of the PACE protocol.
+#[derive(Debug, Clone)]
+pub struct PaceConfig {
+    /// Trainer for the per-tag linear SVMs.
+    pub svm: LinearSvmTrainer,
+    /// One-vs-all reduction settings.
+    pub one_vs_all: OneVsAllTrainer,
+    /// K-means settings for the local-data centroids.
+    pub kmeans: KMeansConfig,
+    /// LSH index settings.
+    pub lsh: LshConfig,
+    /// Number of nearest models consulted per prediction.
+    pub top_k: usize,
+    /// When `false`, the LSH index is bypassed and models are ranked by exact
+    /// distance (the "LSH off" ablation A1).
+    pub use_lsh: bool,
+    /// Decision threshold for assigning a tag after voting.
+    pub vote_threshold: f64,
+    /// Relative vote cutoff: a tag must also reach this fraction of the best
+    /// tag's score (calibrates ensemble votes; see
+    /// [`crate::protocol::select_tags_adaptive`]).
+    pub rel_threshold: f64,
+    /// Minimum number of tags assigned when nothing reaches the threshold.
+    pub min_tags: usize,
+}
+
+impl Default for PaceConfig {
+    fn default() -> Self {
+        Self {
+            svm: LinearSvmTrainer::default(),
+            one_vs_all: OneVsAllTrainer::default(),
+            kmeans: KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            lsh: LshConfig::default(),
+            top_k: 7,
+            use_lsh: true,
+            vote_threshold: 0.0,
+            rel_threshold: 0.5,
+            min_tags: 1,
+        }
+    }
+}
+
+/// One peer's contribution to the ensemble.
+#[derive(Debug, Clone)]
+struct PaceModel {
+    source: PeerId,
+    model: OneVsAllModel<LinearSvm>,
+    centroids: Vec<SparseVector>,
+    /// Training accuracy of the source peer's model on its own data, used as
+    /// the vote weight numerator.
+    accuracy: f64,
+}
+
+impl PaceModel {
+    fn wire_size(&self) -> usize {
+        self.model.wire_size() + 8
+    }
+
+    fn centroid_wire_size(&self) -> usize {
+        self.centroids.iter().map(SparseVector::wire_size).sum()
+    }
+
+    /// Distance from a query vector to this model (nearest centroid).
+    fn distance_to(&self, x: &SparseVector) -> f64 {
+        self.centroids
+            .iter()
+            .map(|c| c.distance(x))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The PACE protocol instance.
+#[derive(Debug, Clone)]
+pub struct Pace {
+    config: PaceConfig,
+    /// All propagated models, keyed by source peer.
+    models: BTreeMap<PeerId, PaceModel>,
+    /// LSH index over model centroids → source peer.
+    index: LshIndex<PeerId>,
+    /// For every peer, the set of source peers whose model it received
+    /// (broadcasts can fail for churned-out receivers).
+    received: Vec<BTreeSet<PeerId>>,
+    /// Per-peer local data retained for refinement retraining.
+    local_data: Vec<MultiLabelDataset>,
+    trained: bool,
+}
+
+impl Pace {
+    /// Creates an untrained PACE instance.
+    pub fn new(config: PaceConfig) -> Self {
+        let index = LshIndex::new(config.lsh.clone());
+        Self {
+            config,
+            models: BTreeMap::new(),
+            index,
+            received: Vec::new(),
+            local_data: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PaceConfig {
+        &self.config
+    }
+
+    /// Number of models in the ensemble.
+    pub fn ensemble_size(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Trains one peer's local model + centroids.
+    fn train_local(&self, peer: PeerId, data: &MultiLabelDataset) -> Option<PaceModel> {
+        if data.is_empty() {
+            return None;
+        }
+        let model = self.config.one_vs_all.train_linear(data, &self.config.svm);
+        if model.num_tags() == 0 {
+            return None;
+        }
+        // Training accuracy, averaged over the per-tag binary problems.
+        let mut acc_sum = 0.0;
+        let mut acc_n = 0;
+        for (tag, clf) in model.iter() {
+            let (xs, ys) = data.one_vs_all(tag);
+            acc_sum += accuracy_on(clf, &xs, &ys);
+            acc_n += 1;
+        }
+        let accuracy = if acc_n > 0 { acc_sum / acc_n as f64 } else { 0.5 };
+        let vectors: Vec<SparseVector> =
+            data.iter().map(|e| e.vector.clone()).collect();
+        let kmeans = KMeans::fit(&vectors, &self.config.kmeans);
+        Some(PaceModel {
+            source: peer,
+            model,
+            centroids: kmeans.centroids().to_vec(),
+            accuracy,
+        })
+    }
+
+    /// Broadcasts a model to all online peers, recording who received it, and
+    /// installs it in the shared store and LSH index.
+    fn propagate(&mut self, net: &mut P2PNetwork, pace_model: PaceModel, kind: MessageKind) {
+        let source = pace_model.source;
+        let model_bytes = pace_model.wire_size();
+        let centroid_bytes = pace_model.centroid_wire_size();
+        if self.received.len() < net.num_peers() {
+            self.received.resize(net.num_peers(), BTreeSet::new());
+        }
+        // A peer always "has" its own model.
+        self.received[source.index()].insert(source);
+        let targets: Vec<PeerId> = net.peers().filter(|&p| p != source).collect();
+        for to in targets {
+            let model_ok = net.send(source, to, kind, model_bytes).is_ok();
+            let centroid_ok = net
+                .send(source, to, MessageKind::CentroidPropagation, centroid_bytes)
+                .is_ok();
+            if model_ok && centroid_ok {
+                self.received[to.index()].insert(source);
+            }
+        }
+        for c in &pace_model.centroids {
+            self.index.insert(c.clone(), source);
+        }
+        self.models.insert(source, pace_model);
+    }
+
+    /// The top-k models available to `peer` for a query, with their distances.
+    fn nearest_models(&self, peer: PeerId, x: &SparseVector) -> Vec<(&PaceModel, f64)> {
+        let available = self
+            .received
+            .get(peer.index())
+            .cloned()
+            .unwrap_or_default();
+        if available.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: Vec<(&PaceModel, f64)> = if self.config.use_lsh {
+            // Over-fetch from the index (several centroids can map to the same
+            // model, and some candidates may not have reached this peer).
+            let want = self.config.top_k * 4 + 8;
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::new();
+            for (source, _dist) in self.index.query(x, want) {
+                if !available.contains(source) || !seen.insert(*source) {
+                    continue;
+                }
+                if let Some(m) = self.models.get(source) {
+                    out.push((m, m.distance_to(x)));
+                }
+            }
+            out
+        } else {
+            available
+                .iter()
+                .filter_map(|s| self.models.get(s))
+                .map(|m| (m, m.distance_to(x)))
+                .collect()
+        };
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(self.config.top_k.max(1));
+        candidates
+    }
+}
+
+impl P2PTagClassifier for Pace {
+    fn name(&self) -> &'static str {
+        "pace"
+    }
+
+    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+        self.models.clear();
+        self.index = LshIndex::new(self.config.lsh.clone());
+        self.received = vec![BTreeSet::new(); net.num_peers()];
+        self.local_data = peer_data.clone();
+        self.local_data.resize(net.num_peers(), MultiLabelDataset::new());
+
+        for (i, data) in peer_data.iter().enumerate() {
+            let peer = PeerId::from(i);
+            if !net.is_online(peer) {
+                continue;
+            }
+            if let Some(model) = self.train_local(peer, data) {
+                self.propagate(net, model, MessageKind::ModelPropagation);
+            }
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn scores(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<Vec<TagPrediction>, ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let nearest = self.nearest_models(peer, x);
+        if nearest.is_empty() {
+            return Err(ProtocolError::NoModelReachable);
+        }
+        // Weight each model's vote by accuracy and (inverse) distance — this is
+        // PACE's adaptation to the test data distribution.
+        let votes: Vec<(f64, Vec<TagPrediction>)> = nearest
+            .into_iter()
+            .map(|(m, dist)| {
+                let weight = m.accuracy / (1.0 + dist);
+                let scores = m.model.scores(x);
+                (weight, scores)
+            })
+            .collect();
+        Ok(combine_weighted_scores(&votes))
+    }
+
+    fn predict(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<BTreeSet<TagId>, ProtocolError> {
+        let scores = self.scores(net, peer, x)?;
+        Ok(crate::protocol::select_tags_adaptive(
+            &scores,
+            self.config.vote_threshold,
+            self.config.rel_threshold,
+            self.config.min_tags,
+        ))
+    }
+
+    fn refine(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        example: &MultiLabelExample,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if !net.is_online(peer) {
+            return Err(ProtocolError::PeerOffline);
+        }
+        let idx = peer.index();
+        if idx >= self.local_data.len() {
+            self.local_data.resize(idx + 1, MultiLabelDataset::new());
+        }
+        self.local_data[idx].push(example.clone());
+        if let Some(model) = self.train_local(peer, &self.local_data[idx]) {
+            // Re-propagating replaces this peer's model in the ensemble. The
+            // LSH index keeps the stale centroids, but queries resolve models
+            // through the store, so they see the refreshed model; a full
+            // re-index happens on the next train() round.
+            self.propagate(net, model, MessageKind::RefinementUpdate);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_peer_data(num_peers: usize, per_peer: usize, seed: u64) -> PeerDataMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..num_peers)
+            .map(|_| {
+                let mut ds = MultiLabelDataset::new();
+                for _ in 0..per_peer {
+                    let which = rng.gen_range(0..3);
+                    let a = 0.8 + rng.gen_range(0.0..0.4);
+                    let b = 0.8 + rng.gen_range(0.0..0.4);
+                    let (vector, tags): (SparseVector, Vec<TagId>) = match which {
+                        0 => (SparseVector::from_pairs([(0, a)]), vec![1]),
+                        1 => (SparseVector::from_pairs([(1, b)]), vec![2]),
+                        _ => (SparseVector::from_pairs([(0, a), (1, b)]), vec![1, 2]),
+                    };
+                    ds.push(MultiLabelExample::new(vector, tags));
+                }
+                ds
+            })
+            .collect()
+    }
+
+    fn network(num_peers: usize) -> P2PNetwork {
+        P2PNetwork::new(p2psim::SimConfig {
+            num_peers,
+            horizon_secs: 100_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn trains_and_predicts_correct_tags() {
+        let mut net = network(12);
+        let data = toy_peer_data(12, 12, 1);
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        assert_eq!(pace.ensemble_size(), 12);
+
+        let p = PeerId(5);
+        let pred1 = pace
+            .predict(&mut net, p, &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert!(pred1.contains(&1), "{pred1:?}");
+        let pred2 = pace
+            .predict(&mut net, p, &SparseVector::from_pairs([(1, 1.0)]))
+            .unwrap();
+        assert!(pred2.contains(&2), "{pred2:?}");
+    }
+
+    #[test]
+    fn propagation_ships_models_and_centroids_but_no_training_data() {
+        let mut net = network(10);
+        let data = toy_peer_data(10, 10, 2);
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        let stats = net.stats();
+        assert!(stats.kind(MessageKind::ModelPropagation).messages >= 9 * 10);
+        assert!(stats.kind(MessageKind::CentroidPropagation).messages >= 9 * 10);
+        assert_eq!(stats.kind(MessageKind::TrainingData).messages, 0);
+        // Prediction is local: no DHT lookups, no prediction queries.
+        assert_eq!(stats.kind(MessageKind::PredictionQuery).messages, 0);
+    }
+
+    #[test]
+    fn prediction_is_free_of_communication() {
+        let mut net = network(10);
+        let data = toy_peer_data(10, 10, 3);
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        let before = net.stats().total_messages();
+        for _ in 0..20 {
+            pace.predict(&mut net, PeerId(2), &SparseVector::from_pairs([(0, 1.0)]))
+                .unwrap();
+        }
+        assert_eq!(net.stats().total_messages(), before);
+    }
+
+    #[test]
+    fn top_k_limits_the_number_of_voters() {
+        let mut net = network(20);
+        let data = toy_peer_data(20, 10, 4);
+        let mut pace = Pace::new(PaceConfig {
+            top_k: 3,
+            ..Default::default()
+        });
+        pace.train(&mut net, &data).unwrap();
+        let nearest = pace.nearest_models(PeerId(0), &SparseVector::from_pairs([(0, 1.0)]));
+        assert!(nearest.len() <= 3);
+        assert!(!nearest.is_empty());
+    }
+
+    #[test]
+    fn lsh_and_exact_ranking_agree_on_predictions() {
+        let mut net_a = network(16);
+        let mut net_b = network(16);
+        let data = toy_peer_data(16, 12, 5);
+        let mut with_lsh = Pace::new(PaceConfig {
+            use_lsh: true,
+            ..Default::default()
+        });
+        let mut without_lsh = Pace::new(PaceConfig {
+            use_lsh: false,
+            ..Default::default()
+        });
+        with_lsh.train(&mut net_a, &data).unwrap();
+        without_lsh.train(&mut net_b, &data).unwrap();
+        let mut agree = 0;
+        let probes = [
+            SparseVector::from_pairs([(0, 1.0)]),
+            SparseVector::from_pairs([(1, 1.0)]),
+            SparseVector::from_pairs([(0, 1.0), (1, 1.0)]),
+            SparseVector::from_pairs([(0, 0.9)]),
+            SparseVector::from_pairs([(1, 1.2)]),
+        ];
+        for probe in &probes {
+            let a = with_lsh.predict(&mut net_a, PeerId(1), probe).unwrap();
+            let b = without_lsh.predict(&mut net_b, PeerId(1), probe).unwrap();
+            if a == b {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 4, "LSH changed too many predictions: {agree}/5");
+    }
+
+    #[test]
+    fn untrained_protocol_errors() {
+        let mut net = network(4);
+        let pace = Pace::new(PaceConfig::default());
+        assert_eq!(
+            pace.scores(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]))
+                .unwrap_err(),
+            ProtocolError::NotTrained
+        );
+    }
+
+    #[test]
+    fn refinement_teaches_a_new_tag() {
+        let mut net = network(8);
+        let data = toy_peer_data(8, 10, 6);
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        let probe = SparseVector::from_pairs([(7, 1.5)]);
+        let before = pace.predict(&mut net, PeerId(2), &probe).unwrap();
+        assert!(!before.contains(&9));
+        for i in 0..8 {
+            let v = SparseVector::from_pairs([(7, 1.0 + 0.1 * i as f64)]);
+            pace.refine(&mut net, PeerId(2), &MultiLabelExample::new(v, [9]))
+                .unwrap();
+        }
+        let scores = pace.scores(&mut net, PeerId(2), &probe).unwrap();
+        assert!(scores.iter().any(|p| p.tag == 9));
+        assert!(net.stats().kind(MessageKind::RefinementUpdate).messages > 0);
+    }
+
+    #[test]
+    fn peers_without_data_still_receive_the_ensemble() {
+        let mut net = network(6);
+        let mut data = toy_peer_data(5, 10, 7);
+        data.push(MultiLabelDataset::new()); // peer 5 owns no tagged documents
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        assert_eq!(pace.ensemble_size(), 5);
+        let pred = pace
+            .predict(&mut net, PeerId(5), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert!(pred.contains(&1));
+    }
+}

@@ -1,0 +1,203 @@
+//! The common interface of all P2P tagging classifiers.
+
+use crate::error::ProtocolError;
+use ml::multilabel::TagPrediction;
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2psim::{P2PNetwork, PeerId};
+use std::collections::BTreeSet;
+use textproc::SparseVector;
+
+/// Per-peer local training data: `data[i]` is the tagged-document collection
+/// of peer `i` (its manually tagged documents).
+pub type PeerDataMap = Vec<MultiLabelDataset>;
+
+/// A distributed tagging classifier that trains and predicts over a simulated
+/// P2P network, paying for every byte it exchanges.
+pub trait P2PTagClassifier {
+    /// Short protocol name for experiment tables ("cempar", "pace", …).
+    fn name(&self) -> &'static str;
+
+    /// Trains the global (distributed) model from each peer's local tagged
+    /// documents. Offline peers do not participate — their data is simply not
+    /// contributed, as in a real deployment.
+    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError>;
+
+    /// Returns per-tag scores for an untagged document vector, on behalf of the
+    /// querying peer (which pays the communication cost of the query, if any).
+    fn scores(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<Vec<TagPrediction>, ProtocolError>;
+
+    /// Predicts the tag set of an untagged document vector.
+    fn predict(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<BTreeSet<TagId>, ProtocolError> {
+        let scores = self.scores(net, peer, x)?;
+        Ok(select_tags(&scores, 0.0, 1))
+    }
+
+    /// Incorporates a user's tag refinement (a corrected example) and updates
+    /// the local and global models accordingly.
+    fn refine(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        example: &MultiLabelExample,
+    ) -> Result<(), ProtocolError>;
+}
+
+/// Turns a scored tag list into a tag set: every tag with `score >= threshold`,
+/// or the `min_tags` best-scored tags when none reaches the threshold.
+pub fn select_tags(scores: &[TagPrediction], threshold: f64, min_tags: usize) -> BTreeSet<TagId> {
+    let above: BTreeSet<TagId> = scores
+        .iter()
+        .filter(|p| p.score >= threshold)
+        .map(|p| p.tag)
+        .collect();
+    if !above.is_empty() {
+        return above;
+    }
+    let mut sorted: Vec<&TagPrediction> = scores.iter().collect();
+    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
+}
+
+/// Turns a scored tag list into a tag set using an *adaptive* cutoff: a tag is
+/// assigned when its score reaches both `abs_threshold` and `rel_factor` times
+/// the best score. The relative component calibrates ensemble votes whose
+/// absolute scale depends on how many voters know each tag (weak spurious
+/// votes are suppressed while genuinely co-occurring tags with comparable
+/// scores survive). Falls back to the `min_tags` best-scored tags when nothing
+/// passes.
+pub fn select_tags_adaptive(
+    scores: &[TagPrediction],
+    abs_threshold: f64,
+    rel_factor: f64,
+    min_tags: usize,
+) -> BTreeSet<TagId> {
+    let top = scores
+        .iter()
+        .map(|p| p.score)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !top.is_finite() {
+        return BTreeSet::new();
+    }
+    let cutoff = abs_threshold.max(rel_factor * top);
+    let above: BTreeSet<TagId> = scores
+        .iter()
+        .filter(|p| p.score >= cutoff)
+        .map(|p| p.tag)
+        .collect();
+    if !above.is_empty() {
+        return above;
+    }
+    let mut sorted: Vec<&TagPrediction> = scores.iter().collect();
+    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
+}
+
+/// Combines several per-tag score lists into one by weighted majority voting:
+/// each voter's weight applies to every tag, and a voter that does not know a
+/// tag implicitly votes 0 (abstains negatively). This keeps tags that only a
+/// minority of distant models would assign from leaking into the prediction.
+pub fn combine_weighted_scores(lists: &[(f64, Vec<TagPrediction>)]) -> Vec<TagPrediction> {
+    use std::collections::BTreeMap;
+    let total_weight: f64 = lists.iter().map(|(w, _)| *w).sum();
+    let mut sums: BTreeMap<TagId, f64> = BTreeMap::new();
+    for (weight, scores) in lists {
+        for p in scores {
+            *sums.entry(p.tag).or_insert(0.0) += weight * p.score;
+        }
+    }
+    let mut out: Vec<TagPrediction> = sums
+        .into_iter()
+        .map(|(tag, weighted)| {
+            let score = if total_weight > 0.0 {
+                weighted / total_weight
+            } else {
+                0.0
+            };
+            TagPrediction {
+                tag,
+                score,
+                confidence: 1.0 / (1.0 + (-score).exp()),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(tag: TagId, score: f64) -> TagPrediction {
+        TagPrediction {
+            tag,
+            score,
+            confidence: 0.5,
+        }
+    }
+
+    #[test]
+    fn select_tags_above_threshold() {
+        let scores = vec![pred(1, 0.5), pred(2, -0.3), pred(3, 0.1)];
+        assert_eq!(select_tags(&scores, 0.0, 1), BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn select_tags_falls_back_to_top_k() {
+        let scores = vec![pred(1, -0.5), pred(2, -0.1), pred(3, -0.9)];
+        assert_eq!(select_tags(&scores, 0.0, 1), BTreeSet::from([2]));
+        assert_eq!(select_tags(&scores, 0.0, 2), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn select_tags_empty_input() {
+        assert!(select_tags(&[], 0.0, 3).is_empty());
+    }
+
+    #[test]
+    fn adaptive_selection_suppresses_weak_spurious_votes() {
+        let scores = vec![pred(1, 0.6), pred(2, 0.5), pred(3, 0.05), pred(4, -0.2)];
+        let tags = select_tags_adaptive(&scores, 0.0, 0.5, 1);
+        assert_eq!(tags, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn adaptive_selection_falls_back_to_best_tag() {
+        let scores = vec![pred(1, -0.4), pred(2, -0.9)];
+        assert_eq!(select_tags_adaptive(&scores, 0.0, 0.5, 1), BTreeSet::from([1]));
+        assert!(select_tags_adaptive(&[], 0.0, 0.5, 1).is_empty());
+    }
+
+    #[test]
+    fn combine_weighted_scores_averages() {
+        let lists = vec![
+            (1.0, vec![pred(1, 1.0), pred(2, -1.0)]),
+            (3.0, vec![pred(1, -1.0)]),
+        ];
+        let combined = combine_weighted_scores(&lists);
+        let tag1 = combined.iter().find(|p| p.tag == 1).unwrap();
+        // (1*1 + 3*(-1)) / 4 = -0.5
+        assert!((tag1.score - (-0.5)).abs() < 1e-12);
+        // Tag 2 is only known to the first voter; the second voter abstains,
+        // so its weight still appears in the denominator: (1*-1) / 4 = -0.25.
+        let tag2 = combined.iter().find(|p| p.tag == 2).unwrap();
+        assert!((tag2.score - (-0.25)).abs() < 1e-12);
+        // Sorted descending by score.
+        assert!(combined[0].score >= combined[1].score);
+    }
+
+    #[test]
+    fn combine_empty_is_empty() {
+        assert!(combine_weighted_scores(&[]).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulation configuration.
+//!
+//! Mirrors the parameter surface the paper lists for P2PDMT: "physical
+//! connection of peers, total number of peers in the network, churn model(s),
+//! P2P overlay network, … frequency and timings of evaluations" (§2).
+
+use crate::churn::ChurnModel;
+use crate::overlay::UnstructuredOverlay;
+use crate::overlay::{AnyOverlay, ChordOverlay};
+use crate::physical::PhysicalConfig;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which overlay family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OverlayKind {
+    /// Structured, DHT-based (Chord-style) overlay.
+    Chord,
+    /// Unstructured random graph with flooding search.
+    Unstructured {
+        /// Neighbours per peer.
+        degree: usize,
+        /// Flooding TTL.
+        ttl: usize,
+    },
+}
+
+impl Default for OverlayKind {
+    fn default() -> Self {
+        OverlayKind::Chord
+    }
+}
+
+/// Full configuration of a simulated P2P environment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total number of peers in the network.
+    pub num_peers: usize,
+    /// Overlay family.
+    pub overlay: OverlayKind,
+    /// Physical-network (underlay) parameters.
+    pub physical: PhysicalConfig,
+    /// Churn model.
+    pub churn: ChurnModel,
+    /// Simulation horizon in seconds (used to pre-compute the churn timeline).
+    pub horizon_secs: u64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            // The demo runs "DHT-based P2P network with more than 500 peers".
+            num_peers: 512,
+            overlay: OverlayKind::Chord,
+            physical: PhysicalConfig::default(),
+            churn: ChurnModel::None,
+            horizon_secs: 3_600,
+            seed: 2010,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience constructor for a network of `num_peers` with defaults.
+    pub fn with_peers(num_peers: usize) -> Self {
+        Self {
+            num_peers,
+            ..Self::default()
+        }
+    }
+
+    /// The simulation horizon as a [`SimTime`].
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_secs(self.horizon_secs)
+    }
+
+    /// Builds the configured overlay over all peers.
+    pub fn build_overlay(&self) -> AnyOverlay {
+        let peers = (0..self.num_peers as u64).map(crate::peer::PeerId);
+        match self.overlay {
+            OverlayKind::Chord => AnyOverlay::Chord(ChordOverlay::with_peers(peers)),
+            OverlayKind::Unstructured { degree, ttl } => AnyOverlay::Unstructured(
+                UnstructuredOverlay::with_peers(
+                    crate::overlay::UnstructuredConfig {
+                        degree,
+                        ttl,
+                        seed: self.seed,
+                    },
+                    peers,
+                ),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::Overlay;
+
+    #[test]
+    fn default_matches_demo_scale() {
+        let c = SimConfig::default();
+        assert!(c.num_peers > 500, "demo uses more than 500 peers");
+        assert_eq!(c.overlay, OverlayKind::Chord);
+    }
+
+    #[test]
+    fn builds_requested_overlay() {
+        let chord = SimConfig::with_peers(32).build_overlay();
+        assert_eq!(chord.len(), 32);
+        assert!(matches!(chord, AnyOverlay::Chord(_)));
+
+        let unstructured = SimConfig {
+            num_peers: 16,
+            overlay: OverlayKind::Unstructured { degree: 4, ttl: 3 },
+            ..Default::default()
+        }
+        .build_overlay();
+        assert_eq!(unstructured.len(), 16);
+        assert!(matches!(unstructured, AnyOverlay::Unstructured(_)));
+    }
+
+    #[test]
+    fn horizon_conversion() {
+        let c = SimConfig {
+            horizon_secs: 60,
+            ..Default::default()
+        };
+        assert_eq!(c.horizon(), SimTime::from_secs(60));
+    }
+}

@@ -1,0 +1,307 @@
+//! Distributing training data across peers.
+//!
+//! P2PDMT exposes "training data, size distribution of training data, class
+//! distribution of training data" as simulation parameters (§2), and the
+//! demonstration varies "the size and class distributions" of the per-peer
+//! data (§3). This module turns a corpus (a list of item indices with a
+//! primary label each) into a per-peer assignment under configurable size
+//! skew (how unequal peer collections are) and class skew (how label-biased
+//! each peer's collection is).
+
+use crate::peer::mix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How many documents each peer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every peer holds roughly the same number of documents.
+    Uniform,
+    /// Peer collection sizes follow a Zipf law with the given exponent
+    /// (1.0 ≈ classic power law; larger = more skewed).
+    Zipf {
+        /// Zipf exponent (s > 0).
+        exponent: f64,
+    },
+}
+
+/// How labels are spread over peers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClassDistribution {
+    /// Documents are assigned to peers independently of their label.
+    Iid,
+    /// Each label has a set of "home" peers; a document lands on one of its
+    /// label's home peers with probability `concentration`, otherwise it is
+    /// placed like in the IID case. `concentration = 0` is IID,
+    /// `concentration = 1` is fully label-partitioned (strongly non-IID).
+    LabelSkewed {
+        /// Probability mass routed to the label's home peers.
+        concentration: f64,
+        /// Number of home peers per label.
+        home_peers: usize,
+    },
+}
+
+/// Configuration for distributing a corpus over peers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataDistributor {
+    /// Per-peer collection-size skew.
+    pub size: SizeDistribution,
+    /// Per-peer label skew.
+    pub class: ClassDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DataDistributor {
+    fn default() -> Self {
+        Self {
+            size: SizeDistribution::Uniform,
+            class: ClassDistribution::Iid,
+            seed: 1234,
+        }
+    }
+}
+
+impl DataDistributor {
+    /// Distributes `labels.len()` items over `num_peers` peers.
+    ///
+    /// `labels[i]` is the primary label of item `i`, used only by label-skewed
+    /// class distributions. Returns, for every peer, the indices of the items
+    /// it holds. Every item is assigned to exactly one peer.
+    ///
+    /// # Panics
+    /// Panics when `num_peers == 0`.
+    pub fn distribute(&self, labels: &[u64], num_peers: usize) -> Vec<Vec<usize>> {
+        assert!(num_peers > 0, "need at least one peer");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let weights = self.peer_weights(num_peers);
+        let cumulative = cumulative(&weights);
+        let mut assignment = vec![Vec::new(); num_peers];
+        for (item, &label) in labels.iter().enumerate() {
+            let peer = match self.class {
+                ClassDistribution::Iid => sample_weighted(&cumulative, &mut rng),
+                ClassDistribution::LabelSkewed {
+                    concentration,
+                    home_peers,
+                } => {
+                    let go_home = rng.gen_bool(concentration.clamp(0.0, 1.0));
+                    if go_home {
+                        let homes = home_peers.max(1);
+                        let slot = rng.gen_range(0..homes) as u64;
+                        (mix64(label.wrapping_add(self.seed).wrapping_add(slot * 0x9E37))
+                            % num_peers as u64) as usize
+                    } else {
+                        sample_weighted(&cumulative, &mut rng)
+                    }
+                }
+            };
+            assignment[peer].push(item);
+        }
+        assignment
+    }
+
+    /// Relative amount of data each peer attracts under the size distribution.
+    fn peer_weights(&self, num_peers: usize) -> Vec<f64> {
+        match self.size {
+            SizeDistribution::Uniform => vec![1.0; num_peers],
+            SizeDistribution::Zipf { exponent } => {
+                // Rank order is itself randomized by peer index mixing so that
+                // peer 0 is not always the largest collection.
+                (0..num_peers)
+                    .map(|i| {
+                        let rank = (mix64(self.seed ^ i as u64) % num_peers as u64) + 1;
+                        1.0 / (rank as f64).powf(exponent.max(0.01))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w.max(0.0);
+        out.push(acc);
+    }
+    out
+}
+
+fn sample_weighted(cumulative: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cumulative.last().expect("non-empty weights");
+    let x = rng.gen_range(0.0..total);
+    match cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite weights")) {
+        Ok(i) | Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+/// Gini coefficient of per-peer collection sizes — 0.0 is perfectly even,
+/// values near 1.0 are extremely skewed. Used to verify size distributions in
+/// tests and reported by the data-distribution experiment (E6).
+pub fn size_gini(assignment: &[Vec<usize>]) -> f64 {
+    let mut sizes: Vec<f64> = assignment.iter().map(|a| a.len() as f64).collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).expect("sizes are finite"));
+    let n = sizes.len() as f64;
+    let total: f64 = sizes.iter().sum();
+    if total == 0.0 || n < 2.0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for (i, s) in sizes.iter().enumerate() {
+        weighted += (i as f64 + 1.0) * s;
+    }
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Average per-peer label entropy (in bits), normalized by the entropy of the
+/// overall label distribution. 1.0 ≈ peers see the global mix (IID), values
+/// near 0.0 mean each peer only holds a few labels (non-IID).
+pub fn label_entropy_ratio(assignment: &[Vec<usize>], labels: &[u64]) -> f64 {
+    fn entropy(counts: &std::collections::HashMap<u64, usize>) -> f64 {
+        let total: usize = counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+    let mut global = std::collections::HashMap::new();
+    for &l in labels {
+        *global.entry(l).or_insert(0) += 1;
+    }
+    let global_h = entropy(&global);
+    if global_h == 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut peers_with_data = 0;
+    for peer_items in assignment {
+        if peer_items.is_empty() {
+            continue;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &i in peer_items {
+            *counts.entry(labels[i]).or_insert(0) += 1;
+        }
+        sum += entropy(&counts) / global_h;
+        peers_with_data += 1;
+    }
+    if peers_with_data == 0 {
+        0.0
+    } else {
+        sum / peers_with_data as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize, num_classes: u64) -> Vec<u64> {
+        (0..n).map(|i| (i as u64) % num_classes).collect()
+    }
+
+    #[test]
+    fn every_item_is_assigned_exactly_once() {
+        let labels = labels(500, 10);
+        let d = DataDistributor::default();
+        let assignment = d.distribute(&labels, 16);
+        let mut seen = vec![false; labels.len()];
+        for peer_items in &assignment {
+            for &i in peer_items {
+                assert!(!seen[i], "item {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_distribution_is_roughly_even() {
+        let labels = labels(3200, 8);
+        let d = DataDistributor::default();
+        let assignment = d.distribute(&labels, 32);
+        assert!(size_gini(&assignment) < 0.2);
+    }
+
+    #[test]
+    fn zipf_distribution_is_skewed() {
+        let labels = labels(3200, 8);
+        let uniform = DataDistributor::default().distribute(&labels, 32);
+        let zipf = DataDistributor {
+            size: SizeDistribution::Zipf { exponent: 1.2 },
+            ..Default::default()
+        }
+        .distribute(&labels, 32);
+        assert!(size_gini(&zipf) > size_gini(&uniform) + 0.2);
+    }
+
+    #[test]
+    fn label_skew_reduces_per_peer_entropy() {
+        let labels = labels(4000, 20);
+        let iid = DataDistributor::default().distribute(&labels, 20);
+        let skewed = DataDistributor {
+            class: ClassDistribution::LabelSkewed {
+                concentration: 0.9,
+                home_peers: 1,
+            },
+            ..Default::default()
+        }
+        .distribute(&labels, 20);
+        let iid_ratio = label_entropy_ratio(&iid, &labels);
+        let skew_ratio = label_entropy_ratio(&skewed, &labels);
+        assert!(iid_ratio > 0.8, "iid ratio {iid_ratio}");
+        assert!(skew_ratio < iid_ratio - 0.2, "skew {skew_ratio} vs iid {iid_ratio}");
+    }
+
+    #[test]
+    fn zero_concentration_behaves_like_iid() {
+        let labels = labels(2000, 10);
+        let skew0 = DataDistributor {
+            class: ClassDistribution::LabelSkewed {
+                concentration: 0.0,
+                home_peers: 1,
+            },
+            ..Default::default()
+        }
+        .distribute(&labels, 10);
+        assert!(label_entropy_ratio(&skew0, &labels) > 0.8);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let labels = labels(300, 5);
+        let d = DataDistributor::default();
+        assert_eq!(d.distribute(&labels, 7), d.distribute(&labels, 7));
+    }
+
+    #[test]
+    fn single_peer_gets_everything() {
+        let labels = labels(50, 3);
+        let assignment = DataDistributor::default().distribute(&labels, 1);
+        assert_eq!(assignment.len(), 1);
+        assert_eq!(assignment[0].len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peers_panics() {
+        DataDistributor::default().distribute(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(size_gini(&[vec![], vec![]]), 0.0);
+        assert_eq!(size_gini(&[vec![1, 2, 3]]), 0.0);
+        let even = vec![vec![0; 10], vec![0; 10]];
+        assert!(size_gini(&even) < 1e-9);
+    }
+}

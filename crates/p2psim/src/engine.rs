@@ -1,0 +1,513 @@
+//! Discrete-event simulation engine.
+//!
+//! The engine drives a set of per-peer [`Application`] state machines through
+//! time: applications send messages (delivered after the physical network's
+//! latency + transmission delay), set timers, and react to churn events. All
+//! traffic is accounted in [`SimStats`], giving the realistic message-level
+//! simulation that P2PDMT inherits from OverSim.
+
+use crate::churn::ChurnTimeline;
+use crate::logging::ActivityLog;
+use crate::message::{Envelope, MessageKind};
+use crate::peer::PeerId;
+use crate::physical::PhysicalNetwork;
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A per-peer protocol/application state machine.
+pub trait Application {
+    /// Message payload exchanged between instances of this application.
+    type Payload: Clone;
+
+    /// Called once when the peer first comes online.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Payload>) {}
+
+    /// Called when a message addressed to this peer is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Payload>, from: PeerId, payload: Self::Payload);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Payload>, _timer: u64) {}
+
+    /// Called when this peer goes offline due to churn.
+    fn on_stop(&mut self, _ctx: &mut Context<'_, Self::Payload>) {}
+}
+
+/// The side effects an application may request during a callback.
+enum Action<P> {
+    Send {
+        to: PeerId,
+        kind: MessageKind,
+        size_bytes: usize,
+        payload: P,
+    },
+    SetTimer {
+        delay: SimTime,
+        timer: u64,
+    },
+    Log {
+        category: String,
+        message: String,
+    },
+}
+
+/// Handle given to application callbacks for interacting with the simulation.
+pub struct Context<'a, P> {
+    self_id: PeerId,
+    now: SimTime,
+    actions: Vec<Action<P>>,
+    rng: &'a mut StdRng,
+    online: &'a [bool],
+}
+
+impl<'a, P> Context<'a, P> {
+    /// The peer this callback runs on.
+    pub fn self_id(&self) -> PeerId {
+        self.self_id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-run random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Whether a peer is currently online (snapshot at callback time).
+    pub fn is_online(&self, peer: PeerId) -> bool {
+        self.online.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    /// All currently online peers.
+    pub fn online_peers(&self) -> Vec<PeerId> {
+        self.online
+            .iter()
+            .enumerate()
+            .filter(|(_, &up)| up)
+            .map(|(i, _)| PeerId::from(i))
+            .collect()
+    }
+
+    /// Sends a message to another peer.
+    pub fn send(&mut self, to: PeerId, kind: MessageKind, size_bytes: usize, payload: P) {
+        self.actions.push(Action::Send {
+            to,
+            kind,
+            size_bytes,
+            payload,
+        });
+    }
+
+    /// Schedules `on_timer(timer)` after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, timer: u64) {
+        self.actions.push(Action::SetTimer { delay, timer });
+    }
+
+    /// Appends an entry to the activity log.
+    pub fn log(&mut self, category: impl Into<String>, message: impl Into<String>) {
+        self.actions.push(Action::Log {
+            category: category.into(),
+            message: message.into(),
+        });
+    }
+}
+
+/// A scheduled simulation event.
+enum EventKind<P> {
+    Deliver(Envelope<P>),
+    Timer { peer: PeerId, timer: u64 },
+    PeerOnline(PeerId),
+    PeerOffline(PeerId),
+}
+
+struct Event<P> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Event<P> {}
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event engine hosting one application instance per peer.
+pub struct Engine<A: Application> {
+    apps: Vec<A>,
+    online: Vec<bool>,
+    started: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<A::Payload>>>,
+    physical: PhysicalNetwork,
+    stats: SimStats,
+    log: ActivityLog,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    events_processed: u64,
+}
+
+impl<A: Application> Engine<A> {
+    /// Creates an engine with one application per peer; all peers start online
+    /// at time zero (use [`Engine::apply_churn`] for churn).
+    pub fn new(apps: Vec<A>, physical: PhysicalNetwork, seed: u64) -> Self {
+        let n = apps.len();
+        let mut engine = Self {
+            apps,
+            online: vec![true; n],
+            started: vec![false; n],
+            queue: BinaryHeap::new(),
+            physical,
+            stats: SimStats::new(),
+            log: ActivityLog::default(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            events_processed: 0,
+        };
+        for i in 0..n {
+            engine.push_event(SimTime::ZERO, EventKind::PeerOnline(PeerId::from(i)));
+        }
+        engine
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The activity log.
+    pub fn log(&self) -> &ActivityLog {
+        &self.log
+    }
+
+    /// Immutable access to a peer's application state (for assertions).
+    pub fn app(&self, peer: PeerId) -> &A {
+        &self.apps[peer.index()]
+    }
+
+    /// Whether the peer is currently online.
+    pub fn is_online(&self, peer: PeerId) -> bool {
+        self.online.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    /// Schedules the online/offline events of a churn timeline.
+    ///
+    /// Peers not online at time zero according to the timeline are taken
+    /// offline immediately.
+    pub fn apply_churn(&mut self, timeline: &ChurnTimeline) {
+        for event in timeline.events() {
+            let kind = if event.online {
+                EventKind::PeerOnline(event.peer)
+            } else {
+                EventKind::PeerOffline(event.peer)
+            };
+            self.push_event(event.time, kind);
+        }
+        for i in 0..self.num_peers() {
+            let p = PeerId::from(i);
+            if !timeline.is_online(p, SimTime::ZERO) {
+                self.push_event(SimTime::ZERO, EventKind::PeerOffline(p));
+            }
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<A::Payload>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Runs until the event queue is empty, the time horizon is reached, or
+    /// `max_events` events have been processed. Returns the number of events
+    /// processed by this call.
+    pub fn run(&mut self, horizon: SimTime, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            let Some(Reverse(event)) = self.queue.pop() else {
+                break;
+            };
+            if event.time > horizon {
+                // Put it back for a later run() call and stop.
+                self.queue.push(Reverse(event));
+                break;
+            }
+            self.now = event.time;
+            processed += 1;
+            self.events_processed += 1;
+            match event.kind {
+                EventKind::PeerOnline(p) => {
+                    let newly_started = !self.started[p.index()];
+                    self.online[p.index()] = true;
+                    self.log.log(self.now, Some(p), "join", "peer online");
+                    if newly_started {
+                        self.started[p.index()] = true;
+                        self.dispatch(p, |app, ctx| app.on_start(ctx));
+                    }
+                }
+                EventKind::PeerOffline(p) => {
+                    self.online[p.index()] = false;
+                    self.log.log(self.now, Some(p), "leave", "peer offline");
+                    self.dispatch(p, |app, ctx| app.on_stop(ctx));
+                }
+                EventKind::Timer { peer, timer } => {
+                    if self.online[peer.index()] {
+                        self.dispatch(peer, |app, ctx| app.on_timer(ctx, timer));
+                    }
+                }
+                EventKind::Deliver(env) => {
+                    let latency = self.now.saturating_sub(env.sent_at);
+                    if self.online[env.to.index()] {
+                        self.stats.record_delivery(
+                            env.from,
+                            env.to,
+                            env.kind,
+                            env.size_bytes,
+                            latency,
+                        );
+                        let (from, payload, to) = (env.from, env.payload, env.to);
+                        self.dispatch(to, |app, ctx| app.on_message(ctx, from, payload));
+                    } else {
+                        self.stats.record_drop(env.from, env.kind, env.size_bytes);
+                    }
+                }
+            }
+        }
+        processed
+    }
+
+    /// Runs the full queue with a generous event cap (tests / small sims).
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run(SimTime(u64::MAX), 10_000_000)
+    }
+
+    fn dispatch<F>(&mut self, peer: PeerId, f: F)
+    where
+        F: FnOnce(&mut A, &mut Context<'_, A::Payload>),
+    {
+        let mut ctx = Context {
+            self_id: peer,
+            now: self.now,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+            online: &self.online,
+        };
+        f(&mut self.apps[peer.index()], &mut ctx);
+        let actions = ctx.actions;
+        for action in actions {
+            match action {
+                Action::Send {
+                    to,
+                    kind,
+                    size_bytes,
+                    payload,
+                } => {
+                    let delay = self.physical.delivery_delay(peer, to, size_bytes);
+                    let env = Envelope {
+                        from: peer,
+                        to,
+                        kind,
+                        size_bytes,
+                        sent_at: self.now,
+                        payload,
+                    };
+                    let at = self.now + delay;
+                    self.push_event(at, EventKind::Deliver(env));
+                }
+                Action::SetTimer { delay, timer } => {
+                    let at = self.now + delay;
+                    self.push_event(at, EventKind::Timer { peer, timer });
+                }
+                Action::Log { category, message } => {
+                    self.log.log(self.now, Some(peer), category, message);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::physical::PhysicalNetwork;
+
+    /// A simple application: peer 0 pings every other peer on start; peers
+    /// respond with a pong; everyone counts what they received.
+    #[derive(Default)]
+    struct PingPong {
+        pings_received: usize,
+        pongs_received: usize,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Application for PingPong {
+        type Payload = Msg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.self_id() == PeerId(0) {
+                for p in ctx.online_peers() {
+                    if p != ctx.self_id() {
+                        ctx.send(p, MessageKind::Other, 32, Msg::Ping);
+                    }
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PeerId, payload: Msg) {
+            match payload {
+                Msg::Ping => {
+                    self.pings_received += 1;
+                    ctx.send(from, MessageKind::Other, 32, Msg::Pong);
+                }
+                Msg::Pong => self.pongs_received += 1,
+            }
+        }
+    }
+
+    fn engine(n: usize) -> Engine<PingPong> {
+        let apps = (0..n).map(|_| PingPong::default()).collect();
+        Engine::new(apps, PhysicalNetwork::default(), 1)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut e = engine(10);
+        e.run_to_completion();
+        assert_eq!(e.app(PeerId(0)).pongs_received, 9);
+        for i in 1..10u64 {
+            assert_eq!(e.app(PeerId(i)).pings_received, 1);
+        }
+        assert_eq!(e.stats().total_messages(), 18);
+        assert_eq!(e.stats().delivery_rate(), 1.0);
+        assert!(e.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn horizon_limits_processing() {
+        let mut e = engine(10);
+        // Nothing can be delivered in the first microsecond except the start events.
+        e.run(SimTime::from_micros(1), 1_000_000);
+        assert_eq!(e.app(PeerId(0)).pongs_received, 0);
+        e.run_to_completion();
+        assert_eq!(e.app(PeerId(0)).pongs_received, 9);
+    }
+
+    #[test]
+    fn offline_peers_drop_messages() {
+        struct Broadcaster;
+        impl Application for Broadcaster {
+            type Payload = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.self_id() == PeerId(0) {
+                    // Deliberately send to every peer id, even offline ones.
+                    for i in 0..4u64 {
+                        if i != 0 {
+                            ctx.send(PeerId(i), MessageKind::Other, 16, ());
+                        }
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: PeerId, _p: ()) {}
+        }
+        let apps = (0..4).map(|_| Broadcaster).collect();
+        let mut e = Engine::new(apps, PhysicalNetwork::default(), 2);
+        // Take peer 3 offline for the whole run.
+        let timeline = ChurnTimeline::generate(ChurnModel::None, 4, SimTime::from_secs(1_000), 3);
+        e.apply_churn(&timeline);
+        e.push_event(SimTime::ZERO, EventKind::PeerOffline(PeerId(3)));
+        e.run_to_completion();
+        assert_eq!(e.stats().total_dropped(), 1);
+        assert!(e.stats().delivery_rate() < 1.0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Default)]
+        struct TimerApp {
+            fired: Vec<u64>,
+        }
+        impl Application for TimerApp {
+            type Payload = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimTime::from_millis(20), 2);
+                ctx.set_timer(SimTime::from_millis(10), 1);
+                ctx.set_timer(SimTime::from_millis(30), 3);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: PeerId, _p: ()) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, timer: u64) {
+                self.fired.push(timer);
+            }
+        }
+        let mut e = Engine::new(vec![TimerApp::default()], PhysicalNetwork::default(), 3);
+        e.run_to_completion();
+        assert_eq!(e.app(PeerId(0)).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn churned_out_peers_do_not_receive() {
+        let mut e = engine(20);
+        let timeline = ChurnTimeline::generate(
+            ChurnModel::Exponential {
+                mean_session_secs: 0.05,
+                mean_offline_secs: 10.0,
+            },
+            20,
+            SimTime::from_secs(100),
+            5,
+        );
+        e.apply_churn(&timeline);
+        e.run_to_completion();
+        // With peers mostly offline, some of peer 0's pings must be dropped
+        // (peer 0 itself may also churn out, in which case nothing is sent).
+        let stats = e.stats();
+        assert!(stats.total_dropped() > 0 || stats.total_messages() == 0);
+    }
+
+    #[test]
+    fn event_cap_is_respected() {
+        let mut e = engine(50);
+        let processed = e.run(SimTime(u64::MAX), 10);
+        assert_eq!(processed, 10);
+    }
+}

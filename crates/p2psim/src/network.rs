@@ -1,0 +1,372 @@
+//! Round-based network facade for P2P data-mining protocols.
+//!
+//! The CEMPaR and PACE protocols are naturally phased (train locally →
+//! propagate models → answer prediction queries). Rather than forcing every
+//! protocol into the event-driven engine, P2PDMT exposes this facade: the
+//! protocol asks the network to deliver messages, perform DHT lookups, or
+//! broadcast, and the facade handles overlay routing, churn-induced failures,
+//! latency accumulation and full per-kind / per-peer cost accounting.
+//! Simulated time advances explicitly via [`P2PNetwork::advance`], so a
+//! protocol phase can be placed anywhere on the churn timeline.
+
+use crate::churn::ChurnTimeline;
+use crate::config::SimConfig;
+use crate::logging::ActivityLog;
+use crate::message::MessageKind;
+use crate::overlay::{AnyOverlay, Overlay, SuperPeerDirectory};
+use crate::peer::PeerId;
+use crate::physical::PhysicalNetwork;
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Why a message could not be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryError {
+    /// The sending peer is currently offline.
+    SenderOffline,
+    /// The destination peer is currently offline.
+    ReceiverOffline,
+    /// The overlay could not route the key (failed flooding search, empty ring).
+    NoRoute,
+}
+
+impl std::fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeliveryError::SenderOffline => "sender offline",
+            DeliveryError::ReceiverOffline => "receiver offline",
+            DeliveryError::NoRoute => "no route to key owner",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+/// Size in bytes charged for one DHT routing hop (header-sized control message).
+const LOOKUP_HOP_BYTES: usize = 64;
+
+/// The round-based simulated P2P network.
+pub struct P2PNetwork {
+    config: SimConfig,
+    overlay: AnyOverlay,
+    physical: PhysicalNetwork,
+    churn: ChurnTimeline,
+    stats: SimStats,
+    log: ActivityLog,
+    now: SimTime,
+    rng: StdRng,
+}
+
+impl P2PNetwork {
+    /// Builds a network from a configuration: generates the overlay over all
+    /// peers, the physical underlay and the churn timeline, then synchronizes
+    /// overlay membership with the peers online at time zero.
+    pub fn new(config: SimConfig) -> Self {
+        let overlay = config.build_overlay();
+        let physical = PhysicalNetwork::new(config.physical.clone());
+        let churn =
+            ChurnTimeline::generate(config.churn, config.num_peers, config.horizon(), config.seed);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xFEED_FACE);
+        let mut net = Self {
+            config,
+            overlay,
+            physical,
+            churn,
+            stats: SimStats::new(),
+            log: ActivityLog::default(),
+            now: SimTime::ZERO,
+            rng,
+        };
+        net.sync_overlay_membership();
+        net
+    }
+
+    /// The configuration this network was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Total number of peers (online or not).
+    pub fn num_peers(&self) -> usize {
+        self.config.num_peers
+    }
+
+    /// All peer ids.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> {
+        (0..self.config.num_peers as u64).map(PeerId)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances simulated time and updates overlay membership to reflect churn.
+    pub fn advance(&mut self, dt: SimTime) {
+        self.now += dt;
+        self.sync_overlay_membership();
+    }
+
+    /// Deterministic RNG tied to this network's seed.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Whether a peer is currently online.
+    pub fn is_online(&self, peer: PeerId) -> bool {
+        self.churn.is_online(peer, self.now)
+    }
+
+    /// All currently online peers.
+    pub fn online_peers(&self) -> Vec<PeerId> {
+        self.churn.online_peers(self.now)
+    }
+
+    /// Fraction of peers currently online.
+    pub fn availability(&self) -> f64 {
+        self.churn.availability_at(self.now)
+    }
+
+    /// The overlay (read access, e.g. for super-peer election).
+    pub fn overlay(&self) -> &AnyOverlay {
+        &self.overlay
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The activity log.
+    pub fn log(&self) -> &ActivityLog {
+        &self.log
+    }
+
+    /// Mutable activity log (for protocol-level annotations).
+    pub fn log_mut(&mut self) -> &mut ActivityLog {
+        &mut self.log
+    }
+
+    /// Builds a super-peer directory with `regions` regions over this overlay.
+    pub fn super_peer_directory(&self, regions: usize) -> SuperPeerDirectory {
+        SuperPeerDirectory::new(regions)
+    }
+
+    /// Sends `size_bytes` of category `kind` from `from` to `to`.
+    ///
+    /// On success returns the one-way delivery latency; on failure the traffic
+    /// is still charged to the sender (the bytes were put on the wire) and the
+    /// appropriate error is returned.
+    pub fn send(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: MessageKind,
+        size_bytes: usize,
+    ) -> Result<SimTime, DeliveryError> {
+        if !self.is_online(from) {
+            return Err(DeliveryError::SenderOffline);
+        }
+        if !self.is_online(to) {
+            self.stats.record_drop(from, kind, size_bytes);
+            return Err(DeliveryError::ReceiverOffline);
+        }
+        let latency = self.physical.delivery_delay(from, to, size_bytes);
+        self.stats.record_delivery(from, to, kind, size_bytes, latency);
+        Ok(latency)
+    }
+
+    /// Routes `key` through the overlay starting at `from`, charging one small
+    /// control message per overlay hop. Returns the owner and the hop count.
+    pub fn dht_lookup(&mut self, from: PeerId, key: u64) -> Result<(PeerId, usize), DeliveryError> {
+        if !self.is_online(from) {
+            return Err(DeliveryError::SenderOffline);
+        }
+        let result = self
+            .overlay
+            .lookup(from, key)
+            .ok_or(DeliveryError::NoRoute)?;
+        // Charge each routing message along the path.
+        let mut prev = from;
+        for &hop in &result.path {
+            let latency = self.physical.delivery_delay(prev, hop, LOOKUP_HOP_BYTES);
+            self.stats
+                .record_delivery(prev, hop, MessageKind::DhtLookup, LOOKUP_HOP_BYTES, latency);
+            prev = hop;
+        }
+        // Flooding overlays may have spent more messages than the path length.
+        let extra = result.messages.saturating_sub(result.path.len());
+        for _ in 0..extra {
+            self.stats.record_delivery(
+                from,
+                result.owner,
+                MessageKind::DhtLookup,
+                LOOKUP_HOP_BYTES,
+                SimTime::ZERO,
+            );
+        }
+        self.stats.record_lookup(result.hops());
+        Ok((result.owner, result.hops()))
+    }
+
+    /// Sends `size_bytes` of `kind` from `from` to every other online peer.
+    /// Returns the number of peers actually reached.
+    pub fn broadcast(&mut self, from: PeerId, kind: MessageKind, size_bytes: usize) -> usize {
+        if !self.is_online(from) {
+            return 0;
+        }
+        let targets: Vec<PeerId> = self
+            .online_peers()
+            .into_iter()
+            .filter(|&p| p != from)
+            .collect();
+        let mut reached = 0;
+        for to in targets {
+            if self.send(from, to, kind, size_bytes).is_ok() {
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    fn sync_overlay_membership(&mut self) {
+        let now = self.now;
+        for i in 0..self.config.num_peers {
+            let p = PeerId::from(i);
+            let online = self.churn.is_online(p, now);
+            let member = self.overlay.contains(p);
+            if online && !member {
+                self.overlay.add_peer(p);
+                self.log.log(now, Some(p), "join", "peer joined overlay");
+            } else if !online && member {
+                self.overlay.remove_peer(p);
+                self.log.log(now, Some(p), "leave", "peer left overlay");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::config::OverlayKind;
+    use crate::peer::content_key;
+
+    fn small_network(num_peers: usize) -> P2PNetwork {
+        P2PNetwork::new(SimConfig {
+            num_peers,
+            horizon_secs: 10_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn send_between_online_peers_succeeds_and_is_accounted() {
+        let mut net = small_network(8);
+        let latency = net
+            .send(PeerId(0), PeerId(1), MessageKind::ModelPropagation, 500)
+            .unwrap();
+        assert!(latency > SimTime::ZERO);
+        assert_eq!(net.stats().total_bytes(), 500);
+        assert_eq!(net.stats().kind(MessageKind::ModelPropagation).messages, 1);
+    }
+
+    #[test]
+    fn dht_lookup_charges_per_hop() {
+        let mut net = small_network(64);
+        let (owner, hops) = net.dht_lookup(PeerId(3), content_key(b"rust")).unwrap();
+        assert!(net.peers().any(|p| p == owner));
+        assert!(hops >= 1);
+        assert_eq!(net.stats().kind(MessageKind::DhtLookup).messages as usize, hops);
+        assert!(net.stats().mean_lookup_hops() >= 1.0);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_online_peers() {
+        let mut net = small_network(16);
+        let reached = net.broadcast(PeerId(0), MessageKind::CentroidPropagation, 100);
+        assert_eq!(reached, 15);
+        assert_eq!(net.stats().total_bytes(), 1_500);
+    }
+
+    #[test]
+    fn churn_takes_peers_offline_and_send_fails() {
+        let mut net = P2PNetwork::new(SimConfig {
+            num_peers: 64,
+            churn: ChurnModel::Exponential {
+                mean_session_secs: 100.0,
+                mean_offline_secs: 100.0,
+            },
+            horizon_secs: 10_000,
+            ..Default::default()
+        });
+        net.advance(SimTime::from_secs(5_000));
+        let availability = net.availability();
+        assert!(availability < 0.95, "availability {availability}");
+        // Find an offline peer and check that sends to it fail.
+        let offline = net
+            .peers()
+            .find(|&p| !net.is_online(p))
+            .expect("some peer is offline under 50% availability churn");
+        let online = net.peers().find(|&p| net.is_online(p)).unwrap();
+        assert_eq!(
+            net.send(online, offline, MessageKind::Other, 10),
+            Err(DeliveryError::ReceiverOffline)
+        );
+        assert_eq!(
+            net.send(offline, online, MessageKind::Other, 10),
+            Err(DeliveryError::SenderOffline)
+        );
+        // Overlay membership must match the online set.
+        assert_eq!(net.overlay().len(), net.online_peers().len());
+    }
+
+    #[test]
+    fn unstructured_overlay_lookups_work_via_facade() {
+        let mut net = P2PNetwork::new(SimConfig {
+            num_peers: 64,
+            overlay: OverlayKind::Unstructured { degree: 6, ttl: 6 },
+            ..Default::default()
+        });
+        let result = net.dht_lookup(PeerId(5), content_key(b"database"));
+        assert!(result.is_ok());
+        // Flooding charges at least as many messages as a structured lookup.
+        assert!(net.stats().kind(MessageKind::DhtLookup).messages >= 1);
+    }
+
+    #[test]
+    fn offline_sender_cannot_lookup_or_broadcast() {
+        let mut net = P2PNetwork::new(SimConfig {
+            num_peers: 16,
+            churn: ChurnModel::Exponential {
+                mean_session_secs: 1.0,
+                mean_offline_secs: 1_000.0,
+            },
+            horizon_secs: 10_000,
+            ..Default::default()
+        });
+        net.advance(SimTime::from_secs(5_000));
+        let offline = net
+            .peers()
+            .find(|&p| !net.is_online(p))
+            .expect("nearly everyone is offline");
+        assert_eq!(
+            net.dht_lookup(offline, 1),
+            Err(DeliveryError::SenderOffline)
+        );
+        assert_eq!(net.broadcast(offline, MessageKind::Other, 1), 0);
+    }
+
+    #[test]
+    fn advancing_time_is_monotonic() {
+        let mut net = small_network(4);
+        let t0 = net.now();
+        net.advance(SimTime::from_secs(10));
+        assert_eq!(net.now(), t0 + SimTime::from_secs(10));
+    }
+}

@@ -1,0 +1,312 @@
+//! Chord-style structured DHT overlay.
+//!
+//! Peers are placed on a 64-bit identifier ring at [`PeerId::ring_key`]; the
+//! peer responsible for a key is the key's *successor* (first peer clockwise).
+//! Routing is greedy finger routing: at each hop the current peer forwards to
+//! the finger that most closely precedes the key, giving `O(log N)` hops.
+
+use super::{LookupResult, Overlay};
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of finger entries (the full 64-bit ring is covered with 64 fingers,
+/// but beyond ~40 the targets wrap for realistic network sizes; we keep 64 for
+/// faithfulness).
+const FINGER_BITS: u32 = 64;
+
+/// A Chord-like DHT over the peers' ring keys.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChordOverlay {
+    /// Ring position → peer, kept sorted by the BTreeMap.
+    ring: BTreeMap<u64, PeerId>,
+    /// Reverse map for membership checks.
+    keys: BTreeMap<PeerId, u64>,
+}
+
+impl ChordOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an overlay containing `peers`.
+    pub fn with_peers<I: IntoIterator<Item = PeerId>>(peers: I) -> Self {
+        let mut o = Self::new();
+        for p in peers {
+            o.add_peer(p);
+        }
+        o
+    }
+
+    /// The peer responsible for `key` (its successor on the ring).
+    pub fn owner_of(&self, key: u64) -> Option<PeerId> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        self.ring
+            .range(key..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &p)| p)
+    }
+
+    /// The ring key of a member peer.
+    pub fn ring_key_of(&self, peer: PeerId) -> Option<u64> {
+        self.keys.get(&peer).copied()
+    }
+
+    /// The successor of a member peer on the ring.
+    pub fn successor(&self, peer: PeerId) -> Option<PeerId> {
+        let key = self.ring_key_of(peer)?;
+        self.ring
+            .range(key.wrapping_add(1)..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &p)| p)
+    }
+
+    /// The finger table of a member peer: for each finger `i`, the peer
+    /// responsible for `key + 2^i`. Duplicate entries are collapsed.
+    pub fn finger_table(&self, peer: PeerId) -> Vec<PeerId> {
+        let Some(key) = self.ring_key_of(peer) else {
+            return Vec::new();
+        };
+        let mut fingers = Vec::new();
+        for i in 0..FINGER_BITS {
+            let target = key.wrapping_add(1u64.wrapping_shl(i));
+            if let Some(owner) = self.owner_of(target) {
+                if owner != peer && fingers.last() != Some(&owner) {
+                    fingers.push(owner);
+                }
+            }
+        }
+        fingers.dedup();
+        fingers
+    }
+
+    /// True when `x` lies on the clockwise arc `(a, b]` of the ring.
+    fn in_arc(a: u64, b: u64, x: u64) -> bool {
+        if a < b {
+            x > a && x <= b
+        } else if a > b {
+            x > a || x <= b
+        } else {
+            // a == b: the arc covers the whole ring.
+            true
+        }
+    }
+}
+
+impl Overlay for ChordOverlay {
+    fn members(&self) -> Vec<PeerId> {
+        self.keys.keys().copied().collect()
+    }
+
+    fn contains(&self, peer: PeerId) -> bool {
+        self.keys.contains_key(&peer)
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn lookup(&self, from: PeerId, key: u64) -> Option<LookupResult> {
+        if !self.contains(from) || self.ring.is_empty() {
+            return None;
+        }
+        let owner = self.owner_of(key)?;
+        let mut path = Vec::new();
+        let mut current = from;
+        // Greedy finger routing; bounded by the ring size to guarantee
+        // termination even in degenerate cases.
+        for _ in 0..=self.len() {
+            if current == owner {
+                break;
+            }
+            let cur_key = self.ring_key_of(current)?;
+            // If the key lies between us and our successor, the successor owns it.
+            let succ = self.successor(current)?;
+            let succ_key = self.ring_key_of(succ)?;
+            if Self::in_arc(cur_key, succ_key, key) {
+                path.push(succ);
+                current = succ;
+                continue;
+            }
+            // Otherwise forward to the closest preceding finger.
+            let fingers = self.finger_table(current);
+            let mut next = succ;
+            let mut best_dist = key.wrapping_sub(self.ring_key_of(succ)?);
+            for f in fingers {
+                let fk = self.ring_key_of(f)?;
+                // Distance from finger to key going clockwise; smaller = closer
+                // predecessor of the key.
+                let dist = key.wrapping_sub(fk);
+                if dist < best_dist && f != current {
+                    best_dist = dist;
+                    next = f;
+                }
+            }
+            if next == current {
+                next = succ;
+            }
+            path.push(next);
+            current = next;
+        }
+        if current != owner {
+            return None;
+        }
+        if path.is_empty() {
+            // The source itself owns the key.
+            path.push(owner);
+        }
+        let messages = path.len();
+        Some(LookupResult {
+            owner,
+            path,
+            messages,
+        })
+    }
+
+    fn neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let mut n = self.finger_table(peer);
+        if let Some(succ) = self.successor(peer) {
+            if succ != peer && !n.contains(&succ) {
+                n.push(succ);
+            }
+        }
+        n
+    }
+
+    fn add_peer(&mut self, peer: PeerId) {
+        let key = peer.ring_key();
+        self.ring.insert(key, peer);
+        self.keys.insert(peer, key);
+    }
+
+    fn remove_peer(&mut self, peer: PeerId) {
+        if let Some(key) = self.keys.remove(&peer) {
+            self.ring.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::mix64;
+
+    fn overlay(n: u64) -> ChordOverlay {
+        ChordOverlay::with_peers((0..n).map(PeerId))
+    }
+
+    /// Brute-force owner: the member with the smallest ring key ≥ key, else the
+    /// globally smallest ring key.
+    fn brute_force_owner(o: &ChordOverlay, key: u64) -> PeerId {
+        let mut members: Vec<(u64, PeerId)> = o
+            .members()
+            .into_iter()
+            .map(|p| (o.ring_key_of(p).unwrap(), p))
+            .collect();
+        members.sort_unstable();
+        members
+            .iter()
+            .find(|&&(k, _)| k >= key)
+            .or_else(|| members.first())
+            .map(|&(_, p)| p)
+            .unwrap()
+    }
+
+    #[test]
+    fn owner_matches_brute_force() {
+        let o = overlay(64);
+        for i in 0..500u64 {
+            let key = mix64(i);
+            assert_eq!(o.owner_of(key), Some(brute_force_owner(&o, key)), "key {key}");
+        }
+    }
+
+    #[test]
+    fn lookup_finds_the_owner_from_any_source() {
+        let o = overlay(128);
+        for i in 0..200u64 {
+            let key = mix64(i * 7 + 1);
+            let from = PeerId(i % 128);
+            let r = o.lookup(from, key).expect("lookup succeeds");
+            assert_eq!(Some(r.owner), o.owner_of(key));
+            assert_eq!(*r.path.last().unwrap(), r.owner);
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let o = overlay(512);
+        let mut total_hops = 0usize;
+        let n_lookups = 300;
+        for i in 0..n_lookups as u64 {
+            let key = mix64(i + 9_999);
+            let from = PeerId(mix64(i) % 512);
+            total_hops += o.lookup(from, key).unwrap().hops();
+        }
+        let mean = total_hops as f64 / n_lookups as f64;
+        // log2(512) = 9; greedy finger routing should average well below that
+        // and must not degenerate towards O(N).
+        assert!(mean < 12.0, "mean hops {mean}");
+        assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn lookup_from_owner_is_single_hop_to_self() {
+        let o = overlay(16);
+        // Pick a key owned by peer 3.
+        let key = o.ring_key_of(PeerId(3)).unwrap();
+        let r = o.lookup(PeerId(3), key).unwrap();
+        assert_eq!(r.owner, PeerId(3));
+        assert_eq!(r.hops(), 1);
+    }
+
+    #[test]
+    fn removing_a_peer_transfers_its_keys_to_the_successor() {
+        let mut o = overlay(32);
+        let victim = PeerId(5);
+        let key = o.ring_key_of(victim).unwrap();
+        assert_eq!(o.owner_of(key), Some(victim));
+        let succ = o.successor(victim).unwrap();
+        o.remove_peer(victim);
+        assert_eq!(o.owner_of(key), Some(succ));
+        assert!(!o.contains(victim));
+        assert_eq!(o.len(), 31);
+    }
+
+    #[test]
+    fn lookup_fails_for_non_member_source() {
+        let o = overlay(8);
+        assert!(o.lookup(PeerId(99), 42).is_none());
+    }
+
+    #[test]
+    fn empty_overlay_has_no_owner() {
+        let o = ChordOverlay::new();
+        assert!(o.owner_of(1).is_none());
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn neighbors_are_bounded_by_log_n() {
+        let o = overlay(256);
+        for i in 0..256u64 {
+            let n = o.neighbors(PeerId(i)).len();
+            assert!(n <= 66, "peer {i} has {n} neighbors");
+            assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    fn in_arc_wraparound() {
+        assert!(ChordOverlay::in_arc(10, 20, 15));
+        assert!(!ChordOverlay::in_arc(10, 20, 25));
+        assert!(ChordOverlay::in_arc(u64::MAX - 5, 5, 2));
+        assert!(ChordOverlay::in_arc(u64::MAX - 5, 5, u64::MAX));
+        assert!(!ChordOverlay::in_arc(u64::MAX - 5, 5, 100));
+    }
+}

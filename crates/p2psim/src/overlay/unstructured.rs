@@ -1,0 +1,312 @@
+//! Unstructured random-graph overlay with TTL-bounded flooding search.
+//!
+//! The classic Gnutella-style alternative to a DHT: peers connect to a few
+//! random neighbours and locate content by flooding queries up to a TTL.
+//! There is no key ownership, so for comparability with the structured
+//! overlay the "owner" of a key is defined as the member whose ring position
+//! is closest to it; a lookup succeeds only if flooding reaches that peer
+//! within the TTL. This makes the topology experiment (E5) meaningful: the
+//! unstructured overlay spends many more messages per lookup and may fail,
+//! while Chord routes in `O(log N)` hops deterministically.
+
+use super::{LookupResult, Overlay};
+use crate::peer::{mix64, PeerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Configuration of the unstructured overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnstructuredConfig {
+    /// Target number of neighbours per peer.
+    pub degree: usize,
+    /// Flooding TTL (maximum number of hops a query travels).
+    pub ttl: usize,
+    /// Seed controlling the random graph wiring.
+    pub seed: u64,
+}
+
+impl Default for UnstructuredConfig {
+    fn default() -> Self {
+        Self {
+            degree: 6,
+            ttl: 5,
+            seed: 77,
+        }
+    }
+}
+
+/// A random (roughly `degree`-regular) graph overlay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnstructuredOverlay {
+    config: UnstructuredConfig,
+    adjacency: BTreeMap<PeerId, BTreeSet<PeerId>>,
+}
+
+impl UnstructuredOverlay {
+    /// Creates an empty overlay.
+    pub fn new(config: UnstructuredConfig) -> Self {
+        Self {
+            config,
+            adjacency: BTreeMap::new(),
+        }
+    }
+
+    /// Builds an overlay over `peers` with default wiring.
+    pub fn with_peers<I: IntoIterator<Item = PeerId>>(config: UnstructuredConfig, peers: I) -> Self {
+        let mut o = Self::new(config);
+        for p in peers {
+            o.add_peer(p);
+        }
+        o
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &UnstructuredConfig {
+        &self.config
+    }
+
+    /// The member whose ring key is numerically closest to `key` (the
+    /// "owner" for comparability with structured overlays).
+    pub fn closest_member(&self, key: u64) -> Option<PeerId> {
+        self.adjacency
+            .keys()
+            .min_by_key(|p| {
+                let k = p.ring_key();
+                k.abs_diff(key)
+            })
+            .copied()
+    }
+
+    /// Deterministic pseudo-random neighbour choice for a joining peer.
+    fn pick_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let mut existing: Vec<PeerId> = self.adjacency.keys().copied().collect();
+        if existing.is_empty() {
+            return Vec::new();
+        }
+        let want = self.config.degree.min(existing.len());
+        let mut chosen = Vec::with_capacity(want);
+        let mut salt = 0u64;
+        while chosen.len() < want && !existing.is_empty() {
+            let idx =
+                (mix64(self.config.seed ^ peer.0.wrapping_mul(0x51_7C_C1B7).wrapping_add(salt))
+                    % existing.len() as u64) as usize;
+            chosen.push(existing.swap_remove(idx));
+            salt += 1;
+        }
+        chosen
+    }
+}
+
+impl Overlay for UnstructuredOverlay {
+    fn members(&self) -> Vec<PeerId> {
+        self.adjacency.keys().copied().collect()
+    }
+
+    fn contains(&self, peer: PeerId) -> bool {
+        self.adjacency.contains_key(&peer)
+    }
+
+    fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    fn lookup(&self, from: PeerId, key: u64) -> Option<LookupResult> {
+        if !self.contains(from) {
+            return None;
+        }
+        let target = self.closest_member(key)?;
+        if target == from {
+            return Some(LookupResult {
+                owner: target,
+                path: vec![target],
+                messages: 1,
+            });
+        }
+        // Breadth-first flooding up to the TTL, counting every forwarded copy
+        // of the query as one overlay message.
+        let mut visited: BTreeSet<PeerId> = BTreeSet::from([from]);
+        let mut parent: BTreeMap<PeerId, PeerId> = BTreeMap::new();
+        let mut frontier = VecDeque::from([(from, 0usize)]);
+        let mut messages = 0usize;
+        let mut found = false;
+        while let Some((node, depth)) = frontier.pop_front() {
+            if depth >= self.config.ttl {
+                continue;
+            }
+            for &next in self.adjacency.get(&node).into_iter().flatten() {
+                if visited.contains(&next) {
+                    continue;
+                }
+                messages += 1;
+                visited.insert(next);
+                parent.insert(next, node);
+                if next == target {
+                    found = true;
+                    frontier.clear();
+                    break;
+                }
+                frontier.push_back((next, depth + 1));
+            }
+            if found {
+                break;
+            }
+        }
+        if !found {
+            return None;
+        }
+        // Reconstruct the hop path from the parent pointers.
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == from {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(LookupResult {
+            owner: target,
+            path,
+            messages,
+        })
+    }
+
+    fn neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        self.adjacency
+            .get(&peer)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn add_peer(&mut self, peer: PeerId) {
+        if self.adjacency.contains_key(&peer) {
+            return;
+        }
+        let neighbors = self.pick_neighbors(peer);
+        self.adjacency.insert(peer, BTreeSet::new());
+        for n in neighbors {
+            self.adjacency.get_mut(&peer).expect("just inserted").insert(n);
+            self.adjacency.entry(n).or_default().insert(peer);
+        }
+    }
+
+    fn remove_peer(&mut self, peer: PeerId) {
+        if let Some(neighbors) = self.adjacency.remove(&peer) {
+            for n in neighbors {
+                if let Some(adj) = self.adjacency.get_mut(&n) {
+                    adj.remove(&peer);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::mix64;
+
+    fn overlay(n: u64) -> UnstructuredOverlay {
+        UnstructuredOverlay::with_peers(UnstructuredConfig::default(), (0..n).map(PeerId))
+    }
+
+    #[test]
+    fn graph_is_connected_enough_for_lookups() {
+        let o = overlay(128);
+        let mut found = 0;
+        let total = 100;
+        for i in 0..total as u64 {
+            let key = mix64(i);
+            if o.lookup(PeerId(i % 128), key).is_some() {
+                found += 1;
+            }
+        }
+        // With degree 6 and TTL 5 almost all lookups should succeed on 128 peers.
+        assert!(found >= 90, "only {found}/{total} lookups succeeded");
+    }
+
+    #[test]
+    fn flooding_costs_more_messages_than_hops() {
+        let o = overlay(128);
+        for i in 0..50u64 {
+            if let Some(r) = o.lookup(PeerId(i % 128), mix64(i + 500)) {
+                assert!(r.messages >= r.hops());
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_are_close_to_target() {
+        let o = overlay(200);
+        let mean_degree: f64 = (0..200u64)
+            .map(|i| o.neighbors(PeerId(i)).len() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!(mean_degree >= 5.0, "mean degree {mean_degree}");
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let o = overlay(100);
+        for p in o.members() {
+            for n in o.neighbors(p) {
+                assert!(o.neighbors(n).contains(&p), "{p} -> {n} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_peer_cleans_up_edges() {
+        let mut o = overlay(50);
+        let victim = PeerId(10);
+        let neighbors = o.neighbors(victim);
+        assert!(!neighbors.is_empty());
+        o.remove_peer(victim);
+        assert!(!o.contains(victim));
+        for n in neighbors {
+            assert!(!o.neighbors(n).contains(&victim));
+        }
+    }
+
+    #[test]
+    fn low_ttl_limits_reachability() {
+        let short = UnstructuredOverlay::with_peers(
+            UnstructuredConfig {
+                ttl: 1,
+                ..Default::default()
+            },
+            (0..256).map(PeerId),
+        );
+        let long = overlay(256);
+        let mut short_found = 0;
+        let mut long_found = 0;
+        for i in 0..100u64 {
+            let key = mix64(i + 77);
+            let from = PeerId(i % 256);
+            if short.lookup(from, key).is_some() {
+                short_found += 1;
+            }
+            if long.lookup(from, key).is_some() {
+                long_found += 1;
+            }
+        }
+        assert!(short_found < long_found);
+    }
+
+    #[test]
+    fn self_lookup_when_source_is_closest() {
+        let o = overlay(4);
+        let p = PeerId(2);
+        let key = p.ring_key();
+        let r = o.lookup(p, key).unwrap();
+        assert_eq!(r.owner, p);
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    fn non_member_source_fails() {
+        let o = overlay(10);
+        assert!(o.lookup(PeerId(999), 5).is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Peer identifiers and key-space hashing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a peer in the simulated network.
+///
+/// Peers are numbered densely from 0; the DHT key of a peer is derived from
+/// this number with a 64-bit mixing function so that peers are spread
+/// uniformly around the identifier ring regardless of how many there are.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PeerId(pub u64);
+
+impl PeerId {
+    /// The peer's position on the 64-bit DHT identifier ring.
+    pub fn ring_key(self) -> u64 {
+        mix64(self.0.wrapping_add(0xA5A5_5A5A_DEAD_BEEF))
+    }
+
+    /// Index form (peers are created densely from 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+impl From<u64> for PeerId {
+    fn from(v: u64) -> Self {
+        PeerId(v)
+    }
+}
+
+impl From<usize> for PeerId {
+    fn from(v: usize) -> Self {
+        PeerId(v as u64)
+    }
+}
+
+/// Hashes arbitrary byte content onto the DHT identifier ring.
+///
+/// Used to locate the super-peer responsible for a tag: the tag name is hashed
+/// to a key and the DHT lookup finds its deterministic owner.
+pub fn content_key(bytes: &[u8]) -> u64 {
+    // FNV-1a followed by a strong finalizer; stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// SplitMix64 finalizer, used to turn sequential ids into uniform ring keys.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ring_keys_are_distinct_and_stable() {
+        let a = PeerId(1).ring_key();
+        let b = PeerId(2).ring_key();
+        assert_ne!(a, b);
+        assert_eq!(a, PeerId(1).ring_key());
+    }
+
+    #[test]
+    fn ring_keys_are_well_spread() {
+        // With 1024 peers, keys should not cluster: check that all are unique
+        // and that both halves of the ring are populated.
+        let keys: Vec<u64> = (0..1024).map(|i| PeerId(i).ring_key()).collect();
+        let unique: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len());
+        let low = keys.iter().filter(|&&k| k < u64::MAX / 2).count();
+        assert!(low > 300 && low < 724, "low half count {low}");
+    }
+
+    #[test]
+    fn content_key_is_deterministic_and_sensitive() {
+        assert_eq!(content_key(b"rust"), content_key(b"rust"));
+        assert_ne!(content_key(b"rust"), content_key(b"rusty"));
+        assert_ne!(content_key(b""), content_key(b"a"));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let p: PeerId = 7usize.into();
+        assert_eq!(p.to_string(), "peer7");
+        assert_eq!(p.index(), 7);
+        assert_eq!(PeerId::from(7u64), p);
+    }
+}

@@ -1,0 +1,169 @@
+//! Physical-network model: per-link latency and bandwidth.
+//!
+//! P2PDMT "allows setting parameters like physical connection of peers" (§2);
+//! this module models the underlay as a full mesh with heterogeneous link
+//! latencies (a fixed per-pair base latency drawn deterministically from the
+//! peer pair, plus optional jitter) and a per-peer uplink bandwidth that turns
+//! message size into transmission delay.
+
+use crate::peer::{mix64, PeerId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the physical network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhysicalConfig {
+    /// Minimum one-way propagation latency between two peers, in milliseconds.
+    pub min_latency_ms: f64,
+    /// Maximum one-way propagation latency between two peers, in milliseconds.
+    pub max_latency_ms: f64,
+    /// Uplink bandwidth per peer in bytes per second (0 = infinite).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Seed for the deterministic per-pair latency draw.
+    pub seed: u64,
+}
+
+impl Default for PhysicalConfig {
+    fn default() -> Self {
+        Self {
+            // Typical wide-area RTTs of 20–300 ms one way ≈ residential peers.
+            min_latency_ms: 10.0,
+            max_latency_ms: 150.0,
+            bandwidth_bytes_per_sec: 1_000_000, // ~8 Mbit/s uplink
+            seed: 99,
+        }
+    }
+}
+
+/// Deterministic latency/bandwidth model over a full-mesh underlay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhysicalNetwork {
+    config: PhysicalConfig,
+}
+
+impl PhysicalNetwork {
+    /// Creates a physical network with the given configuration.
+    pub fn new(config: PhysicalConfig) -> Self {
+        assert!(
+            config.max_latency_ms >= config.min_latency_ms,
+            "max latency must not be below min latency"
+        );
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PhysicalConfig {
+        &self.config
+    }
+
+    /// One-way propagation latency between two peers.
+    ///
+    /// Symmetric (`latency(a, b) == latency(b, a)`) and deterministic for a
+    /// given seed, so repeated runs of an experiment see the same underlay.
+    pub fn latency(&self, a: PeerId, b: PeerId) -> SimTime {
+        if a == b {
+            return SimTime::ZERO;
+        }
+        let (lo, hi) = (a.0.min(b.0), a.0.max(b.0));
+        let h = mix64(self.config.seed ^ mix64(lo).wrapping_add(mix64(hi).rotate_left(17)));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0,1)
+        let ms = self.config.min_latency_ms
+            + frac * (self.config.max_latency_ms - self.config.min_latency_ms);
+        SimTime::from_secs_f64(ms / 1e3)
+    }
+
+    /// Transmission delay for `size_bytes` on the sender's uplink.
+    pub fn transmission_delay(&self, size_bytes: usize) -> SimTime {
+        if self.config.bandwidth_bytes_per_sec == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(size_bytes as f64 / self.config.bandwidth_bytes_per_sec as f64)
+    }
+
+    /// Total one-way delivery delay for a message of `size_bytes` from `a` to `b`.
+    pub fn delivery_delay(&self, a: PeerId, b: PeerId, size_bytes: usize) -> SimTime {
+        self.latency(a, b) + self.transmission_delay(size_bytes)
+    }
+}
+
+impl Default for PhysicalNetwork {
+    fn default() -> Self {
+        Self::new(PhysicalConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_symmetric_and_deterministic() {
+        let net = PhysicalNetwork::default();
+        let a = PeerId(3);
+        let b = PeerId(9);
+        assert_eq!(net.latency(a, b), net.latency(b, a));
+        assert_eq!(net.latency(a, b), net.latency(a, b));
+    }
+
+    #[test]
+    fn latency_respects_bounds() {
+        let net = PhysicalNetwork::new(PhysicalConfig {
+            min_latency_ms: 5.0,
+            max_latency_ms: 50.0,
+            ..Default::default()
+        });
+        for i in 0..50u64 {
+            for j in (i + 1)..50u64 {
+                let l = net.latency(PeerId(i), PeerId(j)).as_secs_f64() * 1e3;
+                assert!((5.0..=50.0).contains(&l), "latency {l} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn self_latency_is_zero() {
+        let net = PhysicalNetwork::default();
+        assert_eq!(net.latency(PeerId(4), PeerId(4)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let net = PhysicalNetwork::new(PhysicalConfig {
+            bandwidth_bytes_per_sec: 1_000,
+            ..Default::default()
+        });
+        assert_eq!(net.transmission_delay(1_000), SimTime::from_secs(1));
+        assert_eq!(net.transmission_delay(500), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn infinite_bandwidth_has_no_transmission_delay() {
+        let net = PhysicalNetwork::new(PhysicalConfig {
+            bandwidth_bytes_per_sec: 0,
+            ..Default::default()
+        });
+        assert_eq!(net.transmission_delay(1 << 30), SimTime::ZERO);
+    }
+
+    #[test]
+    fn delivery_delay_combines_both_components() {
+        let net = PhysicalNetwork::new(PhysicalConfig {
+            min_latency_ms: 10.0,
+            max_latency_ms: 10.0,
+            bandwidth_bytes_per_sec: 1_000,
+            seed: 1,
+        });
+        let d = net.delivery_delay(PeerId(0), PeerId(1), 1_000);
+        assert_eq!(d, SimTime::from_millis(1_010));
+    }
+
+    #[test]
+    #[should_panic(expected = "max latency")]
+    fn invalid_config_panics() {
+        PhysicalNetwork::new(PhysicalConfig {
+            min_latency_ms: 10.0,
+            max_latency_ms: 5.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,273 @@
+//! Communication and simulation statistics.
+//!
+//! P2PDMT's data-mining layer offers "evaluate performance" and "visualize
+//! statistics" facilities (Figure 2). [`SimStats`] is the accounting backbone
+//! of the reproduction: every message routed through the network facade or the
+//! event engine is recorded here, broken down by traffic category and by peer,
+//! so the experiment harness can report per-peer communication cost exactly as
+//! the CEMPaR/PACE evaluations do.
+
+use crate::message::MessageKind;
+use crate::peer::PeerId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for one traffic category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Messages sent (including ones later dropped).
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Messages that could not be delivered (receiver offline, no route, …).
+    pub dropped: u64,
+}
+
+/// Aggregated statistics of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    by_kind: BTreeMap<MessageKind, KindStats>,
+    bytes_sent_by_peer: BTreeMap<PeerId, u64>,
+    bytes_received_by_peer: BTreeMap<PeerId, u64>,
+    total_hops: u64,
+    lookups: u64,
+    latency_sum: SimTime,
+    delivered: u64,
+}
+
+impl SimStats {
+    /// Creates an empty statistics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successfully delivered message.
+    pub fn record_delivery(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: MessageKind,
+        bytes: usize,
+        latency: SimTime,
+    ) {
+        let k = self.by_kind.entry(kind).or_default();
+        k.messages += 1;
+        k.bytes += bytes as u64;
+        *self.bytes_sent_by_peer.entry(from).or_default() += bytes as u64;
+        *self.bytes_received_by_peer.entry(to).or_default() += bytes as u64;
+        self.latency_sum += latency;
+        self.delivered += 1;
+    }
+
+    /// Records a message that was sent but never delivered.
+    pub fn record_drop(&mut self, from: PeerId, kind: MessageKind, bytes: usize) {
+        let k = self.by_kind.entry(kind).or_default();
+        k.messages += 1;
+        k.bytes += bytes as u64;
+        k.dropped += 1;
+        *self.bytes_sent_by_peer.entry(from).or_default() += bytes as u64;
+    }
+
+    /// Records the hop count of a DHT lookup.
+    pub fn record_lookup(&mut self, hops: usize) {
+        self.total_hops += hops as u64;
+        self.lookups += 1;
+    }
+
+    /// Per-category counters.
+    pub fn by_kind(&self) -> &BTreeMap<MessageKind, KindStats> {
+        &self.by_kind
+    }
+
+    /// Counters for one category (zeroes if the category never occurred).
+    pub fn kind(&self, kind: MessageKind) -> KindStats {
+        self.by_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Total messages sent across all categories.
+    pub fn total_messages(&self) -> u64 {
+        self.by_kind.values().map(|k| k.messages).sum()
+    }
+
+    /// Total bytes sent across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.by_kind.values().map(|k| k.bytes).sum()
+    }
+
+    /// Total messages dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.by_kind.values().map(|k| k.dropped).sum()
+    }
+
+    /// Number of delivered messages.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Fraction of sent messages that were delivered (1.0 when nothing was sent).
+    pub fn delivery_rate(&self) -> f64 {
+        let sent = self.total_messages();
+        if sent == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / sent as f64
+    }
+
+    /// Bytes sent by a given peer.
+    pub fn bytes_sent_by(&self, peer: PeerId) -> u64 {
+        self.bytes_sent_by_peer.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Bytes received by a given peer.
+    pub fn bytes_received_by(&self, peer: PeerId) -> u64 {
+        self.bytes_received_by_peer.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Average bytes sent per participating peer (0.0 when no peer sent data).
+    pub fn mean_bytes_sent_per_peer(&self) -> f64 {
+        if self.bytes_sent_by_peer.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.bytes_sent_by_peer.len() as f64
+    }
+
+    /// Maximum bytes sent by any single peer (the hot-spot load).
+    pub fn max_bytes_sent_by_any_peer(&self) -> u64 {
+        self.bytes_sent_by_peer.values().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum bytes *received* by any single peer (super-peers concentrate load here).
+    pub fn max_bytes_received_by_any_peer(&self) -> u64 {
+        self.bytes_received_by_peer
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean hops per recorded DHT lookup.
+    pub fn mean_lookup_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.lookups as f64
+    }
+
+    /// Mean delivery latency over all delivered messages.
+    pub fn mean_latency(&self) -> SimTime {
+        if self.delivered == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime(self.latency_sum.0 / self.delivered)
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        for (&kind, ks) in &other.by_kind {
+            let k = self.by_kind.entry(kind).or_default();
+            k.messages += ks.messages;
+            k.bytes += ks.bytes;
+            k.dropped += ks.dropped;
+        }
+        for (&p, &b) in &other.bytes_sent_by_peer {
+            *self.bytes_sent_by_peer.entry(p).or_default() += b;
+        }
+        for (&p, &b) in &other.bytes_received_by_peer {
+            *self.bytes_received_by_peer.entry(p).or_default() += b;
+        }
+        self.total_hops += other.total_hops;
+        self.lookups += other.lookups;
+        self.latency_sum += other.latency_sum;
+        self.delivered += other.delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_accounting() {
+        let mut s = SimStats::new();
+        s.record_delivery(
+            PeerId(0),
+            PeerId(1),
+            MessageKind::ModelPropagation,
+            100,
+            SimTime::from_millis(10),
+        );
+        s.record_delivery(
+            PeerId(0),
+            PeerId(2),
+            MessageKind::ModelPropagation,
+            50,
+            SimTime::from_millis(30),
+        );
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.bytes_sent_by(PeerId(0)), 150);
+        assert_eq!(s.bytes_received_by(PeerId(1)), 100);
+        assert_eq!(s.delivery_rate(), 1.0);
+        assert_eq!(s.mean_latency(), SimTime::from_millis(20));
+        assert_eq!(s.kind(MessageKind::ModelPropagation).messages, 2);
+        assert_eq!(s.kind(MessageKind::DhtLookup).messages, 0);
+    }
+
+    #[test]
+    fn drops_lower_the_delivery_rate() {
+        let mut s = SimStats::new();
+        s.record_delivery(
+            PeerId(0),
+            PeerId(1),
+            MessageKind::Other,
+            10,
+            SimTime::ZERO,
+        );
+        s.record_drop(PeerId(0), MessageKind::Other, 10);
+        assert_eq!(s.total_dropped(), 1);
+        assert!((s.delivery_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_hops_average() {
+        let mut s = SimStats::new();
+        s.record_lookup(3);
+        s.record_lookup(5);
+        assert_eq!(s.mean_lookup_hops(), 4.0);
+        assert_eq!(SimStats::new().mean_lookup_hops(), 0.0);
+    }
+
+    #[test]
+    fn per_peer_maxima() {
+        let mut s = SimStats::new();
+        s.record_delivery(PeerId(0), PeerId(9), MessageKind::Other, 10, SimTime::ZERO);
+        s.record_delivery(PeerId(1), PeerId(9), MessageKind::Other, 30, SimTime::ZERO);
+        assert_eq!(s.max_bytes_sent_by_any_peer(), 30);
+        assert_eq!(s.max_bytes_received_by_any_peer(), 40);
+        assert!(s.mean_bytes_sent_per_peer() > 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counters() {
+        let mut a = SimStats::new();
+        a.record_delivery(PeerId(0), PeerId(1), MessageKind::Other, 10, SimTime::ZERO);
+        let mut b = SimStats::new();
+        b.record_drop(PeerId(1), MessageKind::Other, 20);
+        b.record_lookup(4);
+        a.merge(&b);
+        assert_eq!(a.total_messages(), 2);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.total_dropped(), 1);
+        assert_eq!(a.mean_lookup_hops(), 4.0);
+    }
+
+    #[test]
+    fn empty_stats_defaults() {
+        let s = SimStats::new();
+        assert_eq!(s.delivery_rate(), 1.0);
+        assert_eq!(s.mean_latency(), SimTime::ZERO);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.mean_bytes_sent_per_peer(), 0.0);
+    }
+}

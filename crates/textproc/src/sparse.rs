@@ -1,0 +1,398 @@
+//! Sparse feature vectors.
+//!
+//! A document `d` is represented by a vector `{w_1, …, w_m}` where `w_j` is the
+//! weight of the word with id `j` and `m` is the size of the lexicon (§2 of the
+//! paper). Since `m` is typically tens of thousands while a single document only
+//! contains a few hundred distinct words, vectors are stored sparsely as sorted
+//! `(index, value)` pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector stored as parallel, index-sorted arrays.
+///
+/// Invariants maintained by all constructors:
+/// * indices are strictly increasing (no duplicates),
+/// * no stored value is exactly `0.0`,
+/// * `indices.len() == values.len()`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVector {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Creates an empty vector (the zero vector).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a vector from unsorted `(index, value)` pairs.
+    ///
+    /// Duplicate indices are summed; zero-valued entries are dropped.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, f64)>,
+    {
+        let mut pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if let Some(&last) = indices.last() {
+                if last == i {
+                    *values.last_mut().expect("values parallel to indices") += v;
+                    continue;
+                }
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        let mut out = Self { indices, values };
+        out.prune_zeros();
+        out
+    }
+
+    /// Creates a vector from a dense slice, skipping zero entries.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        Self::from_pairs(
+            dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i as u32, v)),
+        )
+    }
+
+    /// Converts to a dense vector of length `dim`.
+    ///
+    /// Entries with index `>= dim` are ignored.
+    pub fn to_dense(&self, dim: usize) -> Vec<f64> {
+        let mut out = vec![0.0; dim];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            if (i as usize) < dim {
+                out[i as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` when the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Largest stored index plus one, or 0 for an empty vector.
+    pub fn dim_lower_bound(&self) -> usize {
+        self.indices.last().map_or(0, |&i| i as usize + 1)
+    }
+
+    /// Returns the value stored at `index` (0.0 if absent).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sets the value at `index`, inserting, overwriting, or removing as needed.
+    pub fn set(&mut self, index: u32, value: f64) {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => {
+                if value == 0.0 {
+                    self.indices.remove(pos);
+                    self.values.remove(pos);
+                } else {
+                    self.values[pos] = value;
+                }
+            }
+            Err(pos) => {
+                if value != 0.0 {
+                    self.indices.insert(pos, index);
+                    self.values.insert(pos, value);
+                }
+            }
+        }
+    }
+
+    /// Iterates over `(index, value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Stored indices (sorted, strictly increasing).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values, parallel to [`Self::indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &Self) -> f64 {
+        // Merge-join over the two sorted index lists.
+        let mut sum = 0.0;
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.indices.len() && b < other.indices.len() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += self.values[a] * other.values[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Dot product with a dense weight vector (entries beyond `dense.len()` are ignored).
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            if let Some(w) = dense.get(i as usize) {
+                sum += w * v;
+            }
+        }
+        sum
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Sum of all stored values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Squared Euclidean distance to another sparse vector.
+    pub fn distance_sq(&self, other: &Self) -> f64 {
+        self.norm_sq() + other.norm_sq() - 2.0 * self.dot(other)
+    }
+
+    /// Euclidean distance to another sparse vector.
+    pub fn distance(&self, other: &Self) -> f64 {
+        self.distance_sq(other).max(0.0).sqrt()
+    }
+
+    /// Cosine similarity with another vector; 0.0 if either vector is zero.
+    pub fn cosine(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Multiplies every entry by `factor` in place.
+    pub fn scale(&mut self, factor: f64) {
+        if factor == 0.0 {
+            self.indices.clear();
+            self.values.clear();
+            return;
+        }
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Returns `self + factor * other` as a new vector.
+    pub fn add_scaled(&self, other: &Self, factor: f64) -> Self {
+        let mut out_idx = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut out_val = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.indices.len() || b < other.indices.len() {
+            let take_a = b >= other.indices.len()
+                || (a < self.indices.len() && self.indices[a] < other.indices[b]);
+            let take_b = a >= self.indices.len()
+                || (b < other.indices.len() && other.indices[b] < self.indices[a]);
+            if take_a {
+                out_idx.push(self.indices[a]);
+                out_val.push(self.values[a]);
+                a += 1;
+            } else if take_b {
+                out_idx.push(other.indices[b]);
+                out_val.push(factor * other.values[b]);
+                b += 1;
+            } else {
+                out_idx.push(self.indices[a]);
+                out_val.push(self.values[a] + factor * other.values[b]);
+                a += 1;
+                b += 1;
+            }
+        }
+        let mut out = Self {
+            indices: out_idx,
+            values: out_val,
+        };
+        out.prune_zeros();
+        out
+    }
+
+    /// Returns `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        self.add_scaled(other, 1.0)
+    }
+
+    /// Returns `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add_scaled(other, -1.0)
+    }
+
+    /// Normalizes the vector to unit Euclidean length (no-op on the zero vector).
+    pub fn l2_normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            self.scale(1.0 / n);
+        }
+    }
+
+    /// Normalizes the vector so its entries sum to one (no-op if the sum is zero).
+    pub fn l1_normalize(&mut self) {
+        let s: f64 = self.values.iter().map(|v| v.abs()).sum();
+        if s > 0.0 {
+            self.scale(1.0 / s);
+        }
+    }
+
+    /// Approximate number of bytes required to transmit this vector over the
+    /// network (index + value per entry). Used by the communication-cost
+    /// accounting of the P2P protocols.
+    pub fn wire_size(&self) -> usize {
+        self.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>())
+            + std::mem::size_of::<u32>()
+    }
+
+    fn prune_zeros(&mut self) {
+        let mut keep_idx = Vec::with_capacity(self.indices.len());
+        let mut keep_val = Vec::with_capacity(self.values.len());
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            if v != 0.0 {
+                keep_idx.push(i);
+                keep_val.push(v);
+            }
+        }
+        self.indices = keep_idx;
+        self.values = keep_val;
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+/// Computes the (dense) mean of a set of sparse vectors.
+///
+/// Returns the zero vector when `vectors` is empty.
+pub fn mean(vectors: &[SparseVector]) -> SparseVector {
+    if vectors.is_empty() {
+        return SparseVector::new();
+    }
+    let mut acc = SparseVector::new();
+    for v in vectors {
+        acc = acc.add(v);
+    }
+    acc.scale(1.0 / vectors.len() as f64);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges_duplicates() {
+        let v = SparseVector::from_pairs([(5, 1.0), (2, 2.0), (5, 3.0), (9, 0.0)]);
+        assert_eq!(v.indices(), &[2, 5]);
+        assert_eq!(v.values(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn get_and_set_roundtrip() {
+        let mut v = SparseVector::new();
+        v.set(10, 2.5);
+        v.set(3, 1.0);
+        assert_eq!(v.get(10), 2.5);
+        assert_eq!(v.get(3), 1.0);
+        assert_eq!(v.get(7), 0.0);
+        v.set(10, 0.0);
+        assert_eq!(v.get(10), 0.0);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn dot_product_matches_dense() {
+        let a = SparseVector::from_pairs([(0, 1.0), (2, 3.0), (7, -1.0)]);
+        let b = SparseVector::from_pairs([(2, 2.0), (3, 5.0), (7, 4.0)]);
+        assert!((a.dot(&b) - (3.0 * 2.0 + (-1.0) * 4.0)).abs() < 1e-12);
+        let da = a.to_dense(8);
+        assert!((a.dot_dense(&da) - a.norm_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_and_sub() {
+        let a = SparseVector::from_pairs([(1, 1.0), (4, 2.0)]);
+        let b = SparseVector::from_pairs([(1, 1.0), (3, 3.0)]);
+        let c = a.add_scaled(&b, -1.0);
+        assert_eq!(c.get(1), 0.0);
+        assert_eq!(c.get(3), -3.0);
+        assert_eq!(c.get(4), 2.0);
+        // Entries cancelled to zero are not stored.
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(a.sub(&b), c);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut v = SparseVector::from_pairs([(0, 3.0), (1, 4.0)]);
+        v.l2_normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        let mut u = SparseVector::from_pairs([(0, 3.0), (1, 1.0)]);
+        u.l1_normalize();
+        assert!((u.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_and_distance() {
+        let a = SparseVector::from_pairs([(0, 1.0)]);
+        let b = SparseVector::from_pairs([(1, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert!((a.distance(&b) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = SparseVector::from_pairs([(0, 2.0)]);
+        let b = SparseVector::from_pairs([(1, 4.0)]);
+        let m = mean(&[a, b]);
+        assert_eq!(m.get(0), 1.0);
+        assert_eq!(m.get(1), 2.0);
+        assert!(mean(&[]).is_empty());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = [0.0, 1.5, 0.0, -2.0];
+        let v = SparseVector::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(4), dense.to_vec());
+    }
+}

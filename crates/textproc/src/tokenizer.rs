@@ -1,0 +1,132 @@
+//! Word tokenization.
+//!
+//! The tokenizer splits raw text into lower-cased word tokens, mirroring the
+//! information-retrieval-style preprocessing described in §2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration and implementation of the word tokenizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tokenizer {
+    /// Convert tokens to lower case (default `true`).
+    pub lowercase: bool,
+    /// Minimum token length in characters; shorter tokens are dropped (default 2).
+    pub min_len: usize,
+    /// Maximum token length in characters; longer tokens are dropped (default 40).
+    pub max_len: usize,
+    /// Keep tokens that contain digits (default `false`, i.e. purely numeric or
+    /// alphanumeric tokens such as `42` or `x86` are dropped).
+    pub keep_numeric: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            min_len: 2,
+            max_len: 40,
+            keep_numeric: false,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits `text` into tokens according to the configuration.
+    ///
+    /// Tokens are maximal runs of alphanumeric characters (plus `'` which is
+    /// stripped, so that "don't" becomes "dont").
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                if self.lowercase {
+                    current.extend(ch.to_lowercase());
+                } else {
+                    current.push(ch);
+                }
+            } else if ch == '\'' {
+                // apostrophes are dropped but do not break the token: don't -> dont
+            } else if !current.is_empty() {
+                self.push_token(&mut tokens, std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            self.push_token(&mut tokens, current);
+        }
+        tokens
+    }
+
+    fn push_token(&self, tokens: &mut Vec<String>, token: String) {
+        let char_len = token.chars().count();
+        if char_len < self.min_len || char_len > self.max_len {
+            return;
+        }
+        if !self.keep_numeric && token.chars().any(|c| c.is_ascii_digit()) {
+            return;
+        }
+        tokens.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("Peer-to-peer networks, share resources!"),
+            vec!["peer", "to", "peer", "networks", "share", "resources"]
+        );
+    }
+
+    #[test]
+    fn lowercases_and_strips_apostrophes() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("Don't STOP"), vec!["dont", "stop"]);
+    }
+
+    #[test]
+    fn drops_short_and_numeric_tokens() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("a I x86 42 ok"), vec!["ok"]);
+    }
+
+    #[test]
+    fn keep_numeric_option() {
+        let t = Tokenizer {
+            keep_numeric: true,
+            ..Tokenizer::default()
+        };
+        assert_eq!(t.tokenize("ipv6 42"), vec!["ipv6", "42"]);
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let t = Tokenizer {
+            max_len: 5,
+            ..Tokenizer::default()
+        };
+        assert_eq!(t.tokenize("short verylongword"), vec!["short"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   ,,, !!").is_empty());
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("Müller straße"), vec!["müller", "straße"]);
+    }
+}

@@ -1,0 +1,314 @@
+//! The end-to-end preprocessing pipeline: tokenize → filter → stem → vectorize.
+//!
+//! Mirrors the "Document preprocessing" box of Figure 1: the output of the
+//! pipeline is the sparse bag-of-words vector that is the only document
+//! representation ever handled by the learning and P2P layers.
+
+use crate::porter::PorterStemmer;
+use crate::sparse::SparseVector;
+use crate::stopwords::StopWordFilter;
+use crate::tokenizer::Tokenizer;
+use crate::vocabulary::Vocabulary;
+use serde::{Deserialize, Serialize};
+
+/// Term weighting schemes for document vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Weighting {
+    /// Raw term frequency (the paper's "value of the attributes represents the
+    /// word frequency in the documents").
+    Tf,
+    /// Term frequency scaled by smoothed inverse document frequency.
+    TfIdf,
+    /// 1.0 if the word occurs, 0.0 otherwise.
+    Binary,
+    /// `1 + ln(tf)` sub-linear term frequency.
+    LogTf,
+}
+
+impl Default for Weighting {
+    fn default() -> Self {
+        Weighting::TfIdf
+    }
+}
+
+/// Builder for [`PreprocessPipeline`].
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessPipelineBuilder {
+    tokenizer: Tokenizer,
+    stop_words: Option<StopWordFilter>,
+    weighting: Weighting,
+    l2_normalize: bool,
+    stemming: bool,
+}
+
+impl PreprocessPipelineBuilder {
+    /// Creates a builder with default components (English stop words, Porter
+    /// stemming, TF-IDF weighting, L2 normalization).
+    pub fn new() -> Self {
+        Self {
+            tokenizer: Tokenizer::default(),
+            stop_words: None,
+            weighting: Weighting::TfIdf,
+            l2_normalize: true,
+            stemming: true,
+        }
+    }
+
+    /// Overrides the tokenizer.
+    pub fn tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// Overrides the stop-word / sensitive-word filter.
+    pub fn stop_words(mut self, filter: StopWordFilter) -> Self {
+        self.stop_words = Some(filter);
+        self
+    }
+
+    /// Selects the term weighting scheme.
+    pub fn weighting(mut self, weighting: Weighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// Enables or disables L2 normalization of the final vectors.
+    pub fn l2_normalize(mut self, enabled: bool) -> Self {
+        self.l2_normalize = enabled;
+        self
+    }
+
+    /// Enables or disables Porter stemming.
+    pub fn stemming(mut self, enabled: bool) -> Self {
+        self.stemming = enabled;
+        self
+    }
+
+    /// Builds the pipeline.
+    pub fn build(self) -> PreprocessPipeline {
+        PreprocessPipeline {
+            tokenizer: self.tokenizer,
+            stop_words: self.stop_words.unwrap_or_default(),
+            stemmer: PorterStemmer::new(),
+            vocabulary: Vocabulary::new(),
+            weighting: self.weighting,
+            l2_normalize: self.l2_normalize,
+            stemming: self.stemming,
+        }
+    }
+}
+
+/// Complete preprocessing pipeline producing sparse document vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreprocessPipeline {
+    tokenizer: Tokenizer,
+    stop_words: StopWordFilter,
+    stemmer: PorterStemmer,
+    vocabulary: Vocabulary,
+    weighting: Weighting,
+    l2_normalize: bool,
+    stemming: bool,
+}
+
+impl Default for PreprocessPipeline {
+    fn default() -> Self {
+        PreprocessPipelineBuilder::new().build()
+    }
+}
+
+impl PreprocessPipeline {
+    /// Creates a pipeline with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a builder for customizing the pipeline.
+    pub fn builder() -> PreprocessPipelineBuilder {
+        PreprocessPipelineBuilder::new()
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The configured weighting scheme.
+    pub fn weighting(&self) -> Weighting {
+        self.weighting
+    }
+
+    /// Mutable access to the stop-word / sensitive-word filter, e.g. for
+    /// registering user-specified sensitive words before fitting.
+    pub fn stop_words_mut(&mut self) -> &mut StopWordFilter {
+        &mut self.stop_words
+    }
+
+    /// Tokenizes, filters and stems a raw document into processed terms.
+    pub fn terms(&self, text: &str) -> Vec<String> {
+        let tokens = self.tokenizer.tokenize(text);
+        let mut tokens = self.stop_words.filter(tokens);
+        if self.stemming {
+            self.stemmer.stem_all(&mut tokens);
+        }
+        tokens
+    }
+
+    /// Observes a document, growing the vocabulary (fit step). Returns nothing;
+    /// use [`Self::transform`] afterwards, or [`Self::fit_transform`] for both.
+    pub fn fit_one(&mut self, text: &str) {
+        let terms = self.terms(text);
+        self.vocabulary
+            .observe_document(terms.iter().map(String::as_str));
+    }
+
+    /// Fits the vocabulary on a corpus and freezes it.
+    pub fn fit<'a, I>(&mut self, docs: I)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        for doc in docs {
+            self.fit_one(doc);
+        }
+        self.vocabulary.freeze();
+    }
+
+    /// Transforms a document into its sparse feature vector using the fitted
+    /// vocabulary (unknown words are ignored).
+    pub fn transform(&self, text: &str) -> SparseVector {
+        let terms = self.terms(text);
+        let counts = self
+            .vocabulary
+            .count_tokens(terms.iter().map(String::as_str));
+        let mut v = SparseVector::from_pairs(counts.iter().map(|(&id, &tf)| {
+            let tf = tf as f64;
+            let w = match self.weighting {
+                Weighting::Tf => tf,
+                Weighting::Binary => 1.0,
+                Weighting::LogTf => 1.0 + tf.ln(),
+                Weighting::TfIdf => tf * self.vocabulary.idf(id),
+            };
+            (id, w)
+        }));
+        if self.l2_normalize {
+            v.l2_normalize();
+        }
+        v
+    }
+
+    /// Fits on the corpus and returns the vector of every document, in order.
+    pub fn fit_transform<'a, I>(&mut self, docs: I) -> Vec<SparseVector>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let docs: Vec<&str> = docs.into_iter().collect();
+        self.fit(docs.iter().copied());
+        docs.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Size of the fitted lexicon.
+    pub fn lexicon_size(&self) -> usize {
+        self.vocabulary.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOCS: [&str; 3] = [
+        "Distributed peer to peer networks share resources among peers.",
+        "Support vector machines learn classification models from training documents.",
+        "Tagging documents with collaborative tags eases document retrieval.",
+    ];
+
+    #[test]
+    fn fit_transform_produces_nonempty_vectors() {
+        let mut p = PreprocessPipeline::new();
+        let vs = p.fit_transform(DOCS);
+        assert_eq!(vs.len(), 3);
+        for v in &vs {
+            assert!(v.nnz() > 0);
+            assert!((v.norm() - 1.0).abs() < 1e-9, "L2 normalized by default");
+        }
+        assert!(p.lexicon_size() > 10);
+    }
+
+    #[test]
+    fn stop_words_never_reach_the_vocabulary() {
+        let mut p = PreprocessPipeline::new();
+        p.fit(DOCS.iter().copied());
+        assert!(p.vocabulary().id_of("the").is_none());
+        assert!(p.vocabulary().id_of("to").is_none());
+    }
+
+    #[test]
+    fn stemming_merges_inflected_forms() {
+        let mut p = PreprocessPipeline::new();
+        p.fit(DOCS.iter().copied());
+        // "documents" and "document" should map to the same stem id.
+        let v = p.vocabulary();
+        assert!(v.id_of("document").is_some());
+        assert!(v.id_of("documents").is_none());
+    }
+
+    #[test]
+    fn sensitive_words_are_removed() {
+        let mut p = PreprocessPipeline::new();
+        p.stop_words_mut().add_sensitive_word("classification");
+        p.fit(DOCS.iter().copied());
+        assert!(p.vocabulary().id_of("classif").is_none());
+    }
+
+    #[test]
+    fn unknown_words_are_ignored_at_transform_time() {
+        let mut p = PreprocessPipeline::new();
+        p.fit(DOCS.iter().copied());
+        let v = p.transform("zzzz qqqq totally unseen words");
+        // Only "words" overlaps (stemmed "word" is not in corpus) — vector may be empty.
+        assert!(v.nnz() <= 2);
+    }
+
+    #[test]
+    fn tf_weighting_counts_occurrences() {
+        let mut p = PreprocessPipeline::builder()
+            .weighting(Weighting::Tf)
+            .l2_normalize(false)
+            .build();
+        p.fit(["peer peer peer network"]);
+        let v = p.transform("peer peer network");
+        let id = p.vocabulary().id_of("peer").unwrap();
+        assert_eq!(v.get(id), 2.0);
+    }
+
+    #[test]
+    fn binary_weighting_is_zero_or_one() {
+        let mut p = PreprocessPipeline::builder()
+            .weighting(Weighting::Binary)
+            .l2_normalize(false)
+            .build();
+        p.fit(["alpha alpha beta"]);
+        let v = p.transform("alpha alpha alpha beta");
+        for (_, w) in v.iter() {
+            assert_eq!(w, 1.0);
+        }
+    }
+
+    #[test]
+    fn tfidf_downweights_ubiquitous_terms() {
+        let mut p = PreprocessPipeline::builder()
+            .weighting(Weighting::TfIdf)
+            .l2_normalize(false)
+            .build();
+        let corpus = [
+            "shared term alpha",
+            "shared term beta",
+            "shared term gamma",
+            "shared unique delta",
+        ];
+        p.fit(corpus.iter().copied());
+        let v = p.transform("shared unique");
+        let shared = p.vocabulary().id_of("share").unwrap();
+        let unique = p.vocabulary().id_of("uniqu").unwrap();
+        assert!(v.get(unique) > v.get(shared));
+    }
+}

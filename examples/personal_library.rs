@@ -1,0 +1,83 @@
+//! Personal information management: browsing, searching and the tag cloud.
+//!
+//! Reproduces the demo's navigation components (Figures 3 and 4): the Library
+//! (search / filter by tags), the file-metadata tag store, and the Tag Cloud
+//! with co-occurrence edges, clusters and bridge tags.
+//!
+//! Run with: `cargo run --example personal_library`
+
+use p2pdoctagger::prelude::*;
+
+fn main() {
+    // A slightly larger corpus so the tag cloud has interesting structure.
+    let corpus = CorpusGenerator::new(CorpusSpec {
+        num_tags: 10,
+        num_users: 12,
+        min_docs_per_user: 20,
+        max_docs_per_user: 40,
+        ..CorpusSpec::tiny()
+    })
+    .generate();
+    let split = TrainTestSplit::demo_protocol(&corpus, 11);
+
+    let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+    system.ingest(&corpus);
+    system.learn(&split).expect("learning succeeds");
+    let outcome = system.auto_tag_all().expect("auto tagging succeeds");
+    println!(
+        "library holds {} tagged documents ({} manual, {} automatic), micro-F1 {:.3}\n",
+        system.library().len(),
+        system.library().len() - system.library().auto_tagged_count(),
+        system.library().auto_tagged_count(),
+        outcome.metrics.micro_f1()
+    );
+
+    // -- Library: search and filter ------------------------------------------------
+    let counts = system.library().tag_counts();
+    let most_popular = counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(t, _)| t.clone())
+        .expect("at least one tag");
+    let hits = system.library().search(&most_popular);
+    println!(
+        "Library search '{most_popular}': {} documents (first few: {:?})",
+        hits.len(),
+        &hits[..hits.len().min(5)]
+    );
+
+    let tags: Vec<&str> = counts.keys().take(2).map(String::as_str).collect();
+    if tags.len() == 2 {
+        println!(
+            "Filter [{} AND {}]: {} documents; [{} OR {}]: {} documents",
+            tags[0],
+            tags[1],
+            system.library().filter_all(&tags).len(),
+            tags[0],
+            tags[1],
+            system.library().filter_any(&tags).len()
+        );
+    }
+
+    // -- Tag store: file metadata other PIM tools can read -------------------------
+    let export = system.tag_store().export();
+    println!("\nFile metadata (first 3 of {} files):", export.len());
+    for (path, attr, value) in export.iter().take(3) {
+        println!("  {path}  {attr}=\"{value}\"");
+    }
+
+    // -- Tag cloud: font sizes, co-occurrence, clusters, bridges -------------------
+    let cloud = system.tag_cloud();
+    println!("\nTag cloud ({} tags, {} co-occurrence edges):", cloud.num_tags(), cloud.num_edges());
+    for entry in cloud.entries() {
+        println!("  {:<18} count={:<4} font-size={}", entry.tag, entry.count, entry.font_size);
+    }
+
+    let clusters = cloud.clusters(2);
+    println!("\nClusters (edges seen in ≥ 2 documents): {}", clusters.len());
+    for (i, cluster) in clusters.iter().take(4).enumerate() {
+        println!("  cluster {}: {:?}", i + 1, cluster);
+    }
+    let bridges = cloud.bridge_tags(2);
+    println!("Bridge tags connecting clusters (cf. Figure 4): {bridges:?}");
+}

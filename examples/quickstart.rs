@@ -1,0 +1,79 @@
+//! Quickstart: automated P2P collaborative tagging end to end.
+//!
+//! Generates a small synthetic bookmark corpus spread over a handful of
+//! users/peers, trains the distributed tagger with the PACE protocol, tags the
+//! untagged 80 % of the collection automatically, asks for tag suggestions on
+//! one document, and applies a user refinement.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use p2pdoctagger::prelude::*;
+
+fn main() {
+    // 1. A delicious-like corpus: 8 users, each with 12–19 multi-tag documents.
+    let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+    println!(
+        "corpus: {} documents, {} users, {} tags, {:.2} tags/document",
+        corpus.len(),
+        corpus.num_users(),
+        corpus.num_tags(),
+        corpus.mean_tags_per_document()
+    );
+
+    // 2. The demo protocol: 20 % of each user's documents are manually tagged.
+    let split = TrainTestSplit::demo_protocol(&corpus, 7);
+    println!(
+        "split: {} manually tagged (training), {} to auto-tag",
+        split.train.len(),
+        split.test.len()
+    );
+
+    // 3. Build the system with the PACE protocol plugged in and learn
+    //    collaboratively over the simulated P2P network (one peer per user).
+    let mut system = P2PDocTagger::new(DocTaggerConfig {
+        protocol: ProtocolKind::pace(),
+        ..DocTaggerConfig::default()
+    });
+    system.ingest(&corpus);
+    system.learn(&split).expect("collaborative learning succeeds");
+    println!(
+        "learned with {} over {} peers; training communication: {} bytes",
+        system.protocol_name(),
+        system.num_peers(),
+        system.network_stats().total_bytes()
+    );
+
+    // 4. Auto-tag everything and evaluate against the held-out ground truth.
+    let outcome = system.auto_tag_all().expect("auto tagging succeeds");
+    println!(
+        "auto-tagged {} documents ({} failures): micro-F1 {:.3}, macro-F1 {:.3}, hamming loss {:.3}",
+        outcome.tagged,
+        outcome.failed,
+        outcome.metrics.micro_f1(),
+        outcome.metrics.macro_f1(),
+        outcome.metrics.hamming_loss()
+    );
+
+    // 5. "Suggest Tag": the suggestion cloud for one document, with the
+    //    confidence slider at 0.5 (low-confidence tags are struck out).
+    let doc = split.test[0];
+    let cloud = system.suggest(doc, Some(0.5)).expect("suggestions available");
+    println!("suggestion cloud for document {doc}: {}", cloud.render_line());
+
+    // 6. The user corrects the tags of that document; the models adapt.
+    let mut corrected = system.library().tags_of(doc);
+    corrected.insert("reading-list".to_string());
+    system.refine(doc, corrected).expect("refinement succeeds");
+    println!(
+        "after refinement: {:?} (corrections so far: {})",
+        system.library().tags_of(doc),
+        system.refinements().len()
+    );
+
+    // 7. Tags are stored as file metadata for other PIM tools.
+    let path = P2PDocTagger::path_of(doc, corpus.document(doc).unwrap().user);
+    println!(
+        "file metadata: {path} -> {:?}",
+        system.tag_store().xattr_value(&path)
+    );
+}

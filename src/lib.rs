@@ -1,0 +1,54 @@
+//! # p2pdoctagger — facade crate
+//!
+//! A from-scratch Rust reproduction of **"P2PDocTagger: Content management
+//! through automated P2P collaborative tagging"** (Ang, Gopalkrishnan, Ng,
+//! Hoi — PVLDB 3(2), VLDB 2010 demo).
+//!
+//! This crate simply re-exports the workspace crates so examples, integration
+//! tests and downstream users can depend on a single name:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`textproc`] | `textproc` | document preprocessing (tokenizer, stop words, Porter stemmer, TF-IDF sparse vectors) |
+//! | [`ml`] | `ml` | SVMs (linear, kernel, cascade), k-means, LSH, one-vs-all multi-label reduction, metrics |
+//! | [`p2psim`] | `p2psim` | P2PDMT: discrete-event simulator, Chord DHT / unstructured overlays, churn, data distribution, statistics |
+//! | [`p2pclassify`] | `p2pclassify` | CEMPaR, PACE and the centralized / local-only baselines |
+//! | [`dataset`] | `dataset` | synthetic delicious-like multi-label corpus (substitute for the Wetzker et al. crawl) |
+//! | [`doctagger`] | `doctagger` | the P2PDocTagger system: library, tag store, suggestion cloud, tag cloud, refinement |
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+//!
+//! ```
+//! use p2pdoctagger::prelude::*;
+//!
+//! let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+//! let split = TrainTestSplit::demo_protocol(&corpus, 1);
+//! let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+//! system.ingest(&corpus);
+//! system.learn(&split).unwrap();
+//! let outcome = system.auto_tag_all().unwrap();
+//! assert!(outcome.tagged > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dataset;
+pub use doctagger;
+pub use ml;
+pub use p2pclassify;
+pub use p2psim;
+pub use textproc;
+
+/// One-stop imports for the most common workflow.
+pub mod prelude {
+    pub use dataset::{Corpus, CorpusGenerator, CorpusSpec, TrainTestSplit, VectorizedCorpus};
+    pub use doctagger::{
+        AutoTagOutcome, DocTaggerConfig, DocumentLibrary, P2PDocTagger, ProtocolKind,
+        SuggestionCloud, TagCloud, TagStore,
+    };
+    pub use ml::prelude::*;
+    pub use p2pclassify::prelude::*;
+    pub use p2psim::prelude::*;
+    pub use textproc::prelude::*;
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: corpus generation → preprocessing → P2P
+//! collaborative learning → automatic tagging → evaluation, for every
+//! pluggable protocol.
+
+use p2pdoctagger::prelude::*;
+
+fn corpus_and_split(seed: u64) -> (Corpus, TrainTestSplit) {
+    let corpus = CorpusGenerator::new(CorpusSpec {
+        num_tags: 6,
+        num_users: 10,
+        min_docs_per_user: 14,
+        max_docs_per_user: 22,
+        seed,
+        ..CorpusSpec::tiny()
+    })
+    .generate();
+    let split = TrainTestSplit::demo_protocol(&corpus, seed);
+    (corpus, split)
+}
+
+fn run_protocol(protocol: ProtocolKind, seed: u64) -> (AutoTagOutcome, u64) {
+    let (corpus, split) = corpus_and_split(seed);
+    let mut system = P2PDocTagger::new(DocTaggerConfig {
+        protocol,
+        ..DocTaggerConfig::default()
+    });
+    system.ingest(&corpus);
+    system.learn(&split).expect("learning succeeds");
+    let outcome = system.auto_tag_all().expect("auto tagging succeeds");
+    (outcome, system.network_stats().total_bytes())
+}
+
+#[test]
+fn every_protocol_beats_random_guessing() {
+    for protocol in [
+        ProtocolKind::pace(),
+        ProtocolKind::Cempar(CemparConfig::for_network(10)),
+        ProtocolKind::centralized(),
+        ProtocolKind::local_only(),
+    ] {
+        let name = protocol.name();
+        let (outcome, _) = run_protocol(protocol, 21);
+        // Random tag assignment over 6 tags with ~2 true tags per document has
+        // micro-F1 around 0.33; every learned protocol must clear it.
+        assert!(
+            outcome.metrics.micro_f1() > 0.4,
+            "{name}: micro-F1 {:.3}",
+            outcome.metrics.micro_f1()
+        );
+        assert_eq!(outcome.failed, 0, "{name}: no failures without churn");
+    }
+}
+
+#[test]
+fn collaborative_protocols_beat_the_local_baseline() {
+    // A single tiny corpus is noisy, so compare mean micro-F1 over a few seeds
+    // (the paper-scale comparison lives in the experiment harness, E1).
+    let seeds = [22u64, 122, 222];
+    let mean = |protocol_for: &dyn Fn() -> ProtocolKind| -> f64 {
+        seeds
+            .iter()
+            .map(|&s| run_protocol(protocol_for(), s).0.metrics.micro_f1())
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let local = mean(&ProtocolKind::local_only);
+    let pace = mean(&ProtocolKind::pace);
+    let cempar = mean(&|| ProtocolKind::Cempar(CemparConfig::for_network(10)));
+    assert!(pace > local, "pace {pace:.3} vs local {local:.3}");
+    assert!(cempar > local, "cempar {cempar:.3} vs local {local:.3}");
+}
+
+#[test]
+fn centralized_is_the_accuracy_upper_bound() {
+    let (central, _) = run_protocol(ProtocolKind::centralized(), 23);
+    let (pace, _) = run_protocol(ProtocolKind::pace(), 23);
+    let (local, _) = run_protocol(ProtocolKind::local_only(), 23);
+    assert!(central.metrics.micro_f1() >= pace.metrics.micro_f1() - 0.02);
+    assert!(central.metrics.micro_f1() > local.metrics.micro_f1());
+}
+
+#[test]
+fn p2p_protocols_never_ship_raw_training_data() {
+    let (corpus, split) = corpus_and_split(24);
+    for protocol in [
+        ProtocolKind::pace(),
+        ProtocolKind::Cempar(CemparConfig::for_network(10)),
+    ] {
+        let mut system = P2PDocTagger::new(DocTaggerConfig {
+            protocol,
+            ..DocTaggerConfig::default()
+        });
+        system.ingest(&corpus);
+        system.learn(&split).unwrap();
+        system.auto_tag_all().unwrap();
+        let stats = system.network_stats();
+        assert_eq!(
+            stats.kind(MessageKind::TrainingData).messages,
+            0,
+            "P2P protocols must not centralize raw document vectors"
+        );
+        assert!(stats.kind(MessageKind::ModelPropagation).messages > 0);
+    }
+}
+
+#[test]
+fn local_baseline_uses_no_network_at_all() {
+    let (_, bytes) = run_protocol(ProtocolKind::local_only(), 25);
+    assert_eq!(bytes, 0);
+}
+
+#[test]
+fn tag_cloud_and_store_are_consistent_with_the_library() {
+    let (corpus, split) = corpus_and_split(26);
+    let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+    system.ingest(&corpus);
+    system.learn(&split).unwrap();
+    system.auto_tag_all().unwrap();
+
+    // Every library entry has a matching tag-store record with the same tags.
+    for entry in system.library().iter() {
+        let path = P2PDocTagger::path_of(entry.doc, entry.user);
+        assert_eq!(system.tag_store().tags_of(&path), entry.tags, "doc {}", entry.doc);
+    }
+    // The tag cloud counts agree with the library counts.
+    let cloud = system.tag_cloud();
+    let counts = system.library().tag_counts();
+    for e in cloud.entries() {
+        assert_eq!(counts[&e.tag], e.count);
+    }
+}
+
+#[test]
+fn suggestions_contain_the_predicted_tags() {
+    let (corpus, split) = corpus_and_split(27);
+    let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+    system.ingest(&corpus);
+    system.learn(&split).unwrap();
+    let doc = split.test[3];
+    let assigned = system.auto_tag(doc).unwrap();
+    let cloud = system.suggest(doc, Some(0.0)).unwrap();
+    let suggested: std::collections::BTreeSet<String> =
+        cloud.accepted_tags().into_iter().collect();
+    for tag in &assigned {
+        assert!(
+            suggested.contains(tag),
+            "assigned tag {tag} missing from suggestions {suggested:?}"
+        );
+    }
+}
+
+#[test]
+fn refinement_improves_future_tagging() {
+    // Train PACE with a deliberately small training fraction, then simulate
+    // users correcting a batch of auto-tagged documents; accuracy on the
+    // remaining documents must not degrade and typically improves.
+    let corpus = CorpusGenerator::new(CorpusSpec {
+        num_tags: 6,
+        num_users: 10,
+        min_docs_per_user: 16,
+        max_docs_per_user: 24,
+        seed: 28,
+        ..CorpusSpec::tiny()
+    })
+    .generate();
+    let split = TrainTestSplit::stratified_by_user(&corpus, 0.1, 28);
+    let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+    system.ingest(&corpus);
+    system.learn(&split).unwrap();
+    let before = system.auto_tag_all().unwrap();
+
+    // Users correct the first 30 test documents with their true tags.
+    for &doc in split.test.iter().take(30) {
+        let truth = corpus.document(doc).unwrap().tags.clone();
+        system.refine(doc, truth).unwrap();
+    }
+    let after = system.auto_tag_all().unwrap();
+    assert!(
+        after.metrics.micro_f1() >= before.metrics.micro_f1() - 0.01,
+        "refinement must not hurt: before {:.3}, after {:.3}",
+        before.metrics.micro_f1(),
+        after.metrics.micro_f1()
+    );
+    assert_eq!(system.refinements().len(), 30);
+}

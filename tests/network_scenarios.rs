@@ -1,0 +1,200 @@
+//! Integration tests for the P2P environment scenarios the demonstration
+//! varies: overlay topology, churn rate, network size and per-peer data
+//! distribution.
+
+use p2pdoctagger::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds simple per-peer toy datasets (two separable tags) for protocol-level
+/// scenarios where the full text pipeline is unnecessary.
+fn toy_peer_data(num_peers: usize, per_peer: usize, seed: u64) -> Vec<MultiLabelDataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_peers)
+        .map(|_| {
+            let mut ds = MultiLabelDataset::new();
+            for _ in 0..per_peer {
+                let a = 0.8 + rng.gen_range(0.0..0.4);
+                if rng.gen_bool(0.5) {
+                    ds.push(MultiLabelExample::new(
+                        SparseVector::from_pairs([(0, a)]),
+                        [1],
+                    ));
+                } else {
+                    ds.push(MultiLabelExample::new(
+                        SparseVector::from_pairs([(1, a)]),
+                        [2],
+                    ));
+                }
+            }
+            ds
+        })
+        .collect()
+}
+
+#[test]
+fn structured_overlay_routes_in_fewer_messages_than_flooding() {
+    let mut chord = P2PNetwork::new(SimConfig {
+        num_peers: 256,
+        overlay: OverlayKind::Chord,
+        ..Default::default()
+    });
+    let mut flood = P2PNetwork::new(SimConfig {
+        num_peers: 256,
+        overlay: OverlayKind::Unstructured { degree: 6, ttl: 6 },
+        ..Default::default()
+    });
+    let mut chord_failures = 0;
+    let mut flood_failures = 0;
+    for i in 0..100u64 {
+        let key = p2psim::peer::content_key(&i.to_le_bytes());
+        let from = PeerId(i % 256);
+        if chord.dht_lookup(from, key).is_err() {
+            chord_failures += 1;
+        }
+        if flood.dht_lookup(from, key).is_err() {
+            flood_failures += 1;
+        }
+    }
+    assert_eq!(chord_failures, 0, "DHT lookups are deterministic");
+    assert!(flood_failures <= 20, "flooding may occasionally fail, not often");
+    let chord_msgs = chord.stats().kind(MessageKind::DhtLookup).messages;
+    let flood_msgs = flood.stats().kind(MessageKind::DhtLookup).messages;
+    assert!(
+        flood_msgs > 2 * chord_msgs,
+        "flooding ({flood_msgs} msgs) should cost well more than DHT routing ({chord_msgs} msgs)"
+    );
+}
+
+#[test]
+fn accuracy_holds_as_the_network_grows() {
+    // The paper claims P2PDocTagger "scales well even in the presence of …
+    // large number of peers": accuracy must not collapse when the same total
+    // amount of training data is spread over 4x more peers.
+    for &num_peers in &[8usize, 32] {
+        let data = toy_peer_data(num_peers, 160 / num_peers, 31);
+        let mut net = P2PNetwork::new(SimConfig::with_peers(num_peers));
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        let mut correct = 0;
+        let total = 50;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..total {
+            let tag: u32 = if rng.gen_bool(0.5) { 1 } else { 2 };
+            let x = SparseVector::from_pairs([((tag - 1), 1.0 + rng.gen_range(0.0..0.3))]);
+            let pred = pace.predict(&mut net, PeerId(0), &x).unwrap();
+            if pred.contains(&tag) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct >= 45,
+            "{num_peers} peers: only {correct}/{total} correct"
+        );
+    }
+}
+
+#[test]
+fn per_peer_communication_stays_bounded_as_the_network_grows() {
+    // CEMPaR's per-peer training cost (one model propagation to a super-peer)
+    // must not grow linearly with the network size.
+    let mut per_peer_bytes = Vec::new();
+    for &num_peers in &[16usize, 64] {
+        let data = toy_peer_data(num_peers, 8, 33);
+        let mut net = P2PNetwork::new(SimConfig::with_peers(num_peers));
+        let mut cempar = Cempar::new(CemparConfig::for_network(num_peers));
+        cempar.train(&mut net, &data).unwrap();
+        per_peer_bytes.push(net.stats().total_bytes() as f64 / num_peers as f64);
+    }
+    let growth = per_peer_bytes[1] / per_peer_bytes[0];
+    assert!(
+        growth < 2.0,
+        "per-peer training bytes grew {growth:.2}x when the network grew 4x"
+    );
+}
+
+#[test]
+fn heavy_churn_hurts_the_centralized_baseline_most() {
+    let num_peers = 32;
+    let sim = SimConfig {
+        num_peers,
+        churn: ChurnModel::Exponential {
+            mean_session_secs: 500.0,
+            mean_offline_secs: 500.0,
+        },
+        horizon_secs: 1_000_000,
+        seed: 11,
+        ..Default::default()
+    };
+    let data = toy_peer_data(num_peers, 8, 34);
+
+    let mut pace_net = P2PNetwork::new(sim.clone());
+    let mut pace = Pace::new(PaceConfig::default());
+    pace.train(&mut pace_net, &data).unwrap();
+
+    let mut central_net = P2PNetwork::new(sim.clone());
+    let mut central = Centralized::new(CentralizedConfig::default());
+    central.train(&mut central_net, &data).unwrap();
+
+    let probe = SparseVector::from_pairs([(0, 1.0)]);
+    let mut pace_failures = 0;
+    let mut central_failures = 0;
+    let mut attempts = 0;
+    for step in 0..40 {
+        pace_net.advance(SimTime::from_secs(1_000));
+        central_net.advance(SimTime::from_secs(1_000));
+        let requester = PeerId((step % num_peers) as u64);
+        if !pace_net.is_online(requester) || !central_net.is_online(requester) {
+            continue;
+        }
+        attempts += 1;
+        if pace.predict(&mut pace_net, requester, &probe).is_err() {
+            pace_failures += 1;
+        }
+        if central.predict(&mut central_net, requester, &probe).is_err() {
+            central_failures += 1;
+        }
+    }
+    assert!(attempts >= 10, "enough online requesters sampled");
+    assert!(
+        central_failures > pace_failures,
+        "centralized failures ({central_failures}) should exceed PACE failures ({pace_failures}) over {attempts} attempts"
+    );
+    assert_eq!(pace_failures, 0, "PACE predictions are fully local");
+}
+
+#[test]
+fn skewed_data_distribution_is_generated_and_learnable() {
+    // E6 substrate: distributing one corpus with uniform vs Zipf sizes and
+    // IID vs label-skewed classes produces the intended statistics.
+    let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+    let labels: Vec<u64> = corpus
+        .documents()
+        .iter()
+        .map(|d| corpus.tag_ids_of(d.id).into_iter().next().unwrap_or(0) as u64)
+        .collect();
+
+    let uniform = DataDistributor {
+        size: SizeDistribution::Uniform,
+        class: ClassDistribution::Iid,
+        seed: 5,
+    }
+    .distribute(&labels, 16);
+    let skewed = DataDistributor {
+        size: SizeDistribution::Zipf { exponent: 1.2 },
+        class: ClassDistribution::LabelSkewed {
+            concentration: 0.8,
+            home_peers: 2,
+        },
+        seed: 5,
+    }
+    .distribute(&labels, 16);
+
+    assert!(p2psim::datadist::size_gini(&skewed) > p2psim::datadist::size_gini(&uniform));
+    assert!(
+        p2psim::datadist::label_entropy_ratio(&skewed, &labels)
+            < p2psim::datadist::label_entropy_ratio(&uniform, &labels)
+    );
+    let total: usize = skewed.iter().map(Vec::len).sum();
+    assert_eq!(total, corpus.len());
+}

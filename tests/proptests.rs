@@ -1,0 +1,225 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the preprocessing, learning and overlay substrates.
+
+use p2pdoctagger::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sparse_vector_strategy(max_dim: u32, max_nnz: usize) -> impl Strategy<Value = SparseVector> {
+    prop::collection::vec((0..max_dim, -10.0f64..10.0), 0..max_nnz)
+        .prop_map(SparseVector::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- sparse vectors -------------------------------------------------
+
+    #[test]
+    fn sparse_indices_are_sorted_and_unique(v in sparse_vector_strategy(200, 40)) {
+        let idx = v.indices();
+        for w in idx.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(v.values().iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn dot_product_is_symmetric_and_bounded_by_norms(
+        a in sparse_vector_strategy(100, 30),
+        b in sparse_vector_strategy(100, 30),
+    ) {
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        // Cauchy-Schwarz.
+        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(
+        a in sparse_vector_strategy(100, 30),
+        b in sparse_vector_strategy(100, 30),
+    ) {
+        let roundtrip = a.add(&b).sub(&b);
+        // Compare as dense vectors with tolerance (floating point).
+        let dim = roundtrip.dim_lower_bound().max(a.dim_lower_bound());
+        let lhs = roundtrip.to_dense(dim);
+        let rhs = a.to_dense(dim);
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn l2_normalization_yields_unit_norm(v in sparse_vector_strategy(100, 30)) {
+        let mut v = v;
+        if !v.is_empty() {
+            v.l2_normalize();
+            prop_assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality(
+        a in sparse_vector_strategy(50, 20),
+        b in sparse_vector_strategy(50, 20),
+        c in sparse_vector_strategy(50, 20),
+    ) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    // ---------- preprocessing --------------------------------------------------
+
+    #[test]
+    fn stemmer_output_is_never_longer_and_is_ascii_for_ascii_input(
+        word in "[a-z]{1,20}",
+    ) {
+        let stemmer = PorterStemmer::new();
+        let stem = stemmer.stem(&word);
+        prop_assert!(stem.len() <= word.len());
+        prop_assert!(!stem.is_empty());
+        prop_assert!(stem.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn tokenizer_output_obeys_length_and_charset_rules(text in ".{0,200}") {
+        let tokenizer = Tokenizer::default();
+        for token in tokenizer.tokenize(&text) {
+            let n = token.chars().count();
+            prop_assert!(n >= tokenizer.min_len && n <= tokenizer.max_len);
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(!token.chars().any(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn pipeline_vectors_are_deterministic(docs in prop::collection::vec("[a-z ]{10,80}", 2..6)) {
+        let run = |docs: &[String]| {
+            let mut p = PreprocessPipeline::new();
+            p.fit_transform(docs.iter().map(String::as_str))
+        };
+        prop_assert_eq!(run(&docs), run(&docs));
+    }
+
+    // ---------- vocabulary -----------------------------------------------------
+
+    #[test]
+    fn vocabulary_ids_roundtrip(words in prop::collection::vec("[a-z]{1,8}", 1..50)) {
+        let mut vocab = Vocabulary::new();
+        for w in &words {
+            vocab.get_or_insert(w);
+        }
+        for w in &words {
+            let id = vocab.id_of(w).expect("inserted word has an id");
+            prop_assert_eq!(vocab.word_of(id), Some(w.as_str()));
+        }
+        prop_assert!(vocab.len() <= words.len());
+    }
+
+    // ---------- overlay --------------------------------------------------------
+
+    #[test]
+    fn chord_lookup_agrees_with_brute_force_owner(
+        num_peers in 2u64..80,
+        keys in prop::collection::vec(any::<u64>(), 1..20),
+        from in any::<u64>(),
+    ) {
+        let overlay = ChordOverlay::with_peers((0..num_peers).map(PeerId));
+        let source = PeerId(from % num_peers);
+        for key in keys {
+            let result = overlay.lookup(source, key).expect("lookup succeeds");
+            // Brute force: smallest ring key >= key, else global minimum.
+            let mut ring: Vec<(u64, PeerId)> = (0..num_peers)
+                .map(|i| (PeerId(i).ring_key(), PeerId(i)))
+                .collect();
+            ring.sort_unstable();
+            let expected = ring
+                .iter()
+                .find(|&&(k, _)| k >= key)
+                .or_else(|| ring.first())
+                .map(|&(_, p)| p)
+                .unwrap();
+            prop_assert_eq!(result.owner, expected);
+            prop_assert!(result.hops() <= num_peers as usize);
+        }
+    }
+
+    #[test]
+    fn super_peer_election_is_stable_and_member_only(
+        num_peers in 2u64..60,
+        regions in 1usize..12,
+    ) {
+        let overlay = ChordOverlay::with_peers((0..num_peers).map(PeerId));
+        let dir = SuperPeerDirectory::new(regions);
+        let elected = dir.elect(&overlay);
+        prop_assert_eq!(elected.len(), regions.max(1));
+        for sp in elected {
+            prop_assert!(overlay.contains(sp));
+        }
+    }
+
+    // ---------- metrics --------------------------------------------------------
+
+    #[test]
+    fn multilabel_metrics_are_bounded(
+        sets in prop::collection::vec(
+            (prop::collection::btree_set(0u32..8, 0..4), prop::collection::btree_set(0u32..8, 0..4)),
+            1..30,
+        ),
+    ) {
+        let predictions: Vec<BTreeSet<u32>> = sets.iter().map(|(p, _)| p.clone()).collect();
+        let truths: Vec<BTreeSet<u32>> = sets.iter().map(|(_, t)| t.clone()).collect();
+        let universe: BTreeSet<u32> = (0..8).collect();
+        let m = MultiLabelMetrics::evaluate(&predictions, &truths, &universe);
+        for value in [m.micro_f1(), m.macro_f1(), m.hamming_loss(), m.subset_accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&value), "metric out of range: {value}");
+        }
+        // Perfect prediction of itself is always perfect.
+        let perfect = MultiLabelMetrics::evaluate(&truths, &truths, &universe);
+        prop_assert_eq!(perfect.micro_f1(), 1.0);
+    }
+
+    // ---------- churn ----------------------------------------------------------
+
+    #[test]
+    fn churn_timeline_intervals_are_consistent_with_events(
+        mean_session in 10.0f64..500.0,
+        mean_offline in 10.0f64..500.0,
+        peers in 1usize..20,
+    ) {
+        let model = ChurnModel::Exponential {
+            mean_session_secs: mean_session,
+            mean_offline_secs: mean_offline,
+        };
+        let horizon = SimTime::from_secs(2_000);
+        let tl = ChurnTimeline::generate(model, peers, horizon, 7);
+        let events = tl.events();
+        for w in events.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        // Just after a join event the peer is online; just after a leave it is not.
+        for e in events.iter().take(50) {
+            let probe = SimTime::from_micros(e.time.as_micros().saturating_add(1));
+            if probe < horizon {
+                prop_assert_eq!(tl.is_online(e.peer, probe), e.online);
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&tl.availability_at(SimTime::from_secs(1_000))));
+    }
+
+    // ---------- learning sanity -------------------------------------------------
+
+    #[test]
+    fn linear_svm_always_separates_two_distant_points(
+        a in 0.5f64..3.0,
+        b in -3.0f64..-0.5,
+    ) {
+        let xs = vec![
+            SparseVector::from_pairs([(0u32, a)]),
+            SparseVector::from_pairs([(0u32, b)]),
+        ];
+        let ys = vec![true, false];
+        let model = LinearSvmTrainer::default().train(&xs, &ys);
+        prop_assert!(model.predict(&xs[0]));
+        prop_assert!(!model.predict(&xs[1]));
+    }
+}
