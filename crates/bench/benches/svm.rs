@@ -46,7 +46,13 @@ fn bench_svm(c: &mut Criterion) {
     group.bench_function("linear_svm_predict_1000", |b| {
         let model = LinearSvmTrainer::default().train(&xs, &ys);
         use ml::svm::BinaryClassifier;
-        b.iter(|| xs.iter().cycle().take(1000).filter(|x| model.predict(x)).count())
+        b.iter(|| {
+            xs.iter()
+                .cycle()
+                .take(1000)
+                .filter(|x| model.predict(x))
+                .count()
+        })
     });
 
     group.bench_function("cascade_merge_4_models", |b| {

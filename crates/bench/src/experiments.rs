@@ -8,12 +8,10 @@
 
 use crate::workload::{corpus_spec, run_system, standard_protocols, Scale, Workload};
 use dataset::{CorpusGenerator, TrainTestSplit, VectorizedCorpus};
-use doctagger::{DocTaggerConfig, P2PDocTagger, ProtocolKind, TagCloud};
 use doctagger::library::TagSource;
+use doctagger::{DocTaggerConfig, P2PDocTagger, ProtocolKind, TagCloud};
 use ml::MultiLabelDataset;
-use p2pclassify::{
-    Cempar, CemparConfig, P2PTagClassifier, Pace, PaceConfig, ProtocolError,
-};
+use p2pclassify::{Cempar, CemparConfig, P2PTagClassifier, Pace, PaceConfig, ProtocolError};
 use p2psim::churn::ChurnModel;
 use p2psim::datadist::{ClassDistribution, DataDistributor, SizeDistribution};
 use p2psim::message::MessageKind;
@@ -89,10 +87,18 @@ pub fn e1_accuracy(num_users: usize, seed: u64) -> Table {
     Table {
         id: "E1",
         title: "tagging accuracy vs baselines (20% train, no churn)",
-        header: ["protocol", "micro-F1", "macro-F1", "precision", "recall", "hamming", "subset-acc"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "protocol",
+            "micro-F1",
+            "macro-F1",
+            "precision",
+            "recall",
+            "hamming",
+            "subset-acc",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -122,10 +128,17 @@ pub fn e2_scalability(peer_counts: &[usize], seed: u64) -> Table {
     Table {
         id: "E2",
         title: "scalability with network size",
-        header: ["peers", "protocol", "micro-F1", "bytes/peer", "hotspot bytes", "mean hops"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "peers",
+            "protocol",
+            "micro-F1",
+            "bytes/peer",
+            "hotspot bytes",
+            "mean hops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -221,7 +234,11 @@ pub fn e4_churn(num_users: usize, seed: u64) -> Table {
                         let truth = &workload.corpus.document(doc).unwrap().tags;
                         let inter = tags.intersection(truth).count() as f64;
                         let denom = (tags.len() + truth.len()) as f64;
-                        correct_f1.push(if denom > 0.0 { 2.0 * inter / denom } else { 1.0 });
+                        correct_f1.push(if denom > 0.0 {
+                            2.0 * inter / denom
+                        } else {
+                            1.0
+                        });
                     }
                     Err(ProtocolError::PeerOffline) => {}
                     Err(_) => unserved += 1,
@@ -240,10 +257,15 @@ pub fn e4_churn(num_users: usize, seed: u64) -> Table {
     Table {
         id: "E4",
         title: "churn resilience (exponential churn, requests spread over time)",
-        header: ["mean session (s)", "protocol", "unserved requests", "example-F1 (served)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "mean session (s)",
+            "protocol",
+            "unserved requests",
+            "example-F1 (served)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -253,8 +275,14 @@ pub fn e5_topology(num_peers: usize, lookups: usize, seed: u64) -> Table {
     let mut rows = Vec::new();
     let configs = [
         ("chord-dht", OverlayKind::Chord),
-        ("flood-ttl4", OverlayKind::Unstructured { degree: 6, ttl: 4 }),
-        ("flood-ttl6", OverlayKind::Unstructured { degree: 6, ttl: 6 }),
+        (
+            "flood-ttl4",
+            OverlayKind::Unstructured { degree: 6, ttl: 4 },
+        ),
+        (
+            "flood-ttl6",
+            OverlayKind::Unstructured { degree: 6, ttl: 6 },
+        ),
     ];
     for (name, overlay) in configs {
         let mut net = P2PNetwork::new(SimConfig {
@@ -286,10 +314,16 @@ pub fn e5_topology(num_peers: usize, lookups: usize, seed: u64) -> Table {
     Table {
         id: "E5",
         title: "overlay topology: routing success, hops and messages per lookup",
-        header: ["overlay", "peers", "success", "mean hops", "messages/lookup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "overlay",
+            "peers",
+            "success",
+            "mean hops",
+            "messages/lookup",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -304,17 +338,15 @@ pub fn e6_data_distribution(num_peers: usize, seed: u64) -> Table {
     let labels: Vec<u64> = split
         .train
         .iter()
-        .map(|&d| {
-            corpus
-                .tag_ids_of(d)
-                .into_iter()
-                .next()
-                .unwrap_or_default() as u64
-        })
+        .map(|&d| corpus.tag_ids_of(d).into_iter().next().unwrap_or_default() as u64)
         .collect();
 
     let scenarios = [
-        ("uniform / iid", SizeDistribution::Uniform, ClassDistribution::Iid),
+        (
+            "uniform / iid",
+            SizeDistribution::Uniform,
+            ClassDistribution::Iid,
+        ),
         (
             "zipf / iid",
             SizeDistribution::Zipf { exponent: 1.2 },
@@ -341,8 +373,7 @@ pub fn e6_data_distribution(num_peers: usize, seed: u64) -> Table {
     for (name, size, class) in scenarios {
         let assignment = DataDistributor { size, class, seed }.distribute(&labels, num_peers);
         let gini = p2psim::datadist::size_gini(&assignment);
-        let entropy =
-            p2psim::datadist::label_entropy_ratio(&assignment, &labels);
+        let entropy = p2psim::datadist::label_entropy_ratio(&assignment, &labels);
         let mut peer_data: Vec<MultiLabelDataset> = vec![MultiLabelDataset::new(); num_peers];
         for (peer, items) in assignment.iter().enumerate() {
             for &i in items {
@@ -369,10 +400,16 @@ pub fn e6_data_distribution(num_peers: usize, seed: u64) -> Table {
     Table {
         id: "E6",
         title: "per-peer size and class distribution (micro-F1)",
-        header: ["distribution", "size gini", "label entropy", "protocol", "micro-F1"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "distribution",
+            "size gini",
+            "label entropy",
+            "protocol",
+            "micro-F1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -395,7 +432,10 @@ fn run_protocols_on_peer_data(
             "cempar".to_string(),
             Box::new(Cempar::new(CemparConfig::for_network(num_peers))),
         ),
-        ("pace".to_string(), Box::new(Pace::new(PaceConfig::default()))),
+        (
+            "pace".to_string(),
+            Box::new(Pace::new(PaceConfig::default())),
+        ),
     ];
     for (name, mut proto) in protos {
         let mut net = P2PNetwork::new(SimConfig {
@@ -507,7 +547,8 @@ pub fn e8_refinement(num_users: usize, seed: u64) -> Table {
     }
     Table {
         id: "E8",
-        title: "tag refinement: held-out micro-F1 after rounds of user corrections (PACE, 10% train)",
+        title:
+            "tag refinement: held-out micro-F1 after rounds of user corrections (PACE, 10% train)",
         header: ["round", "total corrections", "micro-F1"]
             .iter()
             .map(|s| s.to_string())
@@ -527,16 +568,26 @@ pub fn e9_tag_cloud(num_users: usize, seed: u64) -> Table {
     system.learn(&workload.split).expect("learning succeeds");
     system.auto_tag_all().expect("tagging succeeds");
     let cloud: TagCloud = system.tag_cloud();
-    let manual = system.library().iter().filter(|e| e.source == TagSource::Manual).count();
+    let manual = system
+        .library()
+        .iter()
+        .filter(|e| e.source == TagSource::Manual)
+        .count();
     let mut rows = vec![
-        vec!["documents in library".to_string(), system.library().len().to_string()],
+        vec![
+            "documents in library".to_string(),
+            system.library().len().to_string(),
+        ],
         vec!["manually tagged".to_string(), manual.to_string()],
         vec![
             "automatically tagged".to_string(),
             system.library().auto_tagged_count().to_string(),
         ],
         vec!["distinct tags".to_string(), cloud.num_tags().to_string()],
-        vec!["co-occurrence edges".to_string(), cloud.num_edges().to_string()],
+        vec![
+            "co-occurrence edges".to_string(),
+            cloud.num_edges().to_string(),
+        ],
     ];
     for min_weight in [1usize, 3, 6] {
         let clusters = cloud.clusters(min_weight);
@@ -549,7 +600,10 @@ pub fn e9_tag_cloud(num_users: usize, seed: u64) -> Table {
     Table {
         id: "E9",
         title: "tag cloud and co-occurrence structure",
-        header: ["statistic", "value"].iter().map(|s| s.to_string()).collect(),
+        header: ["statistic", "value"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         rows,
     }
 }
@@ -608,10 +662,16 @@ pub fn a2_cempar_ablation(num_users: usize, seed: u64) -> Table {
     Table {
         id: "A2",
         title: "CEMPaR ablation: super-peer regions and cascade retraining",
-        header: ["regions", "cascade", "micro-F1", "bytes/peer", "hotspot bytes"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "regions",
+            "cascade",
+            "micro-F1",
+            "bytes/peer",
+            "hotspot bytes",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }

@@ -7,6 +7,9 @@
 //! Criterion benches in `benches/` time the hot paths of the same code.
 //! `DESIGN.md` (experiment index) maps experiment ids to paper anchors.
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub mod experiments;
 pub mod workload;
 

@@ -158,7 +158,11 @@ mod tests {
         let workload = Workload::generate(8, Scale::Small, 1);
         for protocol in standard_protocols(8) {
             let result = run_system(&workload, protocol, None, 1);
-            assert!(result.outcome.metrics.micro_f1() > 0.3, "{}", result.protocol);
+            assert!(
+                result.outcome.metrics.micro_f1() > 0.3,
+                "{}",
+                result.protocol
+            );
             assert_eq!(result.outcome.failed, 0);
         }
     }

@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn push_and_lookup() {
         let mut c = Corpus::new();
-        let id = c.push_document(0, "rust systems programming".into(), tags(&["rust", "code"]));
+        let id = c.push_document(
+            0,
+            "rust systems programming".into(),
+            tags(&["rust", "code"]),
+        );
         assert_eq!(id, 0);
         assert_eq!(c.len(), 1);
         assert_eq!(c.num_tags(), 2);

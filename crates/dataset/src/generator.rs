@@ -97,10 +97,36 @@ impl CorpusSpec {
 /// Tag names used for readability in examples and the tag cloud; generated
 /// names (`topic17`) are used beyond the list length.
 const TAG_NAME_POOL: &[&str] = &[
-    "programming", "rust", "database", "web", "design", "music", "travel", "photography",
-    "science", "politics", "cooking", "sports", "machine-learning", "security", "networking",
-    "art", "history", "finance", "health", "games", "linux", "education", "video", "howto",
-    "reference", "opensource", "research", "blog", "news", "tools",
+    "programming",
+    "rust",
+    "database",
+    "web",
+    "design",
+    "music",
+    "travel",
+    "photography",
+    "science",
+    "politics",
+    "cooking",
+    "sports",
+    "machine-learning",
+    "security",
+    "networking",
+    "art",
+    "history",
+    "finance",
+    "health",
+    "games",
+    "linux",
+    "education",
+    "video",
+    "howto",
+    "reference",
+    "opensource",
+    "research",
+    "blog",
+    "news",
+    "tools",
 ];
 
 /// The synthetic-corpus generator.
@@ -174,8 +200,7 @@ impl CorpusGenerator {
                 guard += 1;
             }
             let interests: Vec<usize> = interests.into_iter().collect();
-            let interest_weights: Vec<f64> =
-                interests.iter().map(|&t| tag_weights[t]).collect();
+            let interest_weights: Vec<f64> = interests.iter().map(|&t| tag_weights[t]).collect();
 
             let num_docs = rng.gen_range(spec.min_docs_per_user..spec.max_docs_per_user);
             for _ in 0..num_docs {
@@ -208,10 +233,8 @@ impl CorpusGenerator {
                     }
                 }
                 let text = words.join(" ");
-                let tag_name_set: BTreeSet<String> = doc_tag_list
-                    .iter()
-                    .map(|&t| tag_names[t].clone())
-                    .collect();
+                let tag_name_set: BTreeSet<String> =
+                    doc_tag_list.iter().map(|&t| tag_names[t].clone()).collect();
                 corpus.push_document(user, text, tag_name_set);
             }
         }
@@ -221,14 +244,21 @@ impl CorpusGenerator {
 
 /// A deterministic consonant-vowel stem so synthetic words look like words.
 fn synth_stem(tag: usize, word: usize) -> String {
-    const CONS: &[char] = &['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+    const CONS: &[char] = &[
+        'b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z',
+    ];
     const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
     let mut s = String::new();
-    let mut x = (tag as u64 + 1).wrapping_mul(2654435761).wrapping_add(word as u64);
+    let mut x = (tag as u64 + 1)
+        .wrapping_mul(2654435761)
+        .wrapping_add(word as u64);
     for i in 0..4 {
         let set = if i % 2 == 0 { CONS } else { VOWELS };
         s.push(set[(x % set.len() as u64) as usize]);
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 3;
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            >> 3;
     }
     s
 }
@@ -314,10 +344,7 @@ mod tests {
         let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
         for d in corpus.documents().iter().take(100) {
             for tag in &d.tags {
-                assert!(
-                    !d.text.contains(tag),
-                    "tag {tag} leaked into document text"
-                );
+                assert!(!d.text.contains(tag), "tag {tag} leaked into document text");
             }
         }
     }

@@ -123,11 +123,7 @@ mod tests {
 
     #[test]
     fn accepted_tags_are_alphabetical_and_struck_out_last() {
-        let cloud = SuggestionCloud::build(
-            &[pred(3, 0.9), pred(1, 0.8), pred(2, 0.2)],
-            0.5,
-            names,
-        );
+        let cloud = SuggestionCloud::build(&[pred(3, 0.9), pred(1, 0.8), pred(2, 0.2)], 0.5, names);
         let order: Vec<&str> = cloud.entries().iter().map(|e| e.tag.as_str()).collect();
         assert_eq!(order, vec!["rust", "web", "music"]);
         assert!(cloud.entries()[2].struck_out);

@@ -120,13 +120,18 @@ impl P2PDocTagger {
     /// plays the role of the users' manually tagged documents; the global
     /// classification model is then constructed in a distributed manner.
     pub fn learn(&mut self, split: &TrainTestSplit) -> Result<(), ProtocolError> {
-        let corpus = self.corpus.as_ref().expect("ingest() must be called before learn()");
+        let corpus = self
+            .corpus
+            .as_ref()
+            .expect("ingest() must be called before learn()");
         let vectorized = self.vectorized.as_ref().expect("vectorized corpus present");
         let network = self.network.as_mut().expect("network present");
 
         // Record the manual tags in the library and the file-metadata store.
         for &doc in &split.train {
-            let d = corpus.document(doc).expect("split refers to corpus documents");
+            let d = corpus
+                .document(doc)
+                .expect("split refers to corpus documents");
             self.library
                 .assign(doc, d.user, d.tags.clone(), TagSource::Manual);
             self.tag_store
@@ -137,7 +142,9 @@ impl P2PDocTagger {
         let num_peers = network.num_peers();
         let mut peer_data: Vec<MultiLabelDataset> = vec![MultiLabelDataset::new(); num_peers];
         for &doc in &split.train {
-            let d = corpus.document(doc).expect("split refers to corpus documents");
+            let d = corpus
+                .document(doc)
+                .expect("split refers to corpus documents");
             let peer = d.user % num_peers;
             peer_data[peer].push(vectorized.example(doc));
         }
@@ -159,7 +166,9 @@ impl P2PDocTagger {
         let network = self.network.as_mut().expect("ingested");
         let d = corpus.document(doc).expect("document exists");
         let peer = PeerId::from(d.user % network.num_peers());
-        let tag_ids = self.protocol.predict(network, peer, vectorized.vector(doc))?;
+        let tag_ids = self
+            .protocol
+            .predict(network, peer, vectorized.vector(doc))?;
         let names: BTreeSet<String> = tag_ids
             .iter()
             .filter_map(|&t| corpus.tag_name(t).map(str::to_string))
@@ -174,10 +183,7 @@ impl P2PDocTagger {
     /// Automatically tags every untagged (test) document and evaluates the
     /// result against the held-out ground truth.
     pub fn auto_tag_all(&mut self) -> Result<AutoTagOutcome, ProtocolError> {
-        let split = self
-            .split
-            .clone()
-            .ok_or(ProtocolError::NotTrained)?;
+        let split = self.split.clone().ok_or(ProtocolError::NotTrained)?;
         let mut predictions = Vec::with_capacity(split.test.len());
         let mut truths = Vec::with_capacity(split.test.len());
         let mut tagged = 0;
@@ -240,7 +246,9 @@ impl P2PDocTagger {
         let network = self.network.as_mut().expect("ingested");
         let d = corpus.document(doc).expect("document exists");
         let peer = PeerId::from(d.user % network.num_peers());
-        let scores = self.protocol.scores(network, peer, vectorized.vector(doc))?;
+        let scores = self
+            .protocol
+            .scores(network, peer, vectorized.vector(doc))?;
         let threshold = threshold.unwrap_or(self.config.confidence_threshold);
         Ok(SuggestionCloud::build(&scores, threshold, |t| {
             corpus.tag_name(t).map(str::to_string)

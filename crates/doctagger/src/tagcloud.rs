@@ -170,8 +170,7 @@ impl TagCloud {
                     disc[u] = timer;
                     low[u] = timer;
                 }
-                let neighbors: Vec<usize> =
-                    adj[nodes[u]].iter().map(|v| index[*v]).collect();
+                let neighbors: Vec<usize> = adj[nodes[u]].iter().map(|v| index[*v]).collect();
                 if child_idx < neighbors.len() {
                     top.1 += 1;
                     let v = neighbors[child_idx];
@@ -245,7 +244,11 @@ mod tests {
         let cloud = TagCloud::from_library(&figure4_library());
         assert_eq!(cloud.num_tags(), 7);
         let web = cloud.entries().iter().find(|e| e.tag == "web").unwrap();
-        let nav = cloud.entries().iter().find(|e| e.tag == "navigation").unwrap();
+        let nav = cloud
+            .entries()
+            .iter()
+            .find(|e| e.tag == "navigation")
+            .unwrap();
         assert!(web.count > nav.count);
         assert!(web.font_size >= nav.font_size);
         assert!((1..=5).contains(&web.font_size));
@@ -264,7 +267,11 @@ mod tests {
     fn single_connected_cluster_with_bridge() {
         let cloud = TagCloud::from_library(&figure4_library());
         let clusters = cloud.clusters(1);
-        assert_eq!(clusters.len(), 1, "bridge connects everything: {clusters:?}");
+        assert_eq!(
+            clusters.len(),
+            1,
+            "bridge connects everything: {clusters:?}"
+        );
         assert_eq!(clusters[0].len(), 7);
     }
 

@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn hierarchical_fan_in_matches_flat_merge_quality() {
         let (models, xs, ys) = partitioned_models(8, 25, 25);
-        let flat = CascadeSvm::with_kernel(Kernel::Linear).merge(&models).unwrap();
+        let flat = CascadeSvm::with_kernel(Kernel::Linear)
+            .merge(&models)
+            .unwrap();
         let hier = CascadeSvm::new(CascadeConfig {
             trainer: KernelSvmTrainer::with_kernel(Kernel::Linear),
             retrain: true,

@@ -140,10 +140,7 @@ mod tests {
     use super::*;
 
     fn ex(tags: &[TagId]) -> MultiLabelExample {
-        MultiLabelExample::new(
-            SparseVector::from_pairs([(0, 1.0)]),
-            tags.iter().copied(),
-        )
+        MultiLabelExample::new(SparseVector::from_pairs([(0, 1.0)]), tags.iter().copied())
     }
 
     #[test]

@@ -208,8 +208,20 @@ mod tests {
         let mut pts = blob((5.0, 5.0), 20, 4);
         pts.extend(blob((-5.0, -5.0), 20, 5));
         pts.extend(blob((5.0, -5.0), 20, 6));
-        let one = KMeans::fit(&pts, &KMeansConfig { k: 1, ..Default::default() });
-        let three = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        let one = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        let three = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert!(three.inertia() < one.inertia());
     }
 
@@ -217,7 +229,13 @@ mod tests {
     fn predict_assigns_to_nearest_centroid() {
         let mut pts = blob((5.0, 5.0), 20, 7);
         pts.extend(blob((-5.0, -5.0), 20, 8));
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 2, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let near_first = SparseVector::from_pairs([(0, 4.9), (1, 5.1)]);
         assert_eq!(km.predict(&near_first), km.assignments()[0]);
     }
@@ -233,7 +251,13 @@ mod tests {
     #[test]
     fn identical_points_do_not_panic() {
         let pts = vec![SparseVector::from_pairs([(0, 1.0)]); 5];
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(km.centroids().len(), 3);
         assert!(km.inertia() < 1e-9);
     }

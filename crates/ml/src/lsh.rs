@@ -258,7 +258,9 @@ mod tests {
     #[test]
     fn empty_index_returns_nothing() {
         let idx = LshIndex::<u32>::new(LshConfig::default());
-        assert!(idx.query(&SparseVector::from_pairs([(0, 1.0)]), 3).is_empty());
+        assert!(idx
+            .query(&SparseVector::from_pairs([(0, 1.0)]), 3)
+            .is_empty());
         assert!(idx.is_empty());
     }
 
@@ -266,7 +268,9 @@ mod tests {
     fn k_zero_returns_nothing() {
         let mut idx = LshIndex::new(LshConfig::default());
         idx.insert(SparseVector::from_pairs([(0, 1.0)]), 1);
-        assert!(idx.query(&SparseVector::from_pairs([(0, 1.0)]), 0).is_empty());
+        assert!(idx
+            .query(&SparseVector::from_pairs([(0, 1.0)]), 0)
+            .is_empty());
     }
 
     #[test]
@@ -278,7 +282,8 @@ mod tests {
         });
         let a = SparseVector::from_pairs((0..20).map(|i| (i, 1.0)));
         let near = SparseVector::from_pairs((0..20).map(|i| (i, if i == 0 { 0.9 } else { 1.0 })));
-        let far = SparseVector::from_pairs((0..20).map(|i| (i, if i % 2 == 0 { -1.0 } else { 1.0 })));
+        let far =
+            SparseVector::from_pairs((0..20).map(|i| (i, if i % 2 == 0 { -1.0 } else { 1.0 })));
         let sig = |v: &SparseVector| idx.signature(v)[0];
         let hamming = |x: u64, y: u64| (x ^ y).count_ones();
         assert!(hamming(sig(&a), sig(&near)) < hamming(sig(&a), sig(&far)));

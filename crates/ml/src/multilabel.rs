@@ -8,9 +8,7 @@
 //! [`BinaryClassifier`].
 
 use crate::data::{MultiLabelDataset, TagId};
-use crate::svm::{
-    BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer,
-};
+use crate::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use textproc::SparseVector;
@@ -150,7 +148,11 @@ impl<C: BinaryClassifier> OneVsAllModel<C> {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         out
     }
 
@@ -171,7 +173,10 @@ impl<C: BinaryClassifier> OneVsAllModel<C> {
 
     /// Total wire size of all per-tag classifiers.
     pub fn wire_size(&self) -> usize {
-        self.classifiers.values().map(BinaryClassifier::wire_size).sum()
+        self.classifiers
+            .values()
+            .map(BinaryClassifier::wire_size)
+            .sum()
     }
 }
 

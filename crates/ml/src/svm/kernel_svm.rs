@@ -226,10 +226,12 @@ impl KernelSvmTrainer {
                 alpha[i] = ai_new;
                 alpha[j] = aj_new;
 
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - y[i] * (ai_new - ai_old) * kij(i, i)
                     - y[j] * (aj_new - aj_old) * kij(i, j);
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - y[i] * (ai_new - ai_old) * kij(i, j)
                     - y[j] * (aj_new - aj_old) * kij(j, j);
                 b = if ai_new > 0.0 && ai_new < self.c {

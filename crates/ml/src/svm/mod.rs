@@ -15,7 +15,7 @@ mod kernel_svm;
 mod linear;
 
 pub use kernel_svm::{KernelSvm, KernelSvmTrainer, SupportVector};
-pub use linear::{LinearSvm, LinearSvmTrainer, LinearSolver};
+pub use linear::{LinearSolver, LinearSvm, LinearSvmTrainer};
 
 use textproc::SparseVector;
 
@@ -81,7 +81,10 @@ pub(crate) mod test_util {
             let x1: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             let jitter0 = rng.gen_range(-0.2..0.2);
             let jitter1 = rng.gen_range(-0.2..0.2);
-            xs.push(SparseVector::from_pairs([(0, x0 + jitter0), (1, x1 + jitter1)]));
+            xs.push(SparseVector::from_pairs([
+                (0, x0 + jitter0),
+                (1, x1 + jitter1),
+            ]));
             ys.push((x0 > 0.0) == (x1 > 0.0));
         }
         (xs, ys)

@@ -230,10 +230,15 @@ impl P2PTagClassifier for Cempar {
         "cempar"
     }
 
-    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+    fn train(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
         self.regions = vec![None; self.config.regions];
         self.local_data = peer_data.clone();
-        self.local_data.resize(net.num_peers(), MultiLabelDataset::new());
+        self.local_data
+            .resize(net.num_peers(), MultiLabelDataset::new());
 
         let mut touched_regions = Vec::new();
         for (i, data) in peer_data.iter().enumerate() {
@@ -292,7 +297,12 @@ impl P2PTagClassifier for Cempar {
                 continue;
             }
             if net
-                .send(peer, state.super_peer, MessageKind::PredictionQuery, x.wire_size())
+                .send(
+                    peer,
+                    state.super_peer,
+                    MessageKind::PredictionQuery,
+                    x.wire_size(),
+                )
                 .is_err()
             {
                 // Super-peer offline: this region's vote is lost (fault
@@ -456,7 +466,10 @@ mod tests {
     fn prediction_queries_cost_communication() {
         let mut net = network(16);
         let data = toy_peer_data(16, 10, 3);
-        let mut cempar = Cempar::new(CemparConfig { regions: 4, ..Default::default() });
+        let mut cempar = Cempar::new(CemparConfig {
+            regions: 4,
+            ..Default::default()
+        });
         cempar.train(&mut net, &data).unwrap();
         let before = net.stats().kind(MessageKind::PredictionQuery).messages;
         cempar
@@ -479,7 +492,10 @@ mod tests {
         let mut net = network(8);
         // Initially tag 3 is unknown anywhere.
         let data = toy_peer_data(8, 10, 4);
-        let mut cempar = Cempar::new(CemparConfig { regions: 2, ..Default::default() });
+        let mut cempar = Cempar::new(CemparConfig {
+            regions: 2,
+            ..Default::default()
+        });
         cempar.train(&mut net, &data).unwrap();
         let probe = SparseVector::from_pairs([(5, 1.5)]);
         let before = cempar.predict(&mut net, PeerId(1), &probe).unwrap();
@@ -492,7 +508,10 @@ mod tests {
                 .unwrap();
         }
         let scores = cempar.scores(&mut net, PeerId(1), &probe).unwrap();
-        assert!(scores.iter().any(|p| p.tag == 3), "tag 3 now known: {scores:?}");
+        assert!(
+            scores.iter().any(|p| p.tag == 3),
+            "tag 3 now known: {scores:?}"
+        );
         assert!(
             net.stats().kind(MessageKind::RefinementUpdate).messages >= 1,
             "refinement traffic accounted"
@@ -512,7 +531,10 @@ mod tests {
             ..Default::default()
         });
         let data = toy_peer_data(32, 10, 5);
-        let mut cempar = Cempar::new(CemparConfig { regions: 8, ..Default::default() });
+        let mut cempar = Cempar::new(CemparConfig {
+            regions: 8,
+            ..Default::default()
+        });
         cempar.train(&mut net, &data).unwrap();
         // Let a lot of time pass so some super-peers churn out.
         net.advance(p2psim::SimTime::from_secs(20_000));
@@ -531,7 +553,10 @@ mod tests {
     fn regional_models_compress_the_contributed_support_vectors() {
         let mut net = network(16);
         let data = toy_peer_data(16, 20, 6);
-        let mut cempar = Cempar::new(CemparConfig { regions: 2, ..Default::default() });
+        let mut cempar = Cempar::new(CemparConfig {
+            regions: 2,
+            ..Default::default()
+        });
         cempar.train(&mut net, &data).unwrap();
         let total_training: usize = data.iter().map(|d| d.len()).sum();
         assert!(cempar.regional_support_vectors() > 0);

@@ -93,7 +93,11 @@ impl P2PTagClassifier for Centralized {
         "centralized"
     }
 
-    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+    fn train(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
         self.pooled = MultiLabelDataset::new();
         let server = self.config.server;
         for (i, data) in peer_data.iter().enumerate() {
@@ -249,12 +253,12 @@ mod tests {
         let mut c = Centralized::new(CentralizedConfig::default());
         c.train(&mut net, &data).unwrap();
         let stats = net.stats();
-        assert_eq!(stats.kind(MessageKind::TrainingData).bytes as usize, expected_bytes);
-        // The server is the hot spot: it receives everything.
         assert_eq!(
-            stats.bytes_received_by(PeerId(0)) as usize,
+            stats.kind(MessageKind::TrainingData).bytes as usize,
             expected_bytes
         );
+        // The server is the hot spot: it receives everything.
+        assert_eq!(stats.bytes_received_by(PeerId(0)) as usize, expected_bytes);
     }
 
     #[test]
@@ -266,10 +270,16 @@ mod tests {
         let before = net.stats().kind(MessageKind::PredictionQuery).messages;
         c.predict(&mut net, PeerId(2), &SparseVector::from_pairs([(0, 1.0)]))
             .unwrap();
-        assert_eq!(net.stats().kind(MessageKind::PredictionQuery).messages, before + 1);
+        assert_eq!(
+            net.stats().kind(MessageKind::PredictionQuery).messages,
+            before + 1
+        );
         c.predict(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]))
             .unwrap();
-        assert_eq!(net.stats().kind(MessageKind::PredictionQuery).messages, before + 1);
+        assert_eq!(
+            net.stats().kind(MessageKind::PredictionQuery).messages,
+            before + 1
+        );
     }
 
     #[test]
@@ -289,7 +299,10 @@ mod tests {
         let mut c = Centralized::new(CentralizedConfig::default());
         c.train(&mut net, &data).unwrap();
         net.advance(p2psim::SimTime::from_secs(50_000));
-        assert!(!net.is_online(PeerId(0)), "server should be offline under this churn");
+        assert!(
+            !net.is_online(PeerId(0)),
+            "server should be offline under this churn"
+        );
         if let Some(&alive) = net.online_peers().iter().find(|&&p| p != PeerId(0)) {
             let r = c.predict(&mut net, alive, &SparseVector::from_pairs([(0, 1.0)]));
             assert_eq!(r.unwrap_err(), ProtocolError::NoModelReachable);
@@ -320,7 +333,8 @@ mod tests {
         let mut net = P2PNetwork::new(SimConfig::with_peers(2));
         let c = Centralized::new(CentralizedConfig::default());
         assert_eq!(
-            c.scores(&mut net, PeerId(1), &SparseVector::new()).unwrap_err(),
+            c.scores(&mut net, PeerId(1), &SparseVector::new())
+                .unwrap_err(),
             ProtocolError::NotTrained
         );
     }

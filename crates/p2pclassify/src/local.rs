@@ -66,9 +66,14 @@ impl P2PTagClassifier for LocalOnly {
         "local-only"
     }
 
-    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+    fn train(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
         self.local_data = peer_data.clone();
-        self.local_data.resize(net.num_peers(), MultiLabelDataset::new());
+        self.local_data
+            .resize(net.num_peers(), MultiLabelDataset::new());
         self.models = vec![None; net.num_peers()];
         for i in 0..net.num_peers() {
             self.train_peer(PeerId::from(i));
@@ -228,7 +233,11 @@ mod tests {
         local.train(&mut net, &data).unwrap();
         for i in 0..4 {
             local
-                .refine(&mut net, PeerId(1), &two_tag_example(4, 8, 1.0 + i as f64 * 0.1))
+                .refine(
+                    &mut net,
+                    PeerId(1),
+                    &two_tag_example(4, 8, 1.0 + i as f64 * 0.1),
+                )
                 .unwrap();
         }
         let pred = local

@@ -20,7 +20,7 @@
 //!    example and re-propagates it.
 
 use crate::error::ProtocolError;
-use crate::protocol::{combine_weighted_scores, P2PTagClassifier, PeerDataMap};
+use crate::protocol::{combine_confidence_votes, P2PTagClassifier, PeerDataMap};
 use ml::kmeans::{KMeans, KMeansConfig};
 use ml::lsh::{LshConfig, LshIndex};
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
@@ -55,6 +55,16 @@ pub struct PaceConfig {
     pub rel_threshold: f64,
     /// Minimum number of tags assigned when nothing reaches the threshold.
     pub min_tags: usize,
+    /// Sharpness of the distance adaptation: a consulted model's vote weight
+    /// is `accuracy · exp(−sharpness · distance)`, so larger values
+    /// concentrate the ensemble on models whose training data resembles the
+    /// test document.
+    pub distance_sharpness: f64,
+    /// Coverage damping of per-tag vote normalization (see
+    /// [`crate::protocol::combine_confidence_votes`]): `0.0` fully trusts the
+    /// models that know a tag however few they are, `1.0` counts every
+    /// ignorant model as a "no" vote.
+    pub coverage_damping: f64,
 }
 
 impl Default for PaceConfig {
@@ -70,8 +80,10 @@ impl Default for PaceConfig {
             top_k: 7,
             use_lsh: true,
             vote_threshold: 0.0,
-            rel_threshold: 0.5,
+            rel_threshold: 0.7,
             min_tags: 1,
+            distance_sharpness: 2.0,
+            coverage_damping: 0.4,
         }
     }
 }
@@ -162,9 +174,12 @@ impl Pace {
             acc_sum += accuracy_on(clf, &xs, &ys);
             acc_n += 1;
         }
-        let accuracy = if acc_n > 0 { acc_sum / acc_n as f64 } else { 0.5 };
-        let vectors: Vec<SparseVector> =
-            data.iter().map(|e| e.vector.clone()).collect();
+        let accuracy = if acc_n > 0 {
+            acc_sum / acc_n as f64
+        } else {
+            0.5
+        };
+        let vectors: Vec<SparseVector> = data.iter().map(|e| e.vector.clone()).collect();
         let kmeans = KMeans::fit(&vectors, &self.config.kmeans);
         Some(PaceModel {
             source: peer,
@@ -203,14 +218,9 @@ impl Pace {
 
     /// The top-k models available to `peer` for a query, with their distances.
     fn nearest_models(&self, peer: PeerId, x: &SparseVector) -> Vec<(&PaceModel, f64)> {
-        let available = self
-            .received
-            .get(peer.index())
-            .cloned()
-            .unwrap_or_default();
-        if available.is_empty() {
+        let Some(available) = self.received.get(peer.index()).filter(|a| !a.is_empty()) else {
             return Vec::new();
-        }
+        };
         let mut candidates: Vec<(&PaceModel, f64)> = if self.config.use_lsh {
             // Over-fetch from the index (several centroids can map to the same
             // model, and some candidates may not have reached this peer).
@@ -244,12 +254,17 @@ impl P2PTagClassifier for Pace {
         "pace"
     }
 
-    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError> {
+    fn train(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
         self.models.clear();
         self.index = LshIndex::new(self.config.lsh.clone());
         self.received = vec![BTreeSet::new(); net.num_peers()];
         self.local_data = peer_data.clone();
-        self.local_data.resize(net.num_peers(), MultiLabelDataset::new());
+        self.local_data
+            .resize(net.num_peers(), MultiLabelDataset::new());
 
         for (i, data) in peer_data.iter().enumerate() {
             let peer = PeerId::from(i);
@@ -280,17 +295,34 @@ impl P2PTagClassifier for Pace {
         if nearest.is_empty() {
             return Err(ProtocolError::NoModelReachable);
         }
-        // Weight each model's vote by accuracy and (inverse) distance — this is
-        // PACE's adaptation to the test data distribution.
+        // Weight each model's vote by accuracy and distance — this is PACE's
+        // adaptation to the test data distribution. Models vote with their
+        // squashed confidence, not the raw SVM margin: margins from different
+        // peers' models are not calibrated against each other, and averaging
+        // them lets a few confidently-negative models drown out the models
+        // that actually know a tag (which collapses recall). The per-tag
+        // normalization and coverage damping live in
+        // [`combine_confidence_votes`].
         let votes: Vec<(f64, Vec<TagPrediction>)> = nearest
             .into_iter()
             .map(|(m, dist)| {
-                let weight = m.accuracy / (1.0 + dist);
-                let scores = m.model.scores(x);
+                let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
+                let scores = m
+                    .model
+                    .scores(x)
+                    .into_iter()
+                    .map(|p| TagPrediction {
+                        score: p.confidence,
+                        ..p
+                    })
+                    .collect();
                 (weight, scores)
             })
             .collect();
-        Ok(combine_weighted_scores(&votes))
+        Ok(combine_confidence_votes(
+            &votes,
+            self.config.coverage_damping,
+        ))
     }
 
     fn predict(

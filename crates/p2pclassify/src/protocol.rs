@@ -20,7 +20,8 @@ pub trait P2PTagClassifier {
     /// Trains the global (distributed) model from each peer's local tagged
     /// documents. Offline peers do not participate — their data is simply not
     /// contributed, as in a real deployment.
-    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap) -> Result<(), ProtocolError>;
+    fn train(&mut self, net: &mut P2PNetwork, peer_data: &PeerDataMap)
+        -> Result<(), ProtocolError>;
 
     /// Returns per-tag scores for an untagged document vector, on behalf of the
     /// querying peer (which pays the communication cost of the query, if any).
@@ -64,7 +65,11 @@ pub fn select_tags(scores: &[TagPrediction], threshold: f64, min_tags: usize) ->
         return above;
     }
     let mut sorted: Vec<&TagPrediction> = scores.iter().collect();
-    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
 }
 
@@ -98,8 +103,69 @@ pub fn select_tags_adaptive(
         return above;
     }
     let mut sorted: Vec<&TagPrediction> = scores.iter().collect();
-    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
+}
+
+/// Combines per-tag *confidence* vote lists (scores in `(0, 1)`) into one,
+/// normalizing each tag by the weight of the voters that actually know it.
+///
+/// This is the ensemble combination PACE needs: raw SVM margins from
+/// different peers' models are not calibrated against each other, and with
+/// interest locality only a minority of peers has ever seen any given tag.
+/// Normalizing a tag's vote mass by *total* ensemble weight (as
+/// [`combine_weighted_scores`] does) makes every ignorant peer a strong
+/// negative vote and collapses recall. Instead, for each tag:
+///
+/// ```text
+/// score(tag) = (Σ_knowing w·conf / Σ_knowing w) · (Σ_knowing w / Σ_all w)^damping
+/// ```
+///
+/// The first factor is the weighted mean confidence among the models that
+/// know the tag; the second discounts tags known to only a sliver of the
+/// ensemble (`damping = 0` trusts lone experts fully, `damping = 1` recovers
+/// the abstain-is-a-no behaviour of [`combine_weighted_scores`]).
+pub fn combine_confidence_votes(
+    lists: &[(f64, Vec<TagPrediction>)],
+    coverage_damping: f64,
+) -> Vec<TagPrediction> {
+    use std::collections::BTreeMap;
+    let total_weight: f64 = lists.iter().map(|(w, _)| *w).sum();
+    if total_weight <= 0.0 {
+        return Vec::new();
+    }
+    // tag → (Σ w·conf, Σ w) over the voters that know the tag.
+    let mut sums: BTreeMap<TagId, (f64, f64)> = BTreeMap::new();
+    for (weight, scores) in lists {
+        for p in scores {
+            let entry = sums.entry(p.tag).or_insert((0.0, 0.0));
+            entry.0 += weight * p.score;
+            entry.1 += weight;
+        }
+    }
+    let mut out: Vec<TagPrediction> = sums
+        .into_iter()
+        .filter(|&(_, (_, knowing_weight))| knowing_weight > 0.0)
+        .map(|(tag, (weighted_conf, knowing_weight))| {
+            let score = (weighted_conf / knowing_weight)
+                * (knowing_weight / total_weight).powf(coverage_damping);
+            TagPrediction {
+                tag,
+                score,
+                confidence: score,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
 }
 
 /// Combines several per-tag score lists into one by weighted majority voting:
@@ -130,7 +196,11 @@ pub fn combine_weighted_scores(lists: &[(f64, Vec<TagPrediction>)]) -> Vec<TagPr
             }
         })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -174,7 +244,10 @@ mod tests {
     #[test]
     fn adaptive_selection_falls_back_to_best_tag() {
         let scores = vec![pred(1, -0.4), pred(2, -0.9)];
-        assert_eq!(select_tags_adaptive(&scores, 0.0, 0.5, 1), BTreeSet::from([1]));
+        assert_eq!(
+            select_tags_adaptive(&scores, 0.0, 0.5, 1),
+            BTreeSet::from([1])
+        );
         assert!(select_tags_adaptive(&[], 0.0, 0.5, 1).is_empty());
     }
 

@@ -245,7 +245,10 @@ mod tests {
         let tl = ChurnTimeline::generate(model, 400, SimTime::from_secs(2_000), 42);
         // Expected availability 0.75; sample mid-simulation with tolerance.
         let a = tl.availability_at(SimTime::from_secs(1_000));
-        assert!((a - model.expected_availability()).abs() < 0.12, "availability {a}");
+        assert!(
+            (a - model.expected_availability()).abs() < 0.12,
+            "availability {a}"
+        );
     }
 
     #[test]

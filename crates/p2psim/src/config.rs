@@ -12,9 +12,10 @@ use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Which overlay family to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum OverlayKind {
     /// Structured, DHT-based (Chord-style) overlay.
+    #[default]
     Chord,
     /// Unstructured random graph with flooding search.
     Unstructured {
@@ -23,12 +24,6 @@ pub enum OverlayKind {
         /// Flooding TTL.
         ttl: usize,
     },
-}
-
-impl Default for OverlayKind {
-    fn default() -> Self {
-        OverlayKind::Chord
-    }
 }
 
 /// Full configuration of a simulated P2P environment.
@@ -81,16 +76,16 @@ impl SimConfig {
         let peers = (0..self.num_peers as u64).map(crate::peer::PeerId);
         match self.overlay {
             OverlayKind::Chord => AnyOverlay::Chord(ChordOverlay::with_peers(peers)),
-            OverlayKind::Unstructured { degree, ttl } => AnyOverlay::Unstructured(
-                UnstructuredOverlay::with_peers(
+            OverlayKind::Unstructured { degree, ttl } => {
+                AnyOverlay::Unstructured(UnstructuredOverlay::with_peers(
                     crate::overlay::UnstructuredConfig {
                         degree,
                         ttl,
                         seed: self.seed,
                     },
                     peers,
-                ),
-            ),
+                ))
+            }
         }
     }
 }

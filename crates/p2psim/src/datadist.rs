@@ -259,7 +259,10 @@ mod tests {
         let iid_ratio = label_entropy_ratio(&iid, &labels);
         let skew_ratio = label_entropy_ratio(&skewed, &labels);
         assert!(iid_ratio > 0.8, "iid ratio {iid_ratio}");
-        assert!(skew_ratio < iid_ratio - 0.2, "skew {skew_ratio} vs iid {iid_ratio}");
+        assert!(
+            skew_ratio < iid_ratio - 0.2,
+            "skew {skew_ratio} vs iid {iid_ratio}"
+        );
     }
 
     #[test]

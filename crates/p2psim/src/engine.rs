@@ -27,7 +27,12 @@ pub trait Application {
     fn on_start(&mut self, _ctx: &mut Context<'_, Self::Payload>) {}
 
     /// Called when a message addressed to this peer is delivered.
-    fn on_message(&mut self, ctx: &mut Context<'_, Self::Payload>, from: PeerId, payload: Self::Payload);
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Payload>,
+        from: PeerId,
+        payload: Self::Payload,
+    );
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Payload>, _timer: u64) {}

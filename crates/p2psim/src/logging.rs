@@ -104,7 +104,12 @@ mod tests {
     #[test]
     fn logs_and_iterates_in_order() {
         let mut log = ActivityLog::with_capacity(10);
-        log.log(SimTime::from_secs(1), Some(PeerId(1)), "join", "peer 1 joined");
+        log.log(
+            SimTime::from_secs(1),
+            Some(PeerId(1)),
+            "join",
+            "peer 1 joined",
+        );
         log.log(SimTime::from_secs(2), None, "lookup", "lookup for tag rust");
         assert_eq!(log.len(), 2);
         let cats: Vec<&str> = log.iter().map(|e| e.category.as_str()).collect();

@@ -68,8 +68,12 @@ impl P2PNetwork {
     pub fn new(config: SimConfig) -> Self {
         let overlay = config.build_overlay();
         let physical = PhysicalNetwork::new(config.physical.clone());
-        let churn =
-            ChurnTimeline::generate(config.churn, config.num_peers, config.horizon(), config.seed);
+        let churn = ChurnTimeline::generate(
+            config.churn,
+            config.num_peers,
+            config.horizon(),
+            config.seed,
+        );
         let rng = StdRng::seed_from_u64(config.seed ^ 0xFEED_FACE);
         let mut net = Self {
             config,
@@ -176,7 +180,8 @@ impl P2PNetwork {
             return Err(DeliveryError::ReceiverOffline);
         }
         let latency = self.physical.delivery_delay(from, to, size_bytes);
-        self.stats.record_delivery(from, to, kind, size_bytes, latency);
+        self.stats
+            .record_delivery(from, to, kind, size_bytes, latency);
         Ok(latency)
     }
 
@@ -194,8 +199,13 @@ impl P2PNetwork {
         let mut prev = from;
         for &hop in &result.path {
             let latency = self.physical.delivery_delay(prev, hop, LOOKUP_HOP_BYTES);
-            self.stats
-                .record_delivery(prev, hop, MessageKind::DhtLookup, LOOKUP_HOP_BYTES, latency);
+            self.stats.record_delivery(
+                prev,
+                hop,
+                MessageKind::DhtLookup,
+                LOOKUP_HOP_BYTES,
+                latency,
+            );
             prev = hop;
         }
         // Flooding overlays may have spent more messages than the path length.
@@ -282,7 +292,10 @@ mod tests {
         let (owner, hops) = net.dht_lookup(PeerId(3), content_key(b"rust")).unwrap();
         assert!(net.peers().any(|p| p == owner));
         assert!(hops >= 1);
-        assert_eq!(net.stats().kind(MessageKind::DhtLookup).messages as usize, hops);
+        assert_eq!(
+            net.stats().kind(MessageKind::DhtLookup).messages as usize,
+            hops
+        );
         assert!(net.stats().mean_lookup_hops() >= 1.0);
     }
 

@@ -222,7 +222,11 @@ mod tests {
         let o = overlay(64);
         for i in 0..500u64 {
             let key = mix64(i);
-            assert_eq!(o.owner_of(key), Some(brute_force_owner(&o, key)), "key {key}");
+            assert_eq!(
+                o.owner_of(key),
+                Some(brute_force_owner(&o, key)),
+                "key {key}"
+            );
         }
     }
 

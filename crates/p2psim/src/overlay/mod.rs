@@ -1,7 +1,7 @@
 //! Overlay-network generation and routing.
 //!
-//! P2PDMT can "generate structured P2P network[s]" and "generate unstructured
-//! P2P network[s]" (Figure 2). Two overlay families are provided:
+//! P2PDMT can "generate structured P2P network\[s\]" and "generate unstructured
+//! P2P network\[s\]" (Figure 2). Two overlay families are provided:
 //!
 //! * [`ChordOverlay`] — a Chord-style DHT over a 64-bit identifier ring with
 //!   finger-table greedy routing; this is the "DHT-based P2P network" CEMPaR

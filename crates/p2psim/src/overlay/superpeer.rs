@@ -91,7 +91,9 @@ mod tests {
         let dir = SuperPeerDirectory::new(4);
         let elected = dir.elect(&o);
         for tag in ["rust", "database", "p2p", "svm", "tagging"] {
-            let sp = dir.super_peer_for_key(&o, content_key(tag.as_bytes())).unwrap();
+            let sp = dir
+                .super_peer_for_key(&o, content_key(tag.as_bytes()))
+                .unwrap();
             assert!(elected.contains(&sp), "{tag} maps to non-elected {sp}");
         }
     }

@@ -52,7 +52,10 @@ impl UnstructuredOverlay {
     }
 
     /// Builds an overlay over `peers` with default wiring.
-    pub fn with_peers<I: IntoIterator<Item = PeerId>>(config: UnstructuredConfig, peers: I) -> Self {
+    pub fn with_peers<I: IntoIterator<Item = PeerId>>(
+        config: UnstructuredConfig,
+        peers: I,
+    ) -> Self {
         let mut o = Self::new(config);
         for p in peers {
             o.add_peer(p);
@@ -88,7 +91,7 @@ impl UnstructuredOverlay {
         let mut salt = 0u64;
         while chosen.len() < want && !existing.is_empty() {
             let idx =
-                (mix64(self.config.seed ^ peer.0.wrapping_mul(0x51_7C_C1B7).wrapping_add(salt))
+                (mix64(self.config.seed ^ peer.0.wrapping_mul(0x517C_C1B7).wrapping_add(salt))
                     % existing.len() as u64) as usize;
             chosen.push(existing.swap_remove(idx));
             salt += 1;
@@ -186,7 +189,10 @@ impl Overlay for UnstructuredOverlay {
         let neighbors = self.pick_neighbors(peer);
         self.adjacency.insert(peer, BTreeSet::new());
         for n in neighbors {
-            self.adjacency.get_mut(&peer).expect("just inserted").insert(n);
+            self.adjacency
+                .get_mut(&peer)
+                .expect("just inserted")
+                .insert(n);
             self.adjacency.entry(n).or_default().insert(peer);
         }
     }

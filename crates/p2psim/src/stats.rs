@@ -217,13 +217,7 @@ mod tests {
     #[test]
     fn drops_lower_the_delivery_rate() {
         let mut s = SimStats::new();
-        s.record_delivery(
-            PeerId(0),
-            PeerId(1),
-            MessageKind::Other,
-            10,
-            SimTime::ZERO,
-        );
+        s.record_delivery(PeerId(0), PeerId(1), MessageKind::Other, 10, SimTime::ZERO);
         s.record_drop(PeerId(0), MessageKind::Other, 10);
         assert_eq!(s.total_dropped(), 1);
         assert!((s.delivery_rate() - 0.5).abs() < 1e-12);

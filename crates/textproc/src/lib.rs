@@ -13,7 +13,7 @@
 //! 4. **Vectorization** — documents are represented as multidimensional sparse
 //!    feature vectors, where the attribute id is the word id and the value is a
 //!    weight derived from the word frequency in the document
-//!    ([`vectorizer::Vectorizer`], [`sparse::SparseVector`]).
+//!    ([`vectorizer::PreprocessPipeline`], [`sparse::SparseVector`]).
 //!
 //! The resulting vectors intentionally discard word order and the original
 //! surface forms; as the paper argues, only word ids and frequencies are ever

@@ -42,7 +42,7 @@ impl PorterStemmer {
     }
 
     /// Stems every token in place.
-    pub fn stem_all(&self, tokens: &mut Vec<String>) {
+    pub fn stem_all(&self, tokens: &mut [String]) {
         for t in tokens.iter_mut() {
             *t = self.stem(t);
         }
@@ -208,6 +208,10 @@ impl Stem {
     }
 
     /// Maps double suffices to single ones (e.g. -ization -> -ize) when m() > 0.
+    // The single-branch match arms mirror the layout of Porter's reference
+    // implementation (switch on the penultimate letter); match guards can't
+    // replace them because `ends` needs `&mut self`.
+    #[allow(clippy::collapsible_match)]
     fn step2(&mut self) {
         if self.k == 0 {
             return;
@@ -248,9 +252,7 @@ impl Stem {
             b'o' => {
                 if self.ends(b"ization") {
                     self.r(b"ize");
-                } else if self.ends(b"ation") {
-                    self.r(b"ate");
-                } else if self.ends(b"ator") {
+                } else if self.ends(b"ation") || self.ends(b"ator") {
                     self.r(b"ate");
                 }
             }
@@ -284,6 +286,7 @@ impl Stem {
     }
 
     /// Deals with -ic-, -full, -ness etc., similarly to step2.
+    #[allow(clippy::collapsible_match)]
     fn step3(&mut self) {
         match self.b[self.k] {
             b'e' => {
@@ -328,10 +331,7 @@ impl Stem {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
                 (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j], b's' | b't'))
@@ -479,7 +479,13 @@ mod tests {
     #[test]
     fn idempotent_on_common_words() {
         let stemmer = PorterStemmer::new();
-        for w in ["running", "classification", "documents", "relational", "tagging"] {
+        for w in [
+            "running",
+            "classification",
+            "documents",
+            "relational",
+            "tagging",
+        ] {
             let once = stemmer.stem(w);
             let twice = stemmer.stem(&once);
             // Porter is not idempotent in general, but for these words it is;

@@ -121,7 +121,10 @@ impl SparseVector {
 
     /// Iterates over `(index, value)` pairs in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Stored indices (sorted, strictly increasing).
@@ -341,7 +344,7 @@ mod tests {
     fn dot_product_matches_dense() {
         let a = SparseVector::from_pairs([(0, 1.0), (2, 3.0), (7, -1.0)]);
         let b = SparseVector::from_pairs([(2, 2.0), (3, 5.0), (7, 4.0)]);
-        assert!((a.dot(&b) - (3.0 * 2.0 + (-1.0) * 4.0)).abs() < 1e-12);
+        assert!((a.dot(&b) - (3.0 * 2.0 - 1.0 * 4.0)).abs() < 1e-12);
         let da = a.to_dense(8);
         assert!((a.dot_dense(&da) - a.norm_sq()).abs() < 1e-12);
     }

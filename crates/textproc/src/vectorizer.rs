@@ -12,23 +12,18 @@ use crate::vocabulary::Vocabulary;
 use serde::{Deserialize, Serialize};
 
 /// Term weighting schemes for document vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Weighting {
     /// Raw term frequency (the paper's "value of the attributes represents the
     /// word frequency in the documents").
     Tf,
     /// Term frequency scaled by smoothed inverse document frequency.
+    #[default]
     TfIdf,
     /// 1.0 if the word occurs, 0.0 otherwise.
     Binary,
     /// `1 + ln(tf)` sub-linear term frequency.
     LogTf,
-}
-
-impl Default for Weighting {
-    fn default() -> Self {
-        Weighting::TfIdf
-    }
 }
 
 /// Builder for [`PreprocessPipeline`].

@@ -69,7 +69,10 @@ fn run(protocol: ProtocolKind, mean_session_secs: f64) -> ChurnResult {
 
 fn main() {
     for session in [3_000.0, 1_000.0] {
-        println!("-- exponential churn, mean session {session:.0}s, mean downtime {:.0}s --", session / 2.0);
+        println!(
+            "-- exponential churn, mean session {session:.0}s, mean downtime {:.0}s --",
+            session / 2.0
+        );
         println!(
             "{:<14} {:>9} {:>11} {:>19} {:>20}",
             "protocol", "served", "unserved", "requester offline", "service failure rate"

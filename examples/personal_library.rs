@@ -68,13 +68,23 @@ fn main() {
 
     // -- Tag cloud: font sizes, co-occurrence, clusters, bridges -------------------
     let cloud = system.tag_cloud();
-    println!("\nTag cloud ({} tags, {} co-occurrence edges):", cloud.num_tags(), cloud.num_edges());
+    println!(
+        "\nTag cloud ({} tags, {} co-occurrence edges):",
+        cloud.num_tags(),
+        cloud.num_edges()
+    );
     for entry in cloud.entries() {
-        println!("  {:<18} count={:<4} font-size={}", entry.tag, entry.count, entry.font_size);
+        println!(
+            "  {:<18} count={:<4} font-size={}",
+            entry.tag, entry.count, entry.font_size
+        );
     }
 
     let clusters = cloud.clusters(2);
-    println!("\nClusters (edges seen in ≥ 2 documents): {}", clusters.len());
+    println!(
+        "\nClusters (edges seen in ≥ 2 documents): {}",
+        clusters.len()
+    );
     for (i, cluster) in clusters.iter().take(4).enumerate() {
         println!("  cluster {}: {:?}", i + 1, cluster);
     }

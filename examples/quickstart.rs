@@ -35,7 +35,9 @@ fn main() {
         ..DocTaggerConfig::default()
     });
     system.ingest(&corpus);
-    system.learn(&split).expect("collaborative learning succeeds");
+    system
+        .learn(&split)
+        .expect("collaborative learning succeeds");
     println!(
         "learned with {} over {} peers; training communication: {} bytes",
         system.protocol_name(),
@@ -57,8 +59,13 @@ fn main() {
     // 5. "Suggest Tag": the suggestion cloud for one document, with the
     //    confidence slider at 0.5 (low-confidence tags are struck out).
     let doc = split.test[0];
-    let cloud = system.suggest(doc, Some(0.5)).expect("suggestions available");
-    println!("suggestion cloud for document {doc}: {}", cloud.render_line());
+    let cloud = system
+        .suggest(doc, Some(0.5))
+        .expect("suggestions available");
+    println!(
+        "suggestion cloud for document {doc}: {}",
+        cloud.render_line()
+    );
 
     // 6. The user corrects the tags of that document; the models adapt.
     let mut corrected = system.library().tags_of(doc);

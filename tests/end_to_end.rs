@@ -120,7 +120,12 @@ fn tag_cloud_and_store_are_consistent_with_the_library() {
     // Every library entry has a matching tag-store record with the same tags.
     for entry in system.library().iter() {
         let path = P2PDocTagger::path_of(entry.doc, entry.user);
-        assert_eq!(system.tag_store().tags_of(&path), entry.tags, "doc {}", entry.doc);
+        assert_eq!(
+            system.tag_store().tags_of(&path),
+            entry.tags,
+            "doc {}",
+            entry.doc
+        );
     }
     // The tag cloud counts agree with the library counts.
     let cloud = system.tag_cloud();
@@ -139,8 +144,7 @@ fn suggestions_contain_the_predicted_tags() {
     let doc = split.test[3];
     let assigned = system.auto_tag(doc).unwrap();
     let cloud = system.suggest(doc, Some(0.0)).unwrap();
-    let suggested: std::collections::BTreeSet<String> =
-        cloud.accepted_tags().into_iter().collect();
+    let suggested: std::collections::BTreeSet<String> = cloud.accepted_tags().into_iter().collect();
     for tag in &assigned {
         assert!(
             suggested.contains(tag),

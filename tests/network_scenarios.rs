@@ -57,7 +57,10 @@ fn structured_overlay_routes_in_fewer_messages_than_flooding() {
         }
     }
     assert_eq!(chord_failures, 0, "DHT lookups are deterministic");
-    assert!(flood_failures <= 20, "flooding may occasionally fail, not often");
+    assert!(
+        flood_failures <= 20,
+        "flooding may occasionally fail, not often"
+    );
     let chord_msgs = chord.stats().kind(MessageKind::DhtLookup).messages;
     let flood_msgs = flood.stats().kind(MessageKind::DhtLookup).messages;
     assert!(
@@ -151,7 +154,10 @@ fn heavy_churn_hurts_the_centralized_baseline_most() {
         if pace.predict(&mut pace_net, requester, &probe).is_err() {
             pace_failures += 1;
         }
-        if central.predict(&mut central_net, requester, &probe).is_err() {
+        if central
+            .predict(&mut central_net, requester, &probe)
+            .is_err()
+        {
             central_failures += 1;
         }
     }

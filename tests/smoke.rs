@@ -1,0 +1,43 @@
+//! Smoke test: the exact five-line workflow advertised by the README
+//! quickstart and the `p2pdoctagger` crate-level doctest. If this breaks, the
+//! front door of the project is broken regardless of what the deeper
+//! integration tests say.
+
+use p2pdoctagger::prelude::*;
+
+#[test]
+fn readme_quickstart_workflow_tags_documents() {
+    let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+    let split = TrainTestSplit::demo_protocol(&corpus, 1);
+
+    let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+    system.ingest(&corpus);
+    system.learn(&split).unwrap();
+    let outcome = system.auto_tag_all().unwrap();
+
+    assert!(outcome.tagged > 0, "quickstart tagged no documents");
+    assert_eq!(
+        outcome.tagged + outcome.failed,
+        split.test.len(),
+        "every untagged document must be attempted"
+    );
+    assert!(
+        outcome.metrics.micro_f1() > 0.3,
+        "quickstart accuracy collapsed: micro-F1 {}",
+        outcome.metrics.micro_f1()
+    );
+}
+
+#[test]
+fn quickstart_workflow_is_deterministic() {
+    let run = || {
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let split = TrainTestSplit::demo_protocol(&corpus, 1);
+        let mut system = P2PDocTagger::new(DocTaggerConfig::default());
+        system.ingest(&corpus);
+        system.learn(&split).unwrap();
+        let outcome = system.auto_tag_all().unwrap();
+        (outcome.tagged, outcome.metrics.micro_f1())
+    };
+    assert_eq!(run(), run(), "same seeds must give the same outcome");
+}

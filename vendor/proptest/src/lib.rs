@@ -1,0 +1,518 @@
+//! Offline drop-in subset of the [`proptest`](https://proptest-rs.github.io/)
+//! API surface used by this workspace.
+//!
+//! The build environment has no crates.io access, so `tests/proptests.rs`
+//! runs against this shim. It keeps proptest's source-level API — the
+//! [`Strategy`] trait with `prop_map`, range / tuple / regex-string
+//! strategies, `prop::collection::{vec, btree_set}`, [`any`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros — on top of
+//! a deterministic seeded generator. Deliberate simplifications versus
+//! upstream: no shrinking of failing cases, no persisted failure seeds, and
+//! string strategies support only the regex subset the workspace uses
+//! (literal chars, `.`, `[...]` classes with ranges, `{m,n}` repetition).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The deterministic generator threaded through all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A fixed-seed generator, so test runs are reproducible.
+    pub fn deterministic() -> Self {
+        TestRng(StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Run-time configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking; a strategy
+/// is just a deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Strategy for the full value range of a primitive, from [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical "anything goes" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` for the primitives the workspace needs.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.rng().next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Strategy producing any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns are strategies generating matching `String`s, as in
+/// upstream proptest. Supported syntax: literal characters, `.`,
+/// `[...]` classes with `a-z` ranges, and `{m,n}` / `{n}` repetition.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PatternAtom {
+    /// A fixed set of candidate characters.
+    Class(Vec<char>),
+    /// `.`: any printable character.
+    AnyChar,
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|&c| c != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            class.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        }
+                        Some(other) => {
+                            if let Some(p) = prev.replace(other) {
+                                class.push(p);
+                            }
+                        }
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                    }
+                }
+                if let Some(p) = prev {
+                    class.push(p);
+                }
+                assert!(
+                    !class.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                PatternAtom::Class(class)
+            }
+            '.' => PatternAtom::AnyChar,
+            '\\' => PatternAtom::Class(vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))]),
+            other => PatternAtom::Class(vec![other]),
+        };
+        // Optional {m,n} / {n} repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in pattern {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse::<usize>()
+                        .expect("bad repetition lower bound"),
+                    hi.trim()
+                        .parse::<usize>()
+                        .expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.rng().gen_range(lo..=hi)
+        };
+        for _ in 0..count {
+            out.push(match &atom {
+                PatternAtom::Class(class) => class[rng.rng().gen_range(0..class.len())],
+                PatternAtom::AnyChar => random_printable_char(rng),
+            });
+        }
+    }
+    out
+}
+
+/// A printable character: mostly ASCII, with occasional non-ASCII letters so
+/// `.` exercises multi-byte handling.
+fn random_printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '𝕏', 'ж', 'ñ', '٣'];
+    if rng.rng().gen_bool(0.1) {
+        EXOTIC[rng.rng().gen_range(0..EXOTIC.len())]
+    } else {
+        char::from(rng.rng().gen_range(0x20u8..0x7f))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`prop::collection::vec` and friends).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with target sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `BTreeSet<S::Value>` aiming for a size in `size` (duplicate
+    /// draws may make the set smaller, as with a saturated upstream domain).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = rng.rng().gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace re-export, so `prop::collection::vec` resolves after
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig,
+        Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...)` becomes a `#[test]` that draws
+/// `config.cases` inputs from the strategies and runs the body on each. On
+/// failure the panic message reports the case number (there is no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic();
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&{ $strategy }, &mut rng);
+                    )+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed in `{}`",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..200 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategies_match_their_own_shape() {
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..100 {
+            let s = "[a-z]{1,20}".generate(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+
+            let t = "[a-z ]{10,80}".generate(&mut rng);
+            assert!((10..=80).contains(&t.chars().count()));
+            assert!(t.bytes().all(|b| b.is_ascii_lowercase() || b == b' '));
+
+            let d = ".{0,200}".generate(&mut rng);
+            assert!(d.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn collection_strategies_respect_sizes() {
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..100 {
+            let v = prop::collection::vec((0u32..50, -1.0f64..1.0), 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s: BTreeSet<u32> = prop::collection::btree_set(0u32..8, 0..4).generate(&mut rng);
+            assert!(s.len() < 4);
+            assert!(s.iter().all(|&x| x < 8));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = crate::TestRng::deterministic();
+        let strategy = prop::collection::vec(0u32..10, 1..5).prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = strategy.generate(&mut rng);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, y in any::<u64>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(y.wrapping_add(0), y);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline drop-in subset of the [`serde`](https://serde.rs) API surface used
+//! by this workspace.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! `Serialize` / `Deserialize` traits and their derive macros with the same
+//! import paths as upstream serde. The traits carry no methods yet: the
+//! workspace marks its wire/persistence types as serializable but never
+//! serializes (there is no format crate in the graph). The derives emit
+//! empty marker impls, so downstream bounds like `T: Serialize` hold for
+//! derived types; trait methods will be grown here — or replaced by upstream
+//! serde — when a real format lands.
+
+#![warn(missing_docs)]
+
+// Let the `::serde::...` paths emitted by the derive macros resolve even
+// inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    // Derived types must actually implement the marker traits, including
+    // generic items (bounds repeated, defaults stripped) — this is what lets
+    // downstream `T: Serialize` bounds hold.
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<A, B: Clone = u8> {
+        _a: A,
+        _b: B,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Mixed<T> {
+        _One(T),
+        _Two { _n: usize },
+    }
+
+    fn assert_serialize<T: serde::Serialize>() {}
+    fn assert_deserialize<T: for<'de> serde::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_emit_marker_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Generic<String, u8>>();
+        assert_deserialize::<Generic<String, u8>>();
+        assert_serialize::<Mixed<u32>>();
+        assert_deserialize::<Mixed<u32>>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as markers (no
+//! code actually serializes anything yet — there is no `serde_json`/`bincode`
+//! in the dependency graph), so these derives emit *empty* trait impls: just
+//! enough that downstream bounds like `T: Serialize` hold for derived types,
+//! with no serialization logic behind them. When real wire/persistence
+//! formats land, this shim is the single place to grow real implementations,
+//! or to swap back to upstream serde once the build environment has registry
+//! access.
+//!
+//! Without `syn`, generics support is intentionally modest: plain lifetime /
+//! type / const parameters with optional bounds and defaults are handled
+//! (bounds are repeated on the impl, defaults stripped); exotic shapes like
+//! `where` clauses on the item are not.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// `#[derive(Serialize)]` — emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// `#[derive(Deserialize)]` — emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Builds the empty marker impl for the item in `input`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let Some((name, params)) = parse_item(input) else {
+        // Unparseable item shape: emit nothing rather than a broken impl.
+        return TokenStream::new();
+    };
+
+    // Split the raw generics text into `impl<...>` parameters (bounds kept,
+    // defaults stripped) and bare argument names for the type position.
+    let mut impl_params: Vec<String> = Vec::new();
+    let mut type_args: Vec<String> = Vec::new();
+    for param in split_top_level(&params) {
+        let no_default = param
+            .split_once('=')
+            .map(|(head, _)| head.trim().to_string())
+            .unwrap_or_else(|| param.trim().to_string());
+        if no_default.is_empty() {
+            continue;
+        }
+        let name_part = no_default
+            .split_once(':')
+            .map(|(head, _)| head.trim().to_string())
+            .unwrap_or_else(|| no_default.clone());
+        let arg = name_part
+            .strip_prefix("const")
+            .map(|rest| rest.trim().to_string())
+            .unwrap_or(name_part);
+        impl_params.push(no_default);
+        type_args.push(arg);
+    }
+
+    let (de_lifetime, de_args) = if trait_name == "Deserialize" {
+        ("'de", "<'de>")
+    } else {
+        ("", "")
+    };
+    let mut all_impl_params: Vec<String> = Vec::new();
+    if !de_lifetime.is_empty() {
+        all_impl_params.push(de_lifetime.to_string());
+    }
+    all_impl_params.extend(impl_params);
+
+    let impl_generics = if all_impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", all_impl_params.join(", "))
+    };
+    let type_generics = if type_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", type_args.join(", "))
+    };
+
+    format!("impl{impl_generics} ::serde::{trait_name}{de_args} for {name}{type_generics} {{}}")
+        .parse()
+        .expect("generated marker impl must be valid Rust")
+}
+
+/// Extracts `(item_name, raw_generics_text)` from a struct/enum/union
+/// definition, where the generics text is the contents of the `<...>` that
+/// directly follows the name (empty if the item is not generic).
+fn parse_item(input: TokenStream) -> Option<(String, String)> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let name = loop {
+        match tokens.get(i)? {
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                match tokens.get(i + 1)? {
+                    TokenTree::Ident(name) => break name.to_string(),
+                    _ => return None,
+                }
+            }
+            _ => i += 1,
+        }
+    };
+    i += 2;
+
+    // Optional `<...>` generics directly after the name. `<`/`>` arrive as
+    // individual `Punct` tokens, so track nesting depth manually.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 1usize;
+            i += 1;
+            while depth > 0 {
+                let token = tokens.get(i)?;
+                if let TokenTree::Punct(p) = token {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // No space after a lifetime tick, so `'de` survives the
+                // round-trip through text.
+                if !generics.is_empty() && !generics.ends_with('\'') {
+                    generics.push(' ');
+                }
+                generics.push_str(&token.to_string());
+                i += 1;
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+/// Splits generics text at top-level commas (commas nested inside `<>`, `()`
+/// or `[]` stay within their parameter).
+fn split_top_level(params: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0i32;
+    for c in params.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(current.trim().to_string());
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
+}
