@@ -1,0 +1,75 @@
+//! Throughput benchmark: batched scoring engine vs the scalar reference.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin throughput            # n ∈ {50, 200}
+//! cargo run --release -p bench --bin throughput -- --quick # n ∈ {12, 24} (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_throughput.json` to the repository root (or the current
+//! directory when not run from the workspace) and prints the table. In
+//! `--quick` mode the batched paths are still exercised end to end but the
+//! JSON is written to `BENCH_throughput_quick.json` so the committed
+//! full-scale numbers are not clobbered by CI.
+
+use bench::throughput::{measure, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = 2010;
+    let peer_counts: &[usize] = if quick { &[12, 24] } else { &[50, 200] };
+
+    let mut rows = Vec::new();
+    for &n in peer_counts {
+        eprintln!("measuring throughput at {n} peers...");
+        let row = measure(n, seed);
+        eprintln!(
+            "  {n:>4} peers | ingest {:>8.1} docs/s | train {:>7.1} docs/s | one-vs-all x{:.2} | auto-tag {:>7.1} -> {:>8.1} docs/s (x{:.2})",
+            row.ingest.docs_per_sec(),
+            row.train.docs_per_sec(),
+            row.one_vs_all.speedup(),
+            row.auto_tag.scalar_docs_per_sec(),
+            row.auto_tag.batched_docs_per_sec(),
+            row.auto_tag.speedup(),
+        );
+        rows.push(row);
+    }
+
+    let json = to_json(&rows, seed);
+    let filename = if quick {
+        "BENCH_throughput_quick.json"
+    } else {
+        "BENCH_throughput.json"
+    };
+    // Prefer the workspace root (where CHANGES.md lives); fall back to cwd.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .ok()
+        .and_then(|d| {
+            std::path::Path::new(&d)
+                .ancestors()
+                .find(|p| p.join("CHANGES.md").exists())
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = root.join(filename);
+    std::fs::write(&path, &json).expect("write throughput json");
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+
+    if quick {
+        // CI smoke: the point is exercising the batched paths end to end
+        // (measure() already asserts both backends produce identical
+        // micro-F1). The quick workloads finish in milliseconds, so the
+        // measured ratio is noisy — only catch a catastrophic regression,
+        // not a few percent of scheduler jitter.
+        for row in &rows {
+            assert!(
+                row.auto_tag.speedup() > 0.5,
+                "batched auto-tag catastrophically slower than scalar at {} peers: x{:.2}",
+                row.peers,
+                row.auto_tag.speedup()
+            );
+        }
+    }
+}

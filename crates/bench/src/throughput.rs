@@ -1,0 +1,354 @@
+//! End-to-end throughput of the batched scoring engine vs the scalar path.
+//!
+//! Measures docs/sec for the three pipeline stages — **ingest** (corpus
+//! vectorization), **train** (the full distributed learning phase, plus an
+//! apples-to-apples microbenchmark of borrow-once vs clone-per-tag one-vs-all
+//! training), and **auto-tag** (batch prediction of the whole test set) — at
+//! several network sizes, with PACE as the protocol under test.
+//!
+//! The scalar auto-tag numbers run the *same build* with
+//! [`ScoringBackend::Scalar`], which preserves the pre-refactor per-(tag,
+//! classifier) loops, so the reported auto-tag speedup isolates the batched
+//! engine rather than compiler or workload drift; the one-vs-all row
+//! likewise re-executes the pre-refactor clone-per-tag loop. Ingest and the
+//! full learning phase are backend-independent code, so they are reported
+//! as plain rates with no before/after claim. The equivalence tests
+//! guarantee both backends produce identical predictions, so the auto-tag
+//! comparison is work-for-work.
+//!
+//! The workload is tag-heavy (48 tags, Zipf popularity, interest locality):
+//! Golder & Huberman show collaborative tag vocabularies grow into the
+//! thousands, so per-tag scoring cost is exactly what dominates at the
+//! ROADMAP's scale target. The binary writes `BENCH_throughput.json` at the
+//! repository root; `EXPERIMENTS.md` records a captured run.
+
+use dataset::{CorpusGenerator, CorpusSpec, TrainTestSplit};
+use doctagger::{DocTaggerConfig, P2PDocTagger, ProtocolKind};
+use ml::multilabel::OneVsAllTrainer;
+use ml::svm::{accuracy_on, LinearSvm, LinearSvmTrainer};
+use ml::{MultiLabelDataset, OneVsAllModel};
+use p2pclassify::{PaceConfig, ScoringBackend};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One pipeline stage measured under both backends.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePair {
+    /// Documents processed by the stage.
+    pub docs: usize,
+    /// Wall-clock seconds on the scalar (pre-refactor reference) path.
+    pub scalar_secs: f64,
+    /// Wall-clock seconds on the batched path.
+    pub batched_secs: f64,
+}
+
+impl StagePair {
+    /// Documents per second on the scalar path.
+    pub fn scalar_docs_per_sec(&self) -> f64 {
+        self.docs as f64 / self.scalar_secs.max(1e-9)
+    }
+
+    /// Documents per second on the batched path.
+    pub fn batched_docs_per_sec(&self) -> f64 {
+        self.docs as f64 / self.batched_secs.max(1e-9)
+    }
+
+    /// Batched-over-scalar throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_secs / self.batched_secs.max(1e-9)
+    }
+}
+
+/// A stage whose code does not depend on the scoring backend: only a
+/// docs/sec rate is reported (comparing two runs of identical code would
+/// present warm-up noise as a speedup).
+#[derive(Debug, Clone, Copy)]
+pub struct StageRate {
+    /// Documents processed by the stage.
+    pub docs: usize,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+impl StageRate {
+    /// Documents per second.
+    pub fn docs_per_sec(&self) -> f64 {
+        self.docs as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Throughput measurements for one network size.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Number of peers (= users) in the simulated network.
+    pub peers: usize,
+    /// Corpus size in documents.
+    pub documents: usize,
+    /// Distinct tags in the corpus.
+    pub tags: usize,
+    /// Fitted lexicon size.
+    pub lexicon: usize,
+    /// Corpus vectorization rate. The `ScoringBackend` switch does not touch
+    /// ingest, so there is no scalar-vs-batched comparison here (on one core
+    /// the parallel vectorizer degenerates to the sequential path).
+    pub ingest: StageRate,
+    /// Full distributed learning phase (training + propagation + indexing).
+    /// Also backend-independent — the honest training before/after is the
+    /// [`Self::one_vs_all`] microbenchmark.
+    pub train: StageRate,
+    /// One-vs-all training microbenchmark: pre-refactor clone-per-tag +
+    /// per-tag accuracy pass vs borrow-once label-mask training, on the same
+    /// pooled dataset.
+    pub one_vs_all: StagePair,
+    /// Auto-tagging the whole held-out test set — the scalar-vs-batched
+    /// comparison the scoring engine is about.
+    pub auto_tag: StagePair,
+    /// Micro-F1 of the batched run (sanity: quality is unchanged).
+    pub micro_f1: f64,
+}
+
+/// The tag-heavy throughput workload for `num_users` peers.
+pub fn throughput_spec(num_users: usize, seed: u64) -> CorpusSpec {
+    CorpusSpec {
+        num_tags: 48,
+        num_users,
+        min_docs_per_user: 12,
+        max_docs_per_user: 20,
+        words_per_doc: 40,
+        words_per_tag: 25,
+        background_vocab: 300,
+        interests_per_user: 6,
+        seed,
+        ..CorpusSpec::default()
+    }
+}
+
+fn pace_with(backend: ScoringBackend) -> ProtocolKind {
+    ProtocolKind::Pace(PaceConfig {
+        backend,
+        ..PaceConfig::default()
+    })
+}
+
+/// Replicates the pre-refactor one-vs-all training loop: the full
+/// feature-vector set is cloned per tag (`MultiLabelDataset::one_vs_all`),
+/// tags are trained sequentially, and the per-tag training accuracies are
+/// computed with another clone-per-tag pass — exactly what
+/// `OneVsAllTrainer::train_with` and PACE's `train_local` did before the
+/// borrow-once refactor.
+fn legacy_train_peer(
+    data: &MultiLabelDataset,
+    trainer: &LinearSvmTrainer,
+) -> Option<(OneVsAllModel<LinearSvm>, f64)> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut classifiers = BTreeMap::new();
+    for tag in data.tag_universe() {
+        if data.tag_count(tag) < 1 {
+            continue;
+        }
+        let (xs, ys) = data.one_vs_all(tag);
+        classifiers.insert(tag, trainer.train(&xs, &ys));
+    }
+    if classifiers.is_empty() {
+        return None;
+    }
+    let model = OneVsAllModel::from_classifiers(classifiers, 0.0, 1);
+    let mut acc_sum = 0.0;
+    let mut acc_n = 0usize;
+    for (tag, clf) in model.iter() {
+        let (xs, ys) = data.one_vs_all(tag);
+        acc_sum += accuracy_on(clf, &xs, &ys);
+        acc_n += 1;
+    }
+    let accuracy = acc_sum / acc_n.max(1) as f64;
+    Some((model, accuracy))
+}
+
+/// The post-refactor equivalent of [`legacy_train_peer`]: the feature
+/// vectors are borrowed once and shared by every per-tag problem, and the
+/// accuracy pass reads the same borrowed slice with a per-tag label mask —
+/// no per-tag corpus clone anywhere.
+fn current_train_peer(
+    data: &MultiLabelDataset,
+    trainer: &LinearSvmTrainer,
+) -> Option<(OneVsAllModel<LinearSvm>, f64)> {
+    if data.is_empty() {
+        return None;
+    }
+    let model = OneVsAllTrainer::default().train_linear(data, trainer);
+    if model.num_tags() == 0 {
+        return None;
+    }
+    let xs = data.vectors();
+    let mut acc_sum = 0.0;
+    let mut acc_n = 0usize;
+    for (tag, clf) in model.iter() {
+        let ys = data.label_mask(tag);
+        acc_sum += accuracy_on(clf, xs, &ys);
+        acc_n += 1;
+    }
+    Some((model, acc_sum / acc_n.max(1) as f64))
+}
+
+/// Runs the throughput experiment for one network size.
+pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
+    let corpus = CorpusGenerator::new(throughput_spec(num_users, seed)).generate();
+    let split = TrainTestSplit::stratified_by_user(&corpus, 0.2, seed ^ 0xABCD);
+
+    let run = |backend: ScoringBackend| {
+        let mut system = P2PDocTagger::new(DocTaggerConfig {
+            protocol: pace_with(backend),
+            seed,
+            ..DocTaggerConfig::default()
+        });
+        let t0 = Instant::now();
+        system.ingest(&corpus);
+        let ingest_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        system.learn(&split).expect("learning succeeds");
+        let train_secs = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        let outcome = system.auto_tag_all().expect("tagging succeeds");
+        let auto_secs = t2.elapsed().as_secs_f64();
+        (ingest_secs, train_secs, auto_secs, outcome)
+    };
+
+    let (_scalar_ingest, _scalar_train, scalar_auto, scalar_outcome) = run(ScoringBackend::Scalar);
+    let (batched_ingest, batched_train, batched_auto, batched_outcome) =
+        run(ScoringBackend::Batched);
+    assert_eq!(
+        scalar_outcome.metrics.micro_f1(),
+        batched_outcome.metrics.micro_f1(),
+        "backends must produce identical tagging quality"
+    );
+
+    // One-vs-all microbenchmark on the pooled training set (the
+    // centralized-baseline shape): this is where the pre-refactor
+    // clone-per-tag view's O(tags × corpus) allocation churn is worst.
+    let vectorized = dataset::VectorizedCorpus::build(&corpus);
+    let num_peers = corpus.num_users().max(1);
+    let pooled: MultiLabelDataset = split
+        .train
+        .iter()
+        .map(|&doc| vectorized.example(doc))
+        .collect();
+    let trainer = LinearSvmTrainer::default();
+    let t = Instant::now();
+    let legacy = legacy_train_peer(&pooled, &trainer).expect("pooled data trains");
+    let legacy_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let current = current_train_peer(&pooled, &trainer).expect("pooled data trains");
+    let current_secs = t.elapsed().as_secs_f64();
+    assert_eq!(legacy.1, current.1, "training accuracies must agree");
+    assert_eq!(legacy.0.num_tags(), current.0.num_tags());
+
+    ThroughputRow {
+        peers: num_peers,
+        documents: corpus.len(),
+        tags: corpus.num_tags(),
+        lexicon: vectorized.lexicon_size(),
+        ingest: StageRate {
+            docs: corpus.len(),
+            secs: batched_ingest,
+        },
+        train: StageRate {
+            docs: split.train.len(),
+            secs: batched_train,
+        },
+        one_vs_all: StagePair {
+            docs: split.train.len(),
+            scalar_secs: legacy_secs,
+            batched_secs: current_secs,
+        },
+        auto_tag: StagePair {
+            docs: split.test.len(),
+            scalar_secs: scalar_auto,
+            batched_secs: batched_auto,
+        },
+        micro_f1: batched_outcome.metrics.micro_f1(),
+    }
+}
+
+/// Renders the rows as the `BENCH_throughput.json` document.
+pub fn to_json(rows: &[ThroughputRow], seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"throughput\",\n");
+    out.push_str("  \"protocol\": \"pace\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        parallel::effective_threads(usize::MAX)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"peers\": {},\n", r.peers));
+        out.push_str(&format!("      \"documents\": {},\n", r.documents));
+        out.push_str(&format!("      \"tags\": {},\n", r.tags));
+        out.push_str(&format!("      \"lexicon\": {},\n", r.lexicon));
+        out.push_str(&format!("      \"micro_f1\": {:.4},\n", r.micro_f1));
+        let rate = |name: &str, s: &StageRate| {
+            format!(
+                "      \"{name}\": {{\"docs\": {}, \"docs_per_sec\": {:.1}}},\n",
+                s.docs,
+                s.docs_per_sec(),
+            )
+        };
+        let stage = |name: &str, s: &StagePair, trailing: bool| {
+            format!(
+                "      \"{name}\": {{\"docs\": {}, \"scalar_docs_per_sec\": {:.1}, \"batched_docs_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                s.docs,
+                s.scalar_docs_per_sec(),
+                s.batched_docs_per_sec(),
+                s.speedup(),
+                if trailing { "," } else { "" },
+            )
+        };
+        out.push_str(&rate("ingest", &r.ingest));
+        out.push_str(&rate("train", &r.train));
+        out.push_str(&stage("one_vs_all_train", &r.one_vs_all, true));
+        out.push_str(&stage("auto_tag", &r.auto_tag, false));
+        out.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_and_reports_consistent_shapes() {
+        let row = measure(6, 42);
+        assert_eq!(row.peers, 6);
+        assert!(row.documents > 0);
+        assert!(row.auto_tag.docs > 0);
+        assert!(row.auto_tag.scalar_secs > 0.0 && row.auto_tag.batched_secs > 0.0);
+        assert!(row.micro_f1 > 0.0);
+        let json = to_json(&[row], 42);
+        assert!(json.contains("\"auto_tag\""));
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn legacy_and_current_training_agree() {
+        let corpus = CorpusGenerator::new(throughput_spec(4, 7)).generate();
+        let split = TrainTestSplit::stratified_by_user(&corpus, 0.3, 7);
+        let vectorized = dataset::VectorizedCorpus::build(&corpus);
+        let data: MultiLabelDataset = split.train.iter().map(|&d| vectorized.example(d)).collect();
+        let trainer = LinearSvmTrainer::default();
+        let (legacy_model, legacy_acc) = legacy_train_peer(&data, &trainer).unwrap();
+        let (current_model, current_acc) = current_train_peer(&data, &trainer).unwrap();
+        assert_eq!(legacy_acc, current_acc);
+        assert_eq!(legacy_model.num_tags(), current_model.num_tags());
+        let probe = vectorized.vector(split.test[0]);
+        assert_eq!(legacy_model.scores(probe), current_model.scores(probe));
+    }
+}

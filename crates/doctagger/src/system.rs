@@ -161,43 +161,84 @@ impl P2PDocTagger {
         if !self.learned {
             return Err(ProtocolError::NotTrained);
         }
-        let corpus = self.corpus.as_ref().expect("ingested");
-        let vectorized = self.vectorized.as_ref().expect("ingested");
-        let network = self.network.as_mut().expect("ingested");
-        let d = corpus.document(doc).expect("document exists");
-        let peer = PeerId::from(d.user % network.num_peers());
-        let tag_ids = self
-            .protocol
-            .predict(network, peer, vectorized.vector(doc))?;
-        let names: BTreeSet<String> = tag_ids
-            .iter()
-            .filter_map(|&t| corpus.tag_name(t).map(str::to_string))
-            .collect();
+        let tag_ids = {
+            let corpus = self.corpus.as_ref().expect("ingested");
+            let vectorized = self.vectorized.as_ref().expect("ingested");
+            let network = self.network.as_mut().expect("ingested");
+            let d = corpus.document(doc).expect("document exists");
+            let peer = PeerId::from(d.user % network.num_peers());
+            self.protocol
+                .predict(network, peer, vectorized.vector(doc))?
+        };
+        Ok(self.record_auto_tags(doc, &tag_ids))
+    }
+
+    /// Maps predicted tag ids to names and records them for `doc` in the
+    /// library and the tag store — the single write path shared by
+    /// [`Self::auto_tag`] and [`Self::auto_tag_all`].
+    fn record_auto_tags(&mut self, doc: DocumentId, tag_ids: &BTreeSet<u32>) -> BTreeSet<String> {
+        let (user, names) = {
+            let corpus = self.corpus.as_ref().expect("ingested");
+            let d = corpus.document(doc).expect("document exists");
+            let names: BTreeSet<String> = tag_ids
+                .iter()
+                .filter_map(|&t| corpus.tag_name(t).map(str::to_string))
+                .collect();
+            (d.user, names)
+        };
         self.library
-            .assign(doc, d.user, names.clone(), TagSource::Automatic);
+            .assign(doc, user, names.clone(), TagSource::Automatic);
         self.tag_store
-            .set_tags(&Self::path_of(doc, d.user), names.iter().cloned());
-        Ok(names)
+            .set_tags(&Self::path_of(doc, user), names.iter().cloned());
+        names
     }
 
     /// Automatically tags every untagged (test) document and evaluates the
     /// result against the held-out ground truth.
+    ///
+    /// The whole test set is handed to the protocol as one batch
+    /// ([`P2PTagClassifier::predict_batch`]): protocols whose prediction is
+    /// communication-free fan the documents out across cores, while
+    /// query-paying protocols keep their sequential per-document loop.
+    /// Library updates, tag-store writes and metric accounting then apply in
+    /// document order, so the outcome is identical to calling
+    /// [`Self::auto_tag`] per document.
     pub fn auto_tag_all(&mut self) -> Result<AutoTagOutcome, ProtocolError> {
         let split = self.split.clone().ok_or(ProtocolError::NotTrained)?;
+        if !self.learned {
+            return Err(ProtocolError::NotTrained);
+        }
+        let results = {
+            let corpus = self.corpus.as_ref().expect("ingested");
+            let vectorized = self.vectorized.as_ref().expect("ingested");
+            let network = self.network.as_mut().expect("ingested");
+            let num_peers = network.num_peers();
+            let requests: Vec<(PeerId, &textproc::SparseVector)> = split
+                .test
+                .iter()
+                .map(|&doc| {
+                    let d = corpus.document(doc).expect("document exists");
+                    (PeerId::from(d.user % num_peers), vectorized.vector(doc))
+                })
+                .collect();
+            self.protocol.predict_batch(network, &requests)
+        };
+
         let mut predictions = Vec::with_capacity(split.test.len());
         let mut truths = Vec::with_capacity(split.test.len());
         let mut tagged = 0;
         let mut failed = 0;
         let mut failed_peer_offline = 0;
         let mut failed_unreachable = 0;
-        for &doc in &split.test {
+        for (&doc, result) in split.test.iter().zip(results) {
             let truth = {
                 let corpus = self.corpus.as_ref().expect("ingested");
                 corpus.tag_ids_of(doc)
             };
-            match self.auto_tag(doc) {
-                Ok(_) => {
+            match result {
+                Ok(tag_ids) => {
                     tagged += 1;
+                    self.record_auto_tags(doc, &tag_ids);
                     let corpus = self.corpus.as_ref().expect("ingested");
                     let assigned: BTreeSet<u32> = self
                         .library

@@ -36,15 +36,28 @@ impl MultiLabelExample {
     /// Approximate wire size in bytes when the vector and tag list are shipped
     /// to another peer (used for communication-cost accounting).
     pub fn wire_size(&self) -> usize {
-        self.vector.wire_size() + self.tags.len() * std::mem::size_of::<TagId>() + 4
+        example_wire_size(&self.vector, &self.tags)
     }
+}
+
+/// The wire-cost model of one (vector, tag set) example — shared by
+/// [`MultiLabelExample::wire_size`] and [`MultiLabelDataset::wire_size`] so
+/// the per-example and aggregate accountings cannot diverge.
+fn example_wire_size(vector: &SparseVector, tags: &BTreeSet<TagId>) -> usize {
+    vector.wire_size() + tags.len() * std::mem::size_of::<TagId>() + 4
 }
 
 /// A collection of multi-label examples with helpers for the one-vs-all
 /// reduction described in §2 of the paper.
+///
+/// Vectors and tag sets are stored as parallel arrays (structure-of-arrays)
+/// so the one-vs-all trainer and the batched scoring engine can borrow the
+/// whole feature-vector slice once via [`Self::vectors`] instead of cloning
+/// the corpus per tag.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MultiLabelDataset {
-    examples: Vec<MultiLabelExample>,
+    vectors: Vec<SparseVector>,
+    tags: Vec<BTreeSet<TagId>>,
 }
 
 impl MultiLabelDataset {
@@ -55,64 +68,100 @@ impl MultiLabelDataset {
 
     /// Creates a dataset from a vector of examples.
     pub fn from_examples(examples: Vec<MultiLabelExample>) -> Self {
-        Self { examples }
+        examples.into_iter().collect()
     }
 
     /// Adds an example.
     pub fn push(&mut self, example: MultiLabelExample) {
-        self.examples.push(example);
+        self.vectors.push(example.vector);
+        self.tags.push(example.tags);
     }
 
     /// Number of examples.
     pub fn len(&self) -> usize {
-        self.examples.len()
+        self.vectors.len()
     }
 
     /// Whether the dataset is empty.
     pub fn is_empty(&self) -> bool {
-        self.examples.is_empty()
+        self.vectors.is_empty()
     }
 
-    /// The examples, in insertion order.
-    pub fn examples(&self) -> &[MultiLabelExample] {
-        &self.examples
+    /// The feature vectors of every example, in insertion order. This is the
+    /// borrow-once view the one-vs-all trainer and the batched scorers use:
+    /// per-tag training only needs a label mask on top of this shared slice.
+    pub fn vectors(&self) -> &[SparseVector] {
+        &self.vectors
     }
 
-    /// Iterates over the examples.
-    pub fn iter(&self) -> impl Iterator<Item = &MultiLabelExample> {
-        self.examples.iter()
+    /// The tag sets of every example, parallel to [`Self::vectors`].
+    pub fn tag_sets(&self) -> &[BTreeSet<TagId>] {
+        &self.tags
+    }
+
+    /// The `i`-th example, reassembled by cloning (prefer the borrowed
+    /// [`Self::vectors`] / [`Self::tag_sets`] views on hot paths).
+    pub fn example(&self, i: usize) -> MultiLabelExample {
+        MultiLabelExample {
+            vector: self.vectors[i].clone(),
+            tags: self.tags[i].clone(),
+        }
+    }
+
+    /// Iterates over `(vector, tag set)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SparseVector, &BTreeSet<TagId>)> {
+        self.vectors.iter().zip(self.tags.iter())
     }
 
     /// The set of all tags occurring in the dataset (the observed universe `Y`).
     pub fn tag_universe(&self) -> BTreeSet<TagId> {
-        self.examples
-            .iter()
-            .flat_map(|e| e.tags.iter().copied())
-            .collect()
+        self.tags.iter().flat_map(|t| t.iter().copied()).collect()
     }
 
     /// Number of examples carrying the given tag.
     pub fn tag_count(&self, tag: TagId) -> usize {
-        self.examples.iter().filter(|e| e.has_tag(tag)).count()
+        self.tags.iter().filter(|t| t.contains(&tag)).count()
+    }
+
+    /// Per-tag positive-example counts over the whole dataset, computed in one
+    /// pass (use instead of [`Self::tag_count`] per tag on hot paths).
+    pub fn tag_counts(&self) -> std::collections::BTreeMap<TagId, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for tags in &self.tags {
+            for &t in tags {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The one-against-all label mask for `tag`: `mask[i]` is `true` iff
+    /// example `i` carries the tag. Pair with [`Self::vectors`] for a
+    /// zero-copy one-vs-all view.
+    pub fn label_mask(&self, tag: TagId) -> Vec<bool> {
+        self.tags.iter().map(|t| t.contains(&tag)).collect()
     }
 
     /// Produces the one-against-all binary view for `tag`: data from the target
     /// tag belongs to the positive class and all other data to the negative
     /// class.
+    ///
+    /// This clones every feature vector; it is kept for tests and as the
+    /// pre-refactor reference in the throughput benchmark. Hot paths use
+    /// [`Self::vectors`] + [`Self::label_mask`] instead.
     pub fn one_vs_all(&self, tag: TagId) -> (Vec<SparseVector>, Vec<bool>) {
-        let xs = self.examples.iter().map(|e| e.vector.clone()).collect();
-        let ys = self.examples.iter().map(|e| e.has_tag(tag)).collect();
-        (xs, ys)
+        (self.vectors.clone(), self.label_mask(tag))
     }
 
     /// Merges another dataset into this one.
     pub fn extend_from(&mut self, other: &MultiLabelDataset) {
-        self.examples.extend_from_slice(&other.examples);
+        self.vectors.extend_from_slice(&other.vectors);
+        self.tags.extend_from_slice(&other.tags);
     }
 
     /// Total wire size of the dataset if shipped raw to another peer.
     pub fn wire_size(&self) -> usize {
-        self.examples.iter().map(MultiLabelExample::wire_size).sum()
+        self.iter().map(|(v, t)| example_wire_size(v, t)).sum()
     }
 
     /// Splits the dataset into `n` nearly equal chunks (for distributing among
@@ -120,8 +169,9 @@ impl MultiLabelDataset {
     pub fn chunks(&self, n: usize) -> Vec<MultiLabelDataset> {
         assert!(n > 0, "cannot split into zero chunks");
         let mut out = vec![MultiLabelDataset::new(); n];
-        for (i, ex) in self.examples.iter().enumerate() {
-            out[i % n].push(ex.clone());
+        for (i, (v, t)) in self.iter().enumerate() {
+            out[i % n].vectors.push(v.clone());
+            out[i % n].tags.push(t.clone());
         }
         out
     }
@@ -129,9 +179,11 @@ impl MultiLabelDataset {
 
 impl FromIterator<MultiLabelExample> for MultiLabelDataset {
     fn from_iter<T: IntoIterator<Item = MultiLabelExample>>(iter: T) -> Self {
-        Self {
-            examples: iter.into_iter().collect(),
+        let mut out = Self::new();
+        for ex in iter {
+            out.push(ex);
         }
+        out
     }
 }
 
@@ -150,6 +202,9 @@ mod tests {
         assert_eq!(ds.tag_count(2), 2);
         assert_eq!(ds.tag_count(9), 0);
         assert_eq!(ds.len(), 3);
+        let counts = ds.tag_counts();
+        assert_eq!(counts.get(&2), Some(&2));
+        assert_eq!(counts.get(&9), None);
     }
 
     #[test]
@@ -158,6 +213,9 @@ mod tests {
         let (xs, ys) = ds.one_vs_all(1);
         assert_eq!(xs.len(), 3);
         assert_eq!(ys, vec![true, false, true]);
+        // The zero-copy view agrees with the cloning one.
+        assert_eq!(ds.vectors(), xs.as_slice());
+        assert_eq!(ds.label_mask(1), ys);
     }
 
     #[test]
@@ -173,5 +231,13 @@ mod tests {
     fn wire_size_is_positive() {
         let ds = MultiLabelDataset::from_examples(vec![ex(&[1, 2])]);
         assert!(ds.wire_size() > 0);
+    }
+
+    #[test]
+    fn example_roundtrips_through_parallel_arrays() {
+        let ds = MultiLabelDataset::from_examples(vec![ex(&[1, 3]), ex(&[2])]);
+        assert_eq!(ds.example(0), ex(&[1, 3]));
+        assert_eq!(ds.example(1), ex(&[2]));
+        assert_eq!(ds.tag_sets()[0], BTreeSet::from([1, 3]));
     }
 }

@@ -14,6 +14,9 @@
 //!
 //! Evaluation metrics for both single-label and multi-label predictions live in
 //! [`metrics`]; the one-vs-all multi-label reduction lives in [`multilabel`].
+//! The batched scoring engine — CSR-packed per-tag linear models and
+//! shared-kernel-row scoring, bit-for-bit identical to the scalar per-tag
+//! loops — lives in [`batch`].
 //!
 //! ```
 //! use ml::prelude::*;
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cascade;
 pub mod data;
 pub mod kernel;
@@ -44,6 +48,7 @@ pub mod svm;
 
 /// Common re-exports.
 pub mod prelude {
+    pub use crate::batch::{BatchKernelScorer, TagWeightMatrix};
     pub use crate::cascade::{CascadeConfig, CascadeSvm};
     pub use crate::data::{MultiLabelDataset, MultiLabelExample, TagId};
     pub use crate::kernel::Kernel;
@@ -56,6 +61,7 @@ pub mod prelude {
     };
 }
 
+pub use batch::{BatchKernelScorer, TagWeightMatrix};
 pub use data::{MultiLabelDataset, MultiLabelExample, TagId};
 pub use kernel::Kernel;
 pub use metrics::{BinaryMetrics, MultiLabelMetrics};

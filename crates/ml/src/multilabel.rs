@@ -7,6 +7,7 @@
 //! method" (§2). This module implements that reduction generically over any
 //! [`BinaryClassifier`].
 
+use crate::batch::{BatchKernelScorer, TagWeightMatrix};
 use crate::data::{MultiLabelDataset, TagId};
 use crate::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer};
 use serde::{Deserialize, Serialize};
@@ -60,19 +61,29 @@ impl OneVsAllTrainer {
     ///
     /// `train_fn` receives the one-against-all view for each tag: the feature
     /// vectors and, for each, whether it is a positive example of the tag.
-    pub fn train_with<C, F>(&self, data: &MultiLabelDataset, mut train_fn: F) -> OneVsAllModel<C>
+    /// The feature vectors are borrowed from the dataset **once** and shared
+    /// by every per-tag problem (only the boolean label mask is per-tag), and
+    /// the per-tag problems are trained in parallel — each invocation of
+    /// `train_fn` is independent, so `train_fn` must be `Fn + Sync` and must
+    /// not share mutable state (seed any RNG per call, as the SVM trainers
+    /// do). The resulting model is identical to sequential training.
+    pub fn train_with<C, F>(&self, data: &MultiLabelDataset, train_fn: F) -> OneVsAllModel<C>
     where
-        C: BinaryClassifier,
-        F: FnMut(TagId, &[SparseVector], &[bool]) -> C,
+        C: BinaryClassifier + Send,
+        F: Fn(TagId, &[SparseVector], &[bool]) -> C + Sync,
     {
-        let mut classifiers = BTreeMap::new();
-        for tag in data.tag_universe() {
-            if data.tag_count(tag) < self.min_positive {
-                continue;
-            }
-            let (xs, ys) = data.one_vs_all(tag);
-            classifiers.insert(tag, train_fn(tag, &xs, &ys));
-        }
+        let xs = data.vectors();
+        let tags: Vec<TagId> = data
+            .tag_counts()
+            .into_iter()
+            .filter(|&(_, count)| count >= self.min_positive)
+            .map(|(tag, _)| tag)
+            .collect();
+        let trained = parallel::par_map(&tags, |&tag| {
+            let ys = data.label_mask(tag);
+            train_fn(tag, xs, &ys)
+        });
+        let classifiers: BTreeMap<TagId, C> = tags.into_iter().zip(trained).collect();
         OneVsAllModel {
             classifiers,
             threshold: self.threshold,
@@ -177,6 +188,38 @@ impl<C: BinaryClassifier> OneVsAllModel<C> {
             .values()
             .map(BinaryClassifier::wire_size)
             .sum()
+    }
+
+    /// The decision threshold above which a tag is assigned.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Minimum number of tags assigned when nothing reaches the threshold.
+    pub fn min_tags(&self) -> usize {
+        self.min_tags
+    }
+}
+
+impl OneVsAllModel<LinearSvm> {
+    /// Packs the per-tag weight vectors into a shared CSR matrix whose
+    /// batched [`TagWeightMatrix::scores`] / [`TagWeightMatrix::predict`] are
+    /// identical to this model's scalar [`Self::scores`] / [`Self::predict`].
+    pub fn weight_matrix(&self) -> TagWeightMatrix {
+        TagWeightMatrix::from_classifiers(
+            self.classifiers.iter().map(|(&t, c)| (t, c)),
+            self.threshold,
+            self.min_tags,
+        )
+    }
+}
+
+impl OneVsAllModel<KernelSvm> {
+    /// Builds the batched kernel scorer sharing kernel-row evaluations across
+    /// tags; its [`BatchKernelScorer::scores`] is identical to the scalar
+    /// [`Self::scores`].
+    pub fn kernel_scorer(&self) -> BatchKernelScorer {
+        BatchKernelScorer::from_classifiers(self.classifiers.iter().map(|(&t, c)| (t, c)))
     }
 }
 

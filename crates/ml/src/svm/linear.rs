@@ -56,6 +56,12 @@ pub struct LinearSvm {
 }
 
 impl LinearSvm {
+    /// Builds a model directly from a dense weight vector and bias (used by
+    /// the batched-scoring equivalence tests and model deserialization).
+    pub fn from_weights(weights: Vec<f64>, bias: f64) -> Self {
+        Self { weights, bias }
+    }
+
     /// The dense weight vector `w`.
     pub fn weights(&self) -> &[f64] {
         &self.weights

@@ -23,7 +23,8 @@
 //! text — which is the privacy argument the paper makes.
 
 use crate::error::ProtocolError;
-use crate::protocol::{combine_weighted_scores, P2PTagClassifier, PeerDataMap};
+use crate::protocol::{combine_weighted_scores, P2PTagClassifier, PeerDataMap, ScoringBackend};
+use ml::batch::BatchKernelScorer;
 use ml::cascade::{CascadeConfig, CascadeSvm};
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer};
@@ -53,6 +54,11 @@ pub struct CemparConfig {
     pub rel_threshold: f64,
     /// Minimum number of tags assigned when nothing reaches the threshold.
     pub min_tags: usize,
+    /// Query-time scoring implementation. [`ScoringBackend::Batched`] (the
+    /// default) shares kernel-row evaluations across a region's per-tag
+    /// cascaded models; [`ScoringBackend::Scalar`] keeps the pre-refactor
+    /// per-tag kernel expansions. Both produce identical predictions.
+    pub backend: ScoringBackend,
 }
 
 impl Default for CemparConfig {
@@ -78,6 +84,7 @@ impl Default for CemparConfig {
             vote_threshold: 0.0,
             rel_threshold: 0.5,
             min_tags: 1,
+            backend: ScoringBackend::default(),
         }
     }
 }
@@ -104,6 +111,10 @@ struct RegionState {
     contributed: BTreeMap<PeerId, OneVsAllModel<KernelSvm>>,
     /// The cascaded regional model, per tag.
     regional: BTreeMap<TagId, KernelSvm>,
+    /// Batched scorer over `regional`: kernel rows are evaluated once per
+    /// distinct support vector and shared by every tag that retains it.
+    /// Rebuilt whenever the region is re-cascaded.
+    scorer: BatchKernelScorer,
 }
 
 impl RegionState {
@@ -180,12 +191,10 @@ impl Cempar {
         }
     }
 
-    /// Re-cascades the regional per-tag models of one region from all
-    /// contributed local models.
-    fn cascade_region(&mut self, region: usize) {
-        let Some(state) = self.regions[region].as_mut() else {
-            return;
-        };
+    /// Computes the cascaded per-tag regional models of one region from all
+    /// contributed local models (pure — does not touch `self.regions`, so
+    /// several regions can cascade concurrently).
+    fn cascade_tags(&self, state: &RegionState) -> BTreeMap<TagId, KernelSvm> {
         let cascade = CascadeSvm::new(self.config.cascade.clone());
         let mut tags: BTreeMap<TagId, Vec<KernelSvm>> = BTreeMap::new();
         for model in state.contributed.values() {
@@ -193,10 +202,33 @@ impl Cempar {
                 tags.entry(tag).or_default().push(clf.clone());
             }
         }
-        state.regional = tags
-            .into_iter()
+        tags.into_iter()
             .filter_map(|(tag, models)| cascade.merge(&models).map(|m| (tag, m)))
-            .collect();
+            .collect()
+    }
+
+    /// Cascades one region's contributed models and builds the matching
+    /// batched scorer (pure; the single source of the cascade + scorer
+    /// pairing used by [`Self::cascade_region`] and `train`).
+    fn cascaded_with_scorer(
+        &self,
+        state: &RegionState,
+    ) -> (BTreeMap<TagId, KernelSvm>, BatchKernelScorer) {
+        let regional = self.cascade_tags(state);
+        let scorer = BatchKernelScorer::from_classifiers(regional.iter().map(|(&t, m)| (t, m)));
+        (regional, scorer)
+    }
+
+    /// Re-cascades the regional per-tag models of one region and rebuilds its
+    /// batched scorer.
+    fn cascade_region(&mut self, region: usize) {
+        let Some(state) = self.regions[region].as_ref() else {
+            return;
+        };
+        let (regional, scorer) = self.cascaded_with_scorer(state);
+        let state = self.regions[region].as_mut().expect("checked above");
+        state.regional = regional;
+        state.scorer = scorer;
     }
 
     /// Propagates a peer's local model to its region's super-peer, charging the
@@ -216,6 +248,7 @@ impl Cempar {
             super_peer,
             contributed: BTreeMap::new(),
             regional: BTreeMap::new(),
+            scorer: BatchKernelScorer::default(),
         });
         // The DHT may have re-elected a successor since the region was first
         // populated (churn); the latest resolved owner is authoritative.
@@ -240,15 +273,26 @@ impl P2PTagClassifier for Cempar {
         self.local_data
             .resize(net.num_peers(), MultiLabelDataset::new());
 
-        let mut touched_regions = Vec::new();
-        for (i, data) in peer_data.iter().enumerate() {
-            let peer = PeerId::from(i);
-            if !net.is_online(peer) {
-                continue;
+        // Per-peer kernel-SVM training is the expensive phase and every
+        // peer's models depend only on its own data, so it fans out across
+        // cores; the ordered reduction hands models back in peer order and
+        // the sequential propagation below performs the same DHT lookups and
+        // sends in the same order as the pre-refactor loop.
+        let jobs: Vec<(PeerId, &MultiLabelDataset)> = peer_data
+            .iter()
+            .enumerate()
+            .map(|(i, data)| (PeerId::from(i), data))
+            .collect();
+        let net_ref: &P2PNetwork = net;
+        let local_models = parallel::par_map(&jobs, |&(peer, data)| {
+            if !net_ref.is_online(peer) {
+                return None;
             }
-            let Some(model) = self.train_local(data) else {
-                continue;
-            };
+            self.train_local(data).map(|model| (peer, model))
+        });
+
+        let mut touched_regions = Vec::new();
+        for (peer, model) in local_models.into_iter().flatten() {
             match self.propagate_model(net, peer, model, MessageKind::ModelPropagation) {
                 Ok(region) => touched_regions.push(region),
                 Err(_) => {
@@ -266,8 +310,20 @@ impl P2PTagClassifier for Cempar {
         }
         touched_regions.sort_unstable();
         touched_regions.dedup();
-        for region in touched_regions {
-            self.cascade_region(region);
+        // Regions cascade independently; compute the merged per-tag models
+        // (and their batched scorers) in parallel, then install them in
+        // region order.
+        let cascaded = parallel::par_map(&touched_regions, |&region| {
+            self.regions[region]
+                .as_ref()
+                .map(|state| self.cascaded_with_scorer(state))
+        });
+        for (&region, result) in touched_regions.iter().zip(cascaded) {
+            if let Some((regional, scorer)) = result {
+                let state = self.regions[region].as_mut().expect("region populated");
+                state.regional = regional;
+                state.scorer = scorer;
+            }
         }
         self.trained = true;
         Ok(())
@@ -309,18 +365,36 @@ impl P2PTagClassifier for Cempar {
                 // tolerance: remaining regions still answer).
                 continue;
             }
-            let scores: Vec<TagPrediction> = state
-                .regional
-                .iter()
-                .map(|(&tag, clf)| {
-                    let score = clf.decision(x);
-                    TagPrediction {
+            let scores: Vec<TagPrediction> = match self.config.backend {
+                // Pre-refactor reference: every tag expands its own kernel
+                // sum, re-evaluating K(sv, x) for support vectors shared
+                // between tags.
+                ScoringBackend::Scalar => state
+                    .regional
+                    .iter()
+                    .map(|(&tag, clf)| {
+                        let score = clf.decision(x);
+                        TagPrediction {
+                            tag,
+                            score,
+                            confidence: 1.0 / (1.0 + (-score).exp()),
+                        }
+                    })
+                    .collect(),
+                // Batched: one kernel row over the region's distinct support
+                // vectors, shared by every tag. Decisions (and their
+                // ascending-tag order) are identical to the scalar branch.
+                ScoringBackend::Batched => state
+                    .scorer
+                    .decisions(x)
+                    .into_iter()
+                    .map(|(tag, score)| TagPrediction {
                         tag,
                         score,
                         confidence: 1.0 / (1.0 + (-score).exp()),
-                    }
-                })
-                .collect();
+                    })
+                    .collect(),
+            };
             let response_size = scores.len() * (std::mem::size_of::<TagId>() + 8);
             let _ = net.send(
                 state.super_peer,

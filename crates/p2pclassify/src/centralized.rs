@@ -9,7 +9,8 @@
 //! against; communication- and availability-wise it is the worst case.
 
 use crate::error::ProtocolError;
-use crate::protocol::{P2PTagClassifier, PeerDataMap};
+use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend};
+use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
@@ -31,6 +32,9 @@ pub struct CentralizedConfig {
     pub vote_threshold: f64,
     /// Minimum number of tags assigned when nothing reaches the threshold.
     pub min_tags: usize,
+    /// Query-time scoring implementation ([`ScoringBackend::Batched`] scores
+    /// the pooled model's whole tag universe in one pass per document).
+    pub backend: ScoringBackend,
 }
 
 impl Default for CentralizedConfig {
@@ -41,6 +45,7 @@ impl Default for CentralizedConfig {
             one_vs_all: OneVsAllTrainer::default(),
             vote_threshold: 0.0,
             min_tags: 1,
+            backend: ScoringBackend::default(),
         }
     }
 }
@@ -50,6 +55,9 @@ impl Default for CentralizedConfig {
 pub struct Centralized {
     config: CentralizedConfig,
     model: Option<OneVsAllModel<LinearSvm>>,
+    /// CSR-packed form of `model` for the batched backend; rebuilt alongside
+    /// the model on every retrain.
+    matrix: Option<TagWeightMatrix>,
     pooled: MultiLabelDataset,
     trained: bool,
 }
@@ -60,6 +68,7 @@ impl Centralized {
         Self {
             config,
             model: None,
+            matrix: None,
             pooled: MultiLabelDataset::new(),
             trained: false,
         }
@@ -78,6 +87,7 @@ impl Centralized {
     fn retrain(&mut self) {
         if self.pooled.is_empty() {
             self.model = None;
+            self.matrix = None;
             return;
         }
         let model = self
@@ -85,6 +95,7 @@ impl Centralized {
             .one_vs_all
             .train_linear(&self.pooled, &self.config.svm);
         self.model = (model.num_tags() > 0).then_some(model);
+        self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
     }
 }
 
@@ -150,7 +161,14 @@ impl P2PTagClassifier for Centralized {
             let response_size = model.num_tags() * (std::mem::size_of::<TagId>() + 8);
             let _ = net.send(server, peer, MessageKind::PredictionResponse, response_size);
         }
-        Ok(model.scores(x))
+        Ok(match self.config.backend {
+            ScoringBackend::Scalar => model.scores(x),
+            ScoringBackend::Batched => self
+                .matrix
+                .as_ref()
+                .expect("matrix is rebuilt with the model")
+                .scores(x),
+        })
     }
 
     fn predict(

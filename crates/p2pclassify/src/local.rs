@@ -7,7 +7,8 @@
 //! across peers (§2).
 
 use crate::error::ProtocolError;
-use crate::protocol::{P2PTagClassifier, PeerDataMap};
+use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend};
+use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
@@ -22,13 +23,29 @@ pub struct LocalOnlyConfig {
     pub svm: LinearSvmTrainer,
     /// One-vs-all reduction settings.
     pub one_vs_all: OneVsAllTrainer,
+    /// Query-time scoring implementation.
+    pub backend: ScoringBackend,
+}
+
+/// A peer's local model together with its packed scoring matrix.
+#[derive(Debug, Clone)]
+struct LocalModel {
+    model: OneVsAllModel<LinearSvm>,
+    matrix: TagWeightMatrix,
+}
+
+impl LocalModel {
+    fn build(model: OneVsAllModel<LinearSvm>) -> Self {
+        let matrix = model.weight_matrix();
+        Self { model, matrix }
+    }
 }
 
 /// The local-only baseline instance.
 #[derive(Debug, Clone)]
 pub struct LocalOnly {
     config: LocalOnlyConfig,
-    models: Vec<Option<OneVsAllModel<LinearSvm>>>,
+    models: Vec<Option<LocalModel>>,
     local_data: Vec<MultiLabelDataset>,
     trained: bool,
 }
@@ -49,15 +66,26 @@ impl LocalOnly {
         self.models.iter().flatten().count()
     }
 
+    /// Trains one peer's local model from a dataset (pure, so the per-peer
+    /// training loop can fan out across cores).
+    fn trained_model(&self, data: &MultiLabelDataset) -> Option<LocalModel> {
+        if data.is_empty() {
+            return None;
+        }
+        let m = self.config.one_vs_all.train_linear(data, &self.config.svm);
+        (m.num_tags() > 0).then(|| LocalModel::build(m))
+    }
+
     fn train_peer(&mut self, peer: PeerId) {
         let idx = peer.index();
-        let data = &self.local_data[idx];
-        self.models[idx] = if data.is_empty() {
-            None
-        } else {
-            let m = self.config.one_vs_all.train_linear(data, &self.config.svm);
-            (m.num_tags() > 0).then_some(m)
-        };
+        self.models[idx] = self.trained_model(&self.local_data[idx]);
+    }
+
+    fn model_for(&self, peer: PeerId) -> Result<&LocalModel, ProtocolError> {
+        self.models
+            .get(peer.index())
+            .and_then(|m| m.as_ref())
+            .ok_or(ProtocolError::NoModelReachable)
     }
 }
 
@@ -74,10 +102,9 @@ impl P2PTagClassifier for LocalOnly {
         self.local_data = peer_data.clone();
         self.local_data
             .resize(net.num_peers(), MultiLabelDataset::new());
-        self.models = vec![None; net.num_peers()];
-        for i in 0..net.num_peers() {
-            self.train_peer(PeerId::from(i));
-        }
+        // Per-peer training is independent; the ordered parallel map yields
+        // the same model list as the sequential per-peer loop.
+        self.models = parallel::par_map(&self.local_data, |data| self.trained_model(data));
         self.trained = true;
         Ok(())
     }
@@ -94,12 +121,11 @@ impl P2PTagClassifier for LocalOnly {
         if !net.is_online(peer) {
             return Err(ProtocolError::PeerOffline);
         }
-        let model = self
-            .models
-            .get(peer.index())
-            .and_then(|m| m.as_ref())
-            .ok_or(ProtocolError::NoModelReachable)?;
-        Ok(model.scores(x))
+        let local = self.model_for(peer)?;
+        Ok(match self.config.backend {
+            ScoringBackend::Scalar => local.model.scores(x),
+            ScoringBackend::Batched => local.matrix.scores(x),
+        })
     }
 
     fn predict(
@@ -114,12 +140,34 @@ impl P2PTagClassifier for LocalOnly {
         if !net.is_online(peer) {
             return Err(ProtocolError::PeerOffline);
         }
-        let model = self
-            .models
-            .get(peer.index())
-            .and_then(|m| m.as_ref())
-            .ok_or(ProtocolError::NoModelReachable)?;
-        Ok(model.predict(x))
+        let local = self.model_for(peer)?;
+        Ok(match self.config.backend {
+            ScoringBackend::Scalar => local.model.predict(x),
+            ScoringBackend::Batched => local.matrix.predict(x),
+        })
+    }
+
+    fn predict_batch(
+        &self,
+        net: &mut P2PNetwork,
+        requests: &[(PeerId, &SparseVector)],
+    ) -> Vec<Result<BTreeSet<TagId>, ProtocolError>> {
+        // Local-only prediction never communicates, so batches parallelize
+        // across documents like PACE's.
+        let net_ref: &P2PNetwork = net;
+        parallel::par_map(requests, |&(peer, x)| {
+            if !self.trained {
+                return Err(ProtocolError::NotTrained);
+            }
+            if !net_ref.is_online(peer) {
+                return Err(ProtocolError::PeerOffline);
+            }
+            let local = self.model_for(peer)?;
+            Ok(match self.config.backend {
+                ScoringBackend::Scalar => local.model.predict(x),
+                ScoringBackend::Batched => local.matrix.predict(x),
+            })
+        })
     }
 
     fn refine(

@@ -20,11 +20,15 @@
 //!    example and re-propagates it.
 
 use crate::error::ProtocolError;
-use crate::protocol::{combine_confidence_votes, P2PTagClassifier, PeerDataMap};
+use crate::protocol::{
+    combine_confidence_votes, ConfidenceVoteAccumulator, P2PTagClassifier, PeerDataMap,
+    ScoringBackend,
+};
+use ml::batch::TagWeightMatrix;
 use ml::kmeans::{KMeans, KMeansConfig};
 use ml::lsh::{LshConfig, LshIndex};
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
-use ml::svm::{accuracy_on, LinearSvm, LinearSvmTrainer};
+use ml::svm::{LinearSvm, LinearSvmTrainer};
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
 use p2psim::message::MessageKind;
 use p2psim::{P2PNetwork, PeerId};
@@ -65,6 +69,12 @@ pub struct PaceConfig {
     /// models that know a tag however few they are, `1.0` counts every
     /// ignorant model as a "no" vote.
     pub coverage_damping: f64,
+    /// Query-time scoring implementation. [`ScoringBackend::Batched`] (the
+    /// default) scores each consulted model's whole tag universe in one pass
+    /// over the document via its packed [`TagWeightMatrix`];
+    /// [`ScoringBackend::Scalar`] keeps the pre-refactor per-tag loops as a
+    /// reference. Both produce identical predictions.
+    pub backend: ScoringBackend,
 }
 
 impl Default for PaceConfig {
@@ -84,6 +94,7 @@ impl Default for PaceConfig {
             min_tags: 1,
             distance_sharpness: 2.0,
             coverage_damping: 0.4,
+            backend: ScoringBackend::default(),
         }
     }
 }
@@ -93,7 +104,13 @@ impl Default for PaceConfig {
 struct PaceModel {
     source: PeerId,
     model: OneVsAllModel<LinearSvm>,
+    /// The per-tag weight vectors of `model` packed into one CSR matrix, so
+    /// the batched backend scores the whole tag universe in a single pass.
+    matrix: TagWeightMatrix,
     centroids: Vec<SparseVector>,
+    /// Cached `‖c‖²` per centroid, so the batched backend's distance
+    /// computation skips re-deriving centroid norms on every query.
+    centroid_norms_sq: Vec<f64>,
     /// Training accuracy of the source peer's model on its own data, used as
     /// the vote weight numerator.
     accuracy: f64,
@@ -108,12 +125,32 @@ impl PaceModel {
         self.centroids.iter().map(SparseVector::wire_size).sum()
     }
 
-    /// Distance from a query vector to this model (nearest centroid).
-    fn distance_to(&self, x: &SparseVector) -> f64 {
+    /// Distance from a query vector to this model (nearest centroid), the
+    /// pre-refactor way: every centroid norm is recomputed per query.
+    fn distance_to_scalar(&self, x: &SparseVector) -> f64 {
         self.centroids
             .iter()
             .map(|c| c.distance(x))
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Same distance with the cached centroid norms and a precomputed query
+    /// norm: evaluates the identical expression
+    /// `sqrt(max(‖c‖² + ‖x‖² − 2·c·x, 0))`, so the result is bit-for-bit the
+    /// same as [`Self::distance_to_scalar`].
+    fn distance_to_batched(&self, x: &SparseVector, x_norm_sq: f64) -> f64 {
+        self.centroids
+            .iter()
+            .zip(&self.centroid_norms_sq)
+            .map(|(c, &c_norm_sq)| (c_norm_sq + x_norm_sq - 2.0 * c.dot(x)).max(0.0).sqrt())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn distance_to(&self, x: &SparseVector, backend: ScoringBackend, x_norm_sq: f64) -> f64 {
+        match backend {
+            ScoringBackend::Scalar => self.distance_to_scalar(x),
+            ScoringBackend::Batched => self.distance_to_batched(x, x_norm_sq),
+        }
     }
 }
 
@@ -166,25 +203,38 @@ impl Pace {
         if model.num_tags() == 0 {
             return None;
         }
-        // Training accuracy, averaged over the per-tag binary problems.
-        let mut acc_sum = 0.0;
-        let mut acc_n = 0;
-        for (tag, clf) in model.iter() {
-            let (xs, ys) = data.one_vs_all(tag);
-            acc_sum += accuracy_on(clf, &xs, &ys);
-            acc_n += 1;
+        let matrix = model.weight_matrix();
+        // Training accuracy, averaged over the per-tag binary problems. One
+        // batched pass per training document scores every tag at once; the
+        // per-tag correct counts (and therefore the averaged accuracy) are
+        // identical to running each classifier over the corpus separately.
+        let mut correct = vec![0usize; matrix.num_tags()];
+        let mut decisions = Vec::new();
+        for (x, tags) in data.iter() {
+            matrix.decisions_into(x, &mut decisions);
+            for (slot, &tag) in matrix.tags().iter().enumerate() {
+                if (decisions[slot] >= 0.0) == tags.contains(&tag) {
+                    correct[slot] += 1;
+                }
+            }
         }
-        let accuracy = if acc_n > 0 {
-            acc_sum / acc_n as f64
+        let accuracy = if matrix.num_tags() > 0 {
+            let acc_sum: f64 = correct.iter().map(|&c| c as f64 / data.len() as f64).sum();
+            acc_sum / matrix.num_tags() as f64
         } else {
             0.5
         };
-        let vectors: Vec<SparseVector> = data.iter().map(|e| e.vector.clone()).collect();
-        let kmeans = KMeans::fit(&vectors, &self.config.kmeans);
+        // K-means runs on the borrowed vector slice — no per-peer clone of
+        // the training corpus.
+        let kmeans = KMeans::fit(data.vectors(), &self.config.kmeans);
+        let centroids = kmeans.centroids().to_vec();
+        let centroid_norms_sq = centroids.iter().map(SparseVector::norm_sq).collect();
         Some(PaceModel {
             source: peer,
             model,
-            centroids: kmeans.centroids().to_vec(),
+            matrix,
+            centroids,
+            centroid_norms_sq,
             accuracy,
         })
     }
@@ -221,18 +271,26 @@ impl Pace {
         let Some(available) = self.received.get(peer.index()).filter(|a| !a.is_empty()) else {
             return Vec::new();
         };
+        let backend = self.config.backend;
+        // The query norm appears in every centroid distance; the batched
+        // backend computes it once per query instead of once per centroid.
+        let x_norm_sq = x.norm_sq();
         let mut candidates: Vec<(&PaceModel, f64)> = if self.config.use_lsh {
             // Over-fetch from the index (several centroids can map to the same
             // model, and some candidates may not have reached this peer).
             let want = self.config.top_k * 4 + 8;
+            let hits = match backend {
+                ScoringBackend::Scalar => self.index.query(x, want),
+                ScoringBackend::Batched => self.index.query_batched(x, want),
+            };
             let mut seen = BTreeSet::new();
             let mut out = Vec::new();
-            for (source, _dist) in self.index.query(x, want) {
+            for (source, _dist) in hits {
                 if !available.contains(source) || !seen.insert(*source) {
                     continue;
                 }
                 if let Some(m) = self.models.get(source) {
-                    out.push((m, m.distance_to(x)));
+                    out.push((m, m.distance_to(x, backend, x_norm_sq)));
                 }
             }
             out
@@ -240,48 +298,21 @@ impl Pace {
             available
                 .iter()
                 .filter_map(|s| self.models.get(s))
-                .map(|m| (m, m.distance_to(x)))
+                .map(|m| (m, m.distance_to(x, backend, x_norm_sq)))
                 .collect()
         };
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         candidates.truncate(self.config.top_k.max(1));
         candidates
     }
-}
 
-impl P2PTagClassifier for Pace {
-    fn name(&self) -> &'static str {
-        "pace"
-    }
-
-    fn train(
-        &mut self,
-        net: &mut P2PNetwork,
-        peer_data: &PeerDataMap,
-    ) -> Result<(), ProtocolError> {
-        self.models.clear();
-        self.index = LshIndex::new(self.config.lsh.clone());
-        self.received = vec![BTreeSet::new(); net.num_peers()];
-        self.local_data = peer_data.clone();
-        self.local_data
-            .resize(net.num_peers(), MultiLabelDataset::new());
-
-        for (i, data) in peer_data.iter().enumerate() {
-            let peer = PeerId::from(i);
-            if !net.is_online(peer) {
-                continue;
-            }
-            if let Some(model) = self.train_local(peer, data) {
-                self.propagate(net, model, MessageKind::ModelPropagation);
-            }
-        }
-        self.trained = true;
-        Ok(())
-    }
-
-    fn scores(
+    /// Per-tag scores for a query, computed entirely locally (PACE's
+    /// prediction phase is communication-free, so this only needs shared
+    /// access to the network for the online check — which is what lets
+    /// [`P2PTagClassifier::predict_batch`] fan queries out in parallel).
+    fn scores_local(
         &self,
-        net: &mut P2PNetwork,
+        net: &P2PNetwork,
         peer: PeerId,
         x: &SparseVector,
     ) -> Result<Vec<TagPrediction>, ProtocolError> {
@@ -302,27 +333,106 @@ impl P2PTagClassifier for Pace {
         // them lets a few confidently-negative models drown out the models
         // that actually know a tag (which collapses recall). The per-tag
         // normalization and coverage damping live in
-        // [`combine_confidence_votes`].
-        let votes: Vec<(f64, Vec<TagPrediction>)> = nearest
-            .into_iter()
-            .map(|(m, dist)| {
-                let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
-                let scores = m
-                    .model
-                    .scores(x)
+        // [`combine_confidence_votes`] / [`ConfidenceVoteAccumulator`].
+        match self.config.backend {
+            ScoringBackend::Scalar => {
+                // Pre-refactor reference: one sorted, allocated score list per
+                // consulted model, one dot product per (model, tag).
+                let votes: Vec<(f64, Vec<TagPrediction>)> = nearest
                     .into_iter()
-                    .map(|p| TagPrediction {
-                        score: p.confidence,
-                        ..p
+                    .map(|(m, dist)| {
+                        let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
+                        let scores = m
+                            .model
+                            .scores(x)
+                            .into_iter()
+                            .map(|p| TagPrediction {
+                                score: p.confidence,
+                                ..p
+                            })
+                            .collect();
+                        (weight, scores)
                     })
                     .collect();
-                (weight, scores)
-            })
+                Ok(combine_confidence_votes(
+                    &votes,
+                    self.config.coverage_damping,
+                ))
+            }
+            ScoringBackend::Batched => {
+                // Batched path: each model's packed matrix scores its whole
+                // tag universe in one pass over the document's nonzeros, and
+                // the confidences stream straight into the shared vote
+                // accumulator (no per-model allocation, no per-model sort —
+                // the combination is per-tag, so the order of a model's votes
+                // is irrelevant and the result is identical to the scalar
+                // path).
+                let mut acc = ConfidenceVoteAccumulator::new();
+                let mut decisions = Vec::new();
+                let mut votes = Vec::new();
+                for (m, dist) in nearest {
+                    let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
+                    acc.add_voter(weight);
+                    m.matrix
+                        .confidence_votes_into(x, &mut decisions, &mut votes);
+                    for p in &votes {
+                        acc.add_vote(p.tag, weight, p.score);
+                    }
+                }
+                Ok(acc.finish(self.config.coverage_damping))
+            }
+        }
+    }
+}
+
+impl P2PTagClassifier for Pace {
+    fn name(&self) -> &'static str {
+        "pace"
+    }
+
+    fn train(
+        &mut self,
+        net: &mut P2PNetwork,
+        peer_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
+        self.models.clear();
+        self.index = LshIndex::new(self.config.lsh.clone());
+        self.received = vec![BTreeSet::new(); net.num_peers()];
+        self.local_data = peer_data.clone();
+        self.local_data
+            .resize(net.num_peers(), MultiLabelDataset::new());
+
+        // Per-peer local training is embarrassingly parallel: each peer's SVMs
+        // and centroids depend only on its own data (every trainer seeds its
+        // own RNG, nothing is shared). The ordered par_map keeps the model
+        // list in peer order, so the sequential propagation below sends the
+        // same messages in the same order as the pre-refactor per-peer loop.
+        let jobs: Vec<(PeerId, &MultiLabelDataset)> = peer_data
+            .iter()
+            .enumerate()
+            .map(|(i, data)| (PeerId::from(i), data))
             .collect();
-        Ok(combine_confidence_votes(
-            &votes,
-            self.config.coverage_damping,
-        ))
+        let net_ref: &P2PNetwork = net;
+        let models = parallel::par_map(&jobs, |&(peer, data)| {
+            if !net_ref.is_online(peer) {
+                return None;
+            }
+            self.train_local(peer, data)
+        });
+        for model in models.into_iter().flatten() {
+            self.propagate(net, model, MessageKind::ModelPropagation);
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn scores(
+        &self,
+        net: &mut P2PNetwork,
+        peer: PeerId,
+        x: &SparseVector,
+    ) -> Result<Vec<TagPrediction>, ProtocolError> {
+        self.scores_local(net, peer, x)
     }
 
     fn predict(
@@ -331,13 +441,34 @@ impl P2PTagClassifier for Pace {
         peer: PeerId,
         x: &SparseVector,
     ) -> Result<BTreeSet<TagId>, ProtocolError> {
-        let scores = self.scores(net, peer, x)?;
+        let scores = self.scores_local(net, peer, x)?;
         Ok(crate::protocol::select_tags_adaptive(
             &scores,
             self.config.vote_threshold,
             self.config.rel_threshold,
             self.config.min_tags,
         ))
+    }
+
+    fn predict_batch(
+        &self,
+        net: &mut P2PNetwork,
+        requests: &[(PeerId, &SparseVector)],
+    ) -> Vec<Result<BTreeSet<TagId>, ProtocolError>> {
+        // PACE prediction is entirely local (zero communication per query),
+        // so a batch of documents fans out across cores; the ordered
+        // reduction returns results in request order, identical to the
+        // sequential loop.
+        let net_ref: &P2PNetwork = net;
+        parallel::par_map(requests, |&(peer, x)| {
+            let scores = self.scores_local(net_ref, peer, x)?;
+            Ok(crate::protocol::select_tags_adaptive(
+                &scores,
+                self.config.vote_threshold,
+                self.config.rel_threshold,
+                self.config.min_tags,
+            ))
+        })
     }
 
     fn refine(

@@ -11,6 +11,24 @@ use textproc::SparseVector;
 /// of peer `i` (its manually tagged documents).
 pub type PeerDataMap = Vec<MultiLabelDataset>;
 
+/// Which scoring implementation a protocol uses at query time.
+///
+/// Both backends produce identical `TagPrediction`s (the equivalence tests in
+/// `tests/equivalence.rs` pin this); they differ only in cost. The scalar
+/// backend is retained as the pre-refactor reference — it is what the
+/// throughput benchmark measures the batched engine against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringBackend {
+    /// One dot product / kernel expansion per (tag, classifier): the
+    /// pre-refactor nested scalar loops.
+    Scalar,
+    /// Batched scoring through [`ml::TagWeightMatrix`] /
+    /// [`ml::BatchKernelScorer`]: one pass over the document nonzeros (or one
+    /// kernel row shared by all tags) per consulted model.
+    #[default]
+    Batched,
+}
+
 /// A distributed tagging classifier that trains and predicts over a simulated
 /// P2P network, paying for every byte it exchanges.
 pub trait P2PTagClassifier {
@@ -41,6 +59,26 @@ pub trait P2PTagClassifier {
     ) -> Result<BTreeSet<TagId>, ProtocolError> {
         let scores = self.scores(net, peer, x)?;
         Ok(select_tags(&scores, 0.0, 1))
+    }
+
+    /// Predicts the tag sets of a whole batch of `(peer, document)` requests,
+    /// returning one result per request in input order.
+    ///
+    /// The default implementation is the sequential per-request loop, which
+    /// every protocol that pays communication per query keeps (message
+    /// accounting must observe the same sends in the same order). Protocols
+    /// whose prediction is communication-free (PACE, local-only) override
+    /// this with a parallel map over the requests; the ordered reduction
+    /// keeps the results identical to the sequential loop.
+    fn predict_batch(
+        &self,
+        net: &mut P2PNetwork,
+        requests: &[(PeerId, &SparseVector)],
+    ) -> Vec<Result<BTreeSet<TagId>, ProtocolError>> {
+        requests
+            .iter()
+            .map(|&(peer, x)| self.predict(net, peer, x))
+            .collect()
     }
 
     /// Incorporates a user's tag refinement (a corrected example) and updates
@@ -133,39 +171,75 @@ pub fn combine_confidence_votes(
     lists: &[(f64, Vec<TagPrediction>)],
     coverage_damping: f64,
 ) -> Vec<TagPrediction> {
-    use std::collections::BTreeMap;
-    let total_weight: f64 = lists.iter().map(|(w, _)| *w).sum();
-    if total_weight <= 0.0 {
-        return Vec::new();
-    }
-    // tag → (Σ w·conf, Σ w) over the voters that know the tag.
-    let mut sums: BTreeMap<TagId, (f64, f64)> = BTreeMap::new();
+    let mut acc = ConfidenceVoteAccumulator::new();
     for (weight, scores) in lists {
+        acc.add_voter(*weight);
         for p in scores {
-            let entry = sums.entry(p.tag).or_insert((0.0, 0.0));
-            entry.0 += weight * p.score;
-            entry.1 += weight;
+            acc.add_vote(p.tag, *weight, p.score);
         }
     }
-    let mut out: Vec<TagPrediction> = sums
-        .into_iter()
-        .filter(|&(_, (_, knowing_weight))| knowing_weight > 0.0)
-        .map(|(tag, (weighted_conf, knowing_weight))| {
-            let score = (weighted_conf / knowing_weight)
-                * (knowing_weight / total_weight).powf(coverage_damping);
-            TagPrediction {
-                tag,
-                score,
-                confidence: score,
-            }
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    out
+    acc.finish(coverage_damping)
+}
+
+/// Incremental form of [`combine_confidence_votes`]: the batched PACE vote
+/// streams per-tag confidences straight into this accumulator instead of
+/// materializing one `Vec<TagPrediction>` per consulted model. Feeding the
+/// same `(weight, tag, confidence)` triples in the same voter order produces
+/// a result identical to [`combine_confidence_votes`] (same accumulation
+/// order, same formula, same sort).
+#[derive(Debug, Default)]
+pub struct ConfidenceVoteAccumulator {
+    total_weight: f64,
+    /// tag → (Σ w·conf, Σ w) over the voters that know the tag.
+    sums: std::collections::BTreeMap<TagId, (f64, f64)>,
+}
+
+impl ConfidenceVoteAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a voter's weight (counted once per voter, whether or not it
+    /// knows any tag).
+    pub fn add_voter(&mut self, weight: f64) {
+        self.total_weight += weight;
+    }
+
+    /// Adds one voter's confidence vote for one tag.
+    pub fn add_vote(&mut self, tag: TagId, weight: f64, confidence: f64) {
+        let entry = self.sums.entry(tag).or_insert((0.0, 0.0));
+        entry.0 += weight * confidence;
+        entry.1 += weight;
+    }
+
+    /// Produces the combined, descending-sorted predictions.
+    pub fn finish(self, coverage_damping: f64) -> Vec<TagPrediction> {
+        if self.total_weight <= 0.0 {
+            return Vec::new();
+        }
+        let total_weight = self.total_weight;
+        let mut out: Vec<TagPrediction> = self
+            .sums
+            .into_iter()
+            .filter(|&(_, (_, knowing_weight))| knowing_weight > 0.0)
+            .map(|(tag, (weighted_conf, knowing_weight))| {
+                let score = (weighted_conf / knowing_weight)
+                    * (knowing_weight / total_weight).powf(coverage_damping);
+                TagPrediction {
+                    tag,
+                    score,
+                    confidence: score,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
 }
 
 /// Combines several per-tag score lists into one by weighted majority voting:

@@ -1,0 +1,235 @@
+//! Scalar ↔ batched equivalence at the protocol level.
+//!
+//! The batched scoring engine (`ml::TagWeightMatrix`, `ml::BatchKernelScorer`)
+//! and the parallel batch-prediction path must be drop-in replacements: for
+//! every protocol, the `Batched` backend must produce *exactly* the same
+//! `TagPrediction`s and tag sets as the pre-refactor `Scalar` loops, and
+//! `predict_batch` must equal the sequential per-document `predict` loop.
+
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2pclassify::{
+    Cempar, CemparConfig, Centralized, CentralizedConfig, LocalOnly, LocalOnlyConfig,
+    P2PTagClassifier, Pace, PaceConfig, ScoringBackend,
+};
+use p2psim::{P2PNetwork, PeerId, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use textproc::SparseVector;
+
+/// Per-peer datasets over a richer tag universe than the unit tests: five
+/// feature-aligned tags plus co-occurring combinations, so ensembles vote
+/// over tags they only partially know.
+fn peer_data(num_peers: usize, per_peer: usize, seed: u64) -> Vec<MultiLabelDataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_peers)
+        .map(|_| {
+            let mut ds = MultiLabelDataset::new();
+            for _ in 0..per_peer {
+                let which = rng.gen_range(0..5u32);
+                let a = 0.7 + rng.gen_range(0.0..0.6);
+                let b = 0.7 + rng.gen_range(0.0..0.6);
+                let (vector, tags): (SparseVector, Vec<TagId>) = match which {
+                    0 => (SparseVector::from_pairs([(0, a)]), vec![1]),
+                    1 => (SparseVector::from_pairs([(1, a)]), vec![2]),
+                    2 => (SparseVector::from_pairs([(2, a), (0, 0.2)]), vec![3]),
+                    3 => (SparseVector::from_pairs([(0, a), (1, b)]), vec![1, 2]),
+                    _ => (SparseVector::from_pairs([(2, a), (3, b)]), vec![3, 4]),
+                };
+                ds.push(MultiLabelExample::new(vector, tags));
+            }
+            ds
+        })
+        .collect()
+}
+
+fn probes(seed: u64) -> Vec<SparseVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..40)
+        .map(|_| {
+            let nnz = rng.gen_range(1..4usize);
+            SparseVector::from_pairs(
+                (0..nnz).map(|_| (rng.gen_range(0..5u32), rng.gen_range(0.2..1.4f64))),
+            )
+        })
+        .collect()
+}
+
+fn network(num_peers: usize) -> P2PNetwork {
+    P2PNetwork::new(SimConfig {
+        num_peers,
+        horizon_secs: 100_000,
+        ..Default::default()
+    })
+}
+
+/// Trains both backends of a protocol on identical data/networks and checks
+/// that scores and predictions agree exactly on every probe, from every peer.
+fn assert_backends_agree<P, F>(num_peers: usize, seed: u64, make: F)
+where
+    P: P2PTagClassifier,
+    F: Fn(ScoringBackend) -> P,
+{
+    let data = peer_data(num_peers, 14, seed);
+    let mut net_scalar = network(num_peers);
+    let mut net_batched = network(num_peers);
+    let mut scalar = make(ScoringBackend::Scalar);
+    let mut batched = make(ScoringBackend::Batched);
+    scalar.train(&mut net_scalar, &data).unwrap();
+    batched.train(&mut net_batched, &data).unwrap();
+
+    for (i, probe) in probes(seed ^ 0x55).iter().enumerate() {
+        let peer = PeerId((i % num_peers) as u64);
+        let s = scalar.scores(&mut net_scalar, peer, probe);
+        let b = batched.scores(&mut net_batched, peer, probe);
+        assert_eq!(s, b, "scores diverge on probe {i}");
+        let sp = scalar.predict(&mut net_scalar, peer, probe);
+        let bp = batched.predict(&mut net_batched, peer, probe);
+        assert_eq!(sp, bp, "predictions diverge on probe {i}");
+    }
+}
+
+/// Checks `predict_batch` against the sequential per-request `predict` loop
+/// on a fresh identically-trained instance.
+fn assert_batch_equals_sequential<P, F>(num_peers: usize, seed: u64, make: F)
+where
+    P: P2PTagClassifier,
+    F: Fn() -> P,
+{
+    let data = peer_data(num_peers, 14, seed);
+    let probes = probes(seed ^ 0xAA);
+    let requests: Vec<(PeerId, &SparseVector)> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (PeerId((i % num_peers) as u64), p))
+        .collect();
+
+    let mut net_seq = network(num_peers);
+    let mut seq = make();
+    seq.train(&mut net_seq, &data).unwrap();
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|&(peer, x)| seq.predict(&mut net_seq, peer, x))
+        .collect();
+
+    let mut net_batch = network(num_peers);
+    let mut batch = make();
+    batch.train(&mut net_batch, &data).unwrap();
+    let batched = batch.predict_batch(&mut net_batch, &requests);
+
+    assert_eq!(sequential, batched);
+    // Communication-for-communication: the batch path must account exactly
+    // the same traffic as the sequential loop.
+    assert_eq!(
+        net_seq.stats().total_messages(),
+        net_batch.stats().total_messages()
+    );
+    assert_eq!(
+        net_seq.stats().total_bytes(),
+        net_batch.stats().total_bytes()
+    );
+}
+
+#[test]
+fn pace_backends_agree() {
+    assert_backends_agree(12, 71, |backend| {
+        Pace::new(PaceConfig {
+            backend,
+            ..PaceConfig::default()
+        })
+    });
+}
+
+#[test]
+fn pace_backends_agree_without_lsh() {
+    assert_backends_agree(10, 72, |backend| {
+        Pace::new(PaceConfig {
+            backend,
+            use_lsh: false,
+            ..PaceConfig::default()
+        })
+    });
+}
+
+#[test]
+fn cempar_backends_agree() {
+    assert_backends_agree(16, 73, |backend| {
+        Cempar::new(CemparConfig {
+            backend,
+            regions: 4,
+            ..CemparConfig::default()
+        })
+    });
+}
+
+#[test]
+fn centralized_backends_agree() {
+    assert_backends_agree(8, 74, |backend| {
+        Centralized::new(CentralizedConfig {
+            backend,
+            ..CentralizedConfig::default()
+        })
+    });
+}
+
+#[test]
+fn local_only_backends_agree() {
+    assert_backends_agree(6, 75, |backend| {
+        LocalOnly::new(LocalOnlyConfig {
+            backend,
+            ..LocalOnlyConfig::default()
+        })
+    });
+}
+
+#[test]
+fn pace_predict_batch_equals_sequential() {
+    assert_batch_equals_sequential(12, 81, || Pace::new(PaceConfig::default()));
+}
+
+#[test]
+fn local_only_predict_batch_equals_sequential() {
+    assert_batch_equals_sequential(6, 82, || LocalOnly::new(LocalOnlyConfig::default()));
+}
+
+#[test]
+fn cempar_default_predict_batch_equals_sequential() {
+    assert_batch_equals_sequential(16, 83, || {
+        Cempar::new(CemparConfig {
+            regions: 4,
+            ..CemparConfig::default()
+        })
+    });
+}
+
+#[test]
+fn centralized_default_predict_batch_equals_sequential() {
+    assert_batch_equals_sequential(8, 84, || Centralized::new(CentralizedConfig::default()));
+}
+
+#[test]
+fn refinement_keeps_backends_in_lockstep() {
+    // After refinement retrains + re-propagates, the rebuilt batched
+    // structures must still match the scalar path.
+    let num_peers = 8;
+    let data = peer_data(num_peers, 12, 91);
+    let mut net_s = network(num_peers);
+    let mut net_b = network(num_peers);
+    let mut scalar = Pace::new(PaceConfig {
+        backend: ScoringBackend::Scalar,
+        ..PaceConfig::default()
+    });
+    let mut batched = Pace::new(PaceConfig::default());
+    scalar.train(&mut net_s, &data).unwrap();
+    batched.train(&mut net_b, &data).unwrap();
+    for i in 0..6 {
+        let v = SparseVector::from_pairs([(4, 1.0 + 0.1 * i as f64)]);
+        let ex = MultiLabelExample::new(v, [9]);
+        scalar.refine(&mut net_s, PeerId(2), &ex).unwrap();
+        batched.refine(&mut net_b, PeerId(2), &ex).unwrap();
+    }
+    let probe = SparseVector::from_pairs([(4, 1.2)]);
+    assert_eq!(
+        scalar.scores(&mut net_s, PeerId(2), &probe),
+        batched.scores(&mut net_b, PeerId(2), &probe)
+    );
+}

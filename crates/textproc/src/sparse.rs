@@ -52,15 +52,42 @@ impl SparseVector {
         out
     }
 
-    /// Creates a vector from a dense slice, skipping zero entries.
+    /// Creates a vector from `(index, value)` pairs that are **already in
+    /// strictly increasing index order**, skipping the sort-and-merge pass of
+    /// [`Self::from_pairs`]. Zero-valued entries are dropped. This is the
+    /// construction path for producers whose enumeration is naturally sorted
+    /// (dense slices, `BTreeMap` iterations, CSR rows).
+    ///
+    /// # Panics
+    /// Debug builds panic when the indices are not strictly increasing.
+    pub fn from_sorted_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, f64)>,
+    {
+        let pairs = pairs.into_iter();
+        let (lower, _) = pairs.size_hint();
+        let mut indices = Vec::with_capacity(lower);
+        let mut values = Vec::with_capacity(lower);
+        for (i, v) in pairs {
+            if let Some(&last) = indices.last() {
+                debug_assert!(
+                    last < i,
+                    "indices must be strictly increasing: {last} >= {i}"
+                );
+            }
+            if v != 0.0 {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self { indices, values }
+    }
+
+    /// Creates a vector from a dense slice, skipping zero entries. Dense
+    /// enumeration is already index-sorted, so this uses the direct
+    /// [`Self::from_sorted_pairs`] path (no sort).
     pub fn from_dense(dense: &[f64]) -> Self {
-        Self::from_pairs(
-            dense
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v != 0.0)
-                .map(|(i, &v)| (i as u32, v)),
-        )
+        Self::from_sorted_pairs(dense.iter().enumerate().map(|(i, &v)| (i as u32, v)))
     }
 
     /// Converts to a dense vector of length `dim`.
@@ -397,5 +424,22 @@ mod tests {
         let v = SparseVector::from_dense(&dense);
         assert_eq!(v.nnz(), 2);
         assert_eq!(v.to_dense(4), dense.to_vec());
+    }
+
+    #[test]
+    fn from_sorted_pairs_matches_from_pairs_on_sorted_input() {
+        let pairs = [(1u32, 0.5), (4, 0.0), (7, -2.0), (9, 1.0)];
+        let direct = SparseVector::from_sorted_pairs(pairs);
+        let sorted = SparseVector::from_pairs(pairs);
+        assert_eq!(direct, sorted);
+        assert_eq!(direct.nnz(), 3);
+        assert!(SparseVector::from_sorted_pairs([]).is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_pairs_rejects_unsorted_input_in_debug() {
+        SparseVector::from_sorted_pairs([(5u32, 1.0), (2, 1.0)]);
     }
 }

@@ -190,14 +190,25 @@ impl PreprocessPipeline {
         v
     }
 
+    /// Transforms a batch of documents with the fitted vocabulary, in input
+    /// order. Each document is independent, so the batch is vectorized in
+    /// parallel when cores are available; the ordered reduction keeps the
+    /// output identical to a sequential `map`.
+    pub fn transform_batch(&self, docs: &[&str]) -> Vec<SparseVector> {
+        parallel::par_map(docs, |d| self.transform(d))
+    }
+
     /// Fits on the corpus and returns the vector of every document, in order.
+    ///
+    /// Fitting observes documents sequentially (vocabulary ids depend on
+    /// first-seen order); the transform pass uses [`Self::transform_batch`].
     pub fn fit_transform<'a, I>(&mut self, docs: I) -> Vec<SparseVector>
     where
         I: IntoIterator<Item = &'a str>,
     {
         let docs: Vec<&str> = docs.into_iter().collect();
         self.fit(docs.iter().copied());
-        docs.iter().map(|d| self.transform(d)).collect()
+        self.transform_batch(&docs)
     }
 
     /// Size of the fitted lexicon.

@@ -100,6 +100,37 @@ proptest! {
         prop_assert_eq!(run(&docs), run(&docs));
     }
 
+    // ---------- parallel execution layer ---------------------------------------
+
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in prop::collection::vec((0u32..1000, -5.0f64..5.0), 0..120),
+    ) {
+        // The ordered reduction contract: par_map output is index-ordered and
+        // therefore identical (bitwise, for the float payloads) to map.
+        let f = |&(k, v): &(u32, f64)| (k.wrapping_mul(2654435761), (v * 1.5).sin());
+        let sequential: Vec<(u32, f64)> = items.iter().map(f).collect();
+        let parallel_out = parallel::par_map(&items, f);
+        prop_assert_eq!(sequential.len(), parallel_out.len());
+        for (s, p) in sequential.iter().zip(&parallel_out) {
+            prop_assert_eq!(s.0, p.0);
+            prop_assert_eq!(s.1.to_bits(), p.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_input_in_order(
+        items in prop::collection::vec(0u64..10_000, 1..200),
+        chunk in 1usize..32,
+    ) {
+        let chunks = parallel::par_chunks(&items, chunk, |i, c| (i, c.to_vec()));
+        let reassembled: Vec<u64> = chunks.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+        prop_assert_eq!(&reassembled, &items);
+        for (expect, (idx, _)) in chunks.iter().enumerate() {
+            prop_assert_eq!(expect, *idx);
+        }
+    }
+
     // ---------- vocabulary -----------------------------------------------------
 
     #[test]

@@ -1,0 +1,255 @@
+//! Dependency-free data-parallelism shim: the execution layer of the
+//! workspace's batched/parallel scoring substrate.
+//!
+//! The build environment has no crates.io access, so instead of `rayon` this
+//! tiny crate provides the three primitives the workspace actually uses, built
+//! on `std::thread::scope`:
+//!
+//! * [`par_map`] — map a function over a slice, returning results **in input
+//!   order** (index-deterministic reduction);
+//! * [`par_chunks`] — map a function over contiguous chunks, again in order;
+//! * [`par_fold`] — [`par_map`] followed by a **sequential, left-to-right**
+//!   fold over the ordered results.
+//!
+//! # Determinism contract
+//!
+//! Output order never depends on thread scheduling: workers steal *indices*
+//! from a shared atomic counter, tag every result with its input index, and
+//! the caller-visible `Vec` is assembled by index. A fold over `par_map`
+//! output therefore performs its floating-point additions in exactly the same
+//! order as the sequential `items.iter().map(f).fold(...)` would, which is
+//! what lets the batched scoring paths promise bit-for-bit identical results
+//! to their scalar counterparts. Closures must not share mutable state (the
+//! `Fn + Sync` bounds enforce this) and must not share RNGs — seed one RNG
+//! per item instead.
+//!
+//! # Deliberate gaps versus `rayon`
+//!
+//! * no work-stealing deques — load balancing is a single atomic index
+//!   counter, which is plenty for the coarse-grained tasks here (per-peer
+//!   training, per-document scoring);
+//! * no nested parallelism — a parallel call issued from inside a worker
+//!   runs sequentially (there is no shared pool to borrow from, so the
+//!   outermost fan-out owns the cores; rayon would instead cooperatively
+//!   schedule the nested work);
+//! * no persistent global pool — threads are scoped per call (spawn cost is
+//!   irrelevant next to SVM training; zero threads are spawned when the
+//!   machine has one core or the input has one element, so single-core CI
+//!   boxes run the exact sequential code path);
+//! * no `ParallelIterator` adaptor zoo — only slices in, `Vec` out;
+//! * a panicking closure aborts the whole call (the panic is resumed on the
+//!   caller thread once every worker has stopped), with no partial results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set while the current thread is a [`par_map`] worker. Nested parallel
+    /// calls (e.g. per-tag training inside per-peer training) run
+    /// sequentially instead of spawning cores² threads — there is no shared
+    /// pool to borrow workers from, so the outer fan-out owns the cores.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Environment variable overriding the worker count (`0` or unset means
+/// "use every available core").
+pub const THREADS_ENV: &str = "P2PDT_THREADS";
+
+/// Number of worker threads a parallel call may use for `n_items` items:
+/// `min(available cores, n_items)`, overridable via [`THREADS_ENV`].
+pub fn effective_threads(n_items: usize) -> usize {
+    let cores = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    cores.min(n_items).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — including the order of the
+/// output — but evaluated by up to [`effective_threads`] scoped workers. With
+/// one worker (single-core machine, single item, or `P2PDT_THREADS=1`) the
+/// sequential path runs inline with no thread spawned at all.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(items.len());
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        // Single worker, or already inside another par_map's worker: run
+        // inline (nested parallelism would oversubscribe the machine).
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                IN_WORKER.with(|flag| flag.set(true));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Index-deterministic reduction: place every result in its input slot.
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (i, r) in tagged {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index was processed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over contiguous chunks of at most `chunk_size` items, in
+/// parallel, returning one result per chunk in chunk order.
+///
+/// `f` receives `(chunk_index, chunk)`. Equivalent to
+/// `items.chunks(chunk_size).enumerate().map(...).collect()`.
+///
+/// # Panics
+/// Panics when `chunk_size` is 0.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
+    par_map(&chunks, |&(i, chunk)| f(i, chunk))
+}
+
+/// Parallel map followed by a sequential, left-to-right fold in input order.
+///
+/// Because the fold runs on the ordered [`par_map`] output, the reduction is
+/// index-deterministic: floating-point accumulation order matches the
+/// sequential `items.iter().map(f).fold(init, fold)` exactly.
+pub fn par_fold<T, R, A, F, G>(items: &[T], f: F, init: A, fold: G) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_map(items, f).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert!(par_map(&[] as &[u32], |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map_on_uneven_work() {
+        // Work items of wildly different cost must still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let spin = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_in_order() {
+        let items: Vec<u32> = (0..103).collect();
+        let sums = par_chunks(&items, 10, |idx, chunk| {
+            (idx, chunk.iter().sum::<u32>(), chunk.len())
+        });
+        assert_eq!(sums.len(), 11);
+        for (i, (idx, _, len)) in sums.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*len, if i < 10 { 10 } else { 3 });
+        }
+        let total: u32 = sums.iter().map(|(_, s, _)| s).sum();
+        assert_eq!(total, items.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn par_fold_is_bitwise_identical_to_sequential_fold() {
+        // Floating-point accumulation: the ordered reduction must add in the
+        // same order as the sequential fold, so the bits agree exactly.
+        let items: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.1 + 1e-9).collect();
+        let seq = items.iter().map(|x| x.sin()).fold(0.0f64, |a, b| a + b);
+        let par = par_fold(&items, |x| x.sin(), 0.0f64, |a, b| a + b);
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_and_stays_ordered() {
+        let outer: Vec<u32> = (0..16).collect();
+        let out = par_map(&outer, |&x| {
+            let inner: Vec<u32> = (0..8).map(|i| x * 8 + i).collect();
+            // This nested call must not spawn (and must still be ordered).
+            par_map(&inner, |&y| y + 1)
+        });
+        for (x, inner) in out.iter().enumerate() {
+            let expect: Vec<u32> = (0..8).map(|i| (x as u32) * 8 + i + 1).collect();
+            assert_eq!(inner, &expect);
+        }
+    }
+
+    #[test]
+    fn effective_threads_is_bounded() {
+        assert_eq!(effective_threads(0), 1);
+        assert_eq!(effective_threads(1), 1);
+        assert!(effective_threads(1_000_000) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..32).collect();
+        par_map(&items, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}
