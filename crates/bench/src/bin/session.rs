@@ -1,0 +1,95 @@
+//! Session-throughput benchmark: incremental vs full-retrain epochs.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin session            # n ∈ {50, 200}, 10 epochs
+//! cargo run --release -p bench --bin session -- --quick # n ∈ {10}, 3 epochs (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_session.json` to the repository root (or
+//! `BENCH_session_quick.json` in `--quick` mode so the committed full-scale
+//! numbers are not clobbered by CI).
+
+use bench::session::{measure, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = 2010;
+    let (peer_counts, epochs): (&[usize], usize) =
+        if quick { (&[10], 3) } else { (&[50, 200], 10) };
+
+    let mut rows = Vec::new();
+    for &n in peer_counts {
+        eprintln!("replaying {epochs}-epoch session at {n} peers...");
+        let row = measure(n, epochs, seed);
+        eprintln!(
+            "  {n:>4} peers | train: incremental {:>7.1} epochs/s vs full {:>7.1} epochs/s (x{:.2}) | whole epoch x{:.2} | macro {:.3} vs {:.3}",
+            row.incremental.train_epochs_per_sec(),
+            row.full.train_epochs_per_sec(),
+            row.train_speedup(),
+            row.total_speedup(),
+            row.incremental.outcome.final_macro_f1(),
+            row.full.outcome.final_macro_f1(),
+        );
+        rows.push(row);
+    }
+
+    let json = to_json(&rows, seed);
+    let filename = if quick {
+        "BENCH_session_quick.json"
+    } else {
+        "BENCH_session.json"
+    };
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .ok()
+        .and_then(|d| {
+            std::path::Path::new(&d)
+                .ancestors()
+                .find(|p| p.join("CHANGES.md").exists())
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = root.join(filename);
+    std::fs::write(&path, &json).expect("write session json");
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+
+    for row in &rows {
+        // The incremental path must stay within 5% of the full-retrain
+        // reference on the same timeline (the session layer's accuracy
+        // contract, also asserted — at unit scale — by the regression suite).
+        let (inc, full) = (
+            row.incremental.outcome.final_macro_f1(),
+            row.full.outcome.final_macro_f1(),
+        );
+        assert!(
+            inc >= full - 0.05 * full,
+            "incremental macro-F1 {inc} more than 5% below reference {full} at {} peers",
+            row.peers
+        );
+        if quick {
+            // CI smoke: the timelines are tiny and the timings noisy — only
+            // catch a catastrophic slowdown of the incremental path.
+            assert!(
+                row.total_speedup() > 0.3,
+                "incremental catastrophically slower than full retrain at {} peers: x{:.2}",
+                row.peers,
+                row.total_speedup()
+            );
+        }
+    }
+    if !quick {
+        // At scale the incremental path must actually pay off where the two
+        // modes differ: absorbing an epoch's new examples must be at least
+        // twice as fast as the from-scratch retrain. (Whole-epoch time is
+        // dominated by auto-tagging, which is identical work in both modes.)
+        let at_scale = rows.last().expect("rows measured");
+        assert!(
+            at_scale.train_speedup() >= 2.0,
+            "incremental training epochs not ≥2x faster than full retrain at {} peers: x{:.2}",
+            at_scale.peers,
+            at_scale.train_speedup()
+        );
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod session;
 pub mod throughput;
 pub mod workload;
 

@@ -1,0 +1,237 @@
+//! Session-throughput benchmark: warm-start incremental training vs the
+//! full-retrain reference over the same streaming timeline.
+//!
+//! Both modes replay an identical arrival/refinement/churn timeline through
+//! [`doctagger::SessionDriver`] with PACE as the protocol under test; they
+//! differ only in how each epoch's manual arrivals enter the models —
+//! [`p2pclassify::P2PTagClassifier::train_incremental`] (a few SGD passes
+//! from the stored per-peer weights, retraining only the touched peers) vs a
+//! from-scratch [`p2pclassify::P2PTagClassifier::train`] on the cumulative
+//! manual set. The session regression suite in `doctagger::session` pins the
+//! accuracy side (incremental within 5 % of the reference); this benchmark
+//! measures the throughput side: epochs per second and the per-epoch accuracy
+//! trajectory, at several network sizes.
+//!
+//! The binary writes `BENCH_session.json` at the repository root;
+//! `EXPERIMENTS.md` records a captured run.
+
+use dataset::{Corpus, CorpusGenerator, CorpusSpec};
+use doctagger::{ProtocolKind, SessionConfig, SessionOutcome};
+use p2psim::churn::ChurnModel;
+use std::time::Instant;
+
+/// One mode's timing + quality numbers.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// Wall-clock seconds for the whole session replay.
+    pub secs: f64,
+    /// The session outcome (per-epoch trajectory + final metrics).
+    pub outcome: SessionOutcome,
+}
+
+impl ModeResult {
+    /// Epochs replayed per wall-clock second (whole epoch: learn + refine +
+    /// auto-tag; the tagging side is identical work in both modes).
+    pub fn epochs_per_sec(&self) -> f64 {
+        self.outcome.epochs.len() as f64 / self.secs.max(1e-9)
+    }
+
+    /// Wall-clock seconds spent in the learning phase across all epochs —
+    /// the phase the two modes actually differ in.
+    pub fn train_secs(&self) -> f64 {
+        self.outcome.total_learn_secs()
+    }
+
+    /// Training epochs per second (learning phase only).
+    pub fn train_epochs_per_sec(&self) -> f64 {
+        self.outcome.epochs.len() as f64 / self.train_secs().max(1e-9)
+    }
+}
+
+/// Session measurements for one network size.
+#[derive(Debug, Clone)]
+pub struct SessionRow {
+    /// Number of peers (= users).
+    pub peers: usize,
+    /// Corpus size in documents.
+    pub documents: usize,
+    /// Epochs replayed.
+    pub epochs: usize,
+    /// Warm-start incremental mode.
+    pub incremental: ModeResult,
+    /// Full-retrain reference mode.
+    pub full: ModeResult,
+}
+
+impl SessionRow {
+    /// Incremental-over-full whole-epoch throughput ratio. Auto-tagging
+    /// dominates an epoch and is identical work in both modes, so this
+    /// saturates well below the training-phase win.
+    pub fn total_speedup(&self) -> f64 {
+        self.full.secs / self.incremental.secs.max(1e-9)
+    }
+
+    /// Incremental-over-full *training-epoch* throughput ratio — the headline
+    /// number: how much faster the warm-start path absorbs an epoch's new
+    /// examples than a from-scratch retrain on the cumulative set.
+    pub fn train_speedup(&self) -> f64 {
+        self.full.train_secs() / self.incremental.train_secs().max(1e-9)
+    }
+}
+
+/// The streaming workload for `num_users` peers: the tag-heavy throughput
+/// corpus shape with interest locality, so warm refits touch realistic
+/// per-tag model counts.
+pub fn session_spec(num_users: usize, seed: u64) -> CorpusSpec {
+    CorpusSpec {
+        num_tags: 24,
+        num_users,
+        min_docs_per_user: 12,
+        max_docs_per_user: 20,
+        words_per_doc: 40,
+        words_per_tag: 25,
+        background_vocab: 300,
+        interests_per_user: 5,
+        seed,
+        ..CorpusSpec::default()
+    }
+}
+
+fn session_config(epochs: usize, incremental: bool, seed: u64) -> SessionConfig {
+    SessionConfig {
+        epochs,
+        epoch_secs: 600.0,
+        churn: ChurnModel::Exponential {
+            mean_session_secs: 3_000.0,
+            mean_offline_secs: 300.0,
+        },
+        incremental,
+        seed,
+        ..SessionConfig::default()
+    }
+}
+
+fn run_mode(corpus: &Corpus, epochs: usize, incremental: bool, seed: u64) -> ModeResult {
+    let mut driver = doctagger::SessionDriver::new(
+        ProtocolKind::pace(),
+        session_config(epochs, incremental, seed),
+        corpus,
+    );
+    let t = Instant::now();
+    let outcome = driver.run().expect("session completes");
+    ModeResult {
+        secs: t.elapsed().as_secs_f64(),
+        outcome,
+    }
+}
+
+/// Runs the session scenario for one network size: both modes replay the
+/// identical timeline; only the training path differs.
+pub fn measure(num_users: usize, epochs: usize, seed: u64) -> SessionRow {
+    let corpus = CorpusGenerator::new(session_spec(num_users, seed)).generate();
+    let incremental = run_mode(&corpus, epochs, true, seed);
+    let full = run_mode(&corpus, epochs, false, seed);
+    SessionRow {
+        peers: corpus.num_users(),
+        documents: corpus.len(),
+        epochs,
+        incremental,
+        full,
+    }
+}
+
+/// Renders the rows as the `BENCH_session.json` document.
+pub fn to_json(rows: &[SessionRow], seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"session\",\n");
+    out.push_str("  \"protocol\": \"pace\",\n");
+    out.push_str("  \"churn\": \"exponential(session=3000s, offline=300s)\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        parallel::effective_threads(usize::MAX)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"peers\": {},\n", r.peers));
+        out.push_str(&format!("      \"documents\": {},\n", r.documents));
+        out.push_str(&format!("      \"epochs\": {},\n", r.epochs));
+        let mode = |name: &str, m: &ModeResult| {
+            format!(
+                "      \"{name}\": {{\"secs\": {:.3}, \"epochs_per_sec\": {:.2}, \"train_secs\": {:.3}, \"train_epochs_per_sec\": {:.2}, \"final_micro_f1\": {:.4}, \"final_macro_f1\": {:.4}, \"refinements\": {}}},\n",
+                m.secs,
+                m.epochs_per_sec(),
+                m.train_secs(),
+                m.train_epochs_per_sec(),
+                m.outcome.final_micro_f1(),
+                m.outcome.final_macro_f1(),
+                m.outcome.total_refinements,
+            )
+        };
+        out.push_str(&mode("incremental", &r.incremental));
+        out.push_str(&mode("full_retrain", &r.full));
+        out.push_str(&format!(
+            "      \"train_speedup\": {:.2},\n",
+            r.train_speedup()
+        ));
+        out.push_str(&format!(
+            "      \"total_speedup\": {:.2},\n",
+            r.total_speedup()
+        ));
+        out.push_str("      \"trajectory\": [\n");
+        let n = r.incremental.outcome.epochs.len();
+        for e in 0..n {
+            let inc = &r.incremental.outcome.epochs[e];
+            let full = &r.full.outcome.epochs[e];
+            out.push_str(&format!(
+                "        {{\"epoch\": {e}, \"availability\": {:.3}, \"auto_requested\": {}, \"incremental_micro_f1\": {:.4}, \"full_micro_f1\": {:.4}, \"incremental_macro_f1\": {:.4}, \"full_macro_f1\": {:.4}}}{}\n",
+                inc.availability,
+                inc.auto_requested,
+                inc.micro_f1,
+                full.micro_f1,
+                inc.macro_f1,
+                full.macro_f1,
+                if e + 1 < n { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_both_modes_on_the_same_timeline() {
+        let row = measure(6, 3, 42);
+        assert_eq!(row.epochs, 3);
+        assert_eq!(row.incremental.outcome.epochs.len(), 3);
+        assert_eq!(row.full.outcome.epochs.len(), 3);
+        // Identical timeline: the per-epoch arrival counts must agree.
+        for (a, b) in row
+            .incremental
+            .outcome
+            .epochs
+            .iter()
+            .zip(&row.full.outcome.epochs)
+        {
+            assert_eq!(a.arrivals, b.arrivals);
+            assert_eq!(a.new_manual, b.new_manual);
+        }
+        assert!(row.incremental.outcome.final_micro_f1() > 0.0);
+        assert!(row.incremental.train_secs() > 0.0);
+        let json = to_json(&[row], 42);
+        assert!(json.contains("\"train_speedup\""));
+        assert!(json.contains("\"total_speedup\""));
+        assert!(json.contains("\"trajectory\""));
+    }
+}

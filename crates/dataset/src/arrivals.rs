@@ -1,0 +1,265 @@
+//! Arrival times for a streaming document workload.
+//!
+//! The paper's workflow is ongoing — "P2PDocTagger will automatically update
+//! the classification model(s) in the back-end" as documents keep arriving and
+//! users keep refining (§2) — so the streaming session layer needs a *when*
+//! for every document, not just a *what*. This module assigns each corpus
+//! document an arrival time from a per-user Poisson process with **interest
+//! drift**: early arrivals are drawn from a user's core interests (the popular
+//! tags the generator gave them), later arrivals shift toward rarer,
+//! exploratory topics. Golder & Huberman observe exactly this dynamic in
+//! collaborative tagging systems — stable early vocabularies, drifting tails —
+//! and it is what makes incremental model updates non-trivial: the examples a
+//! model sees late are *not* distributed like the ones it warm-started from.
+
+use crate::corpus::{Corpus, DocumentId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the arrival-time generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// Length of the arrival window in (simulated) seconds; every document
+    /// arrives in `[0, horizon_secs)`.
+    pub horizon_secs: f64,
+    /// Interest drift in `[0, 1]`: `0.0` shuffles each user's documents
+    /// uniformly over time, `1.0` orders them strictly from core-interest
+    /// (popular-tag) documents to exploratory (rare-tag) ones.
+    pub drift: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ArrivalSpec {
+    fn default() -> Self {
+        Self {
+            horizon_secs: 3_600.0,
+            drift: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+/// One document arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival time in microseconds since the start of the session (the
+    /// resolution the p2psim clock uses).
+    pub time_micros: u64,
+    /// The arriving document.
+    pub doc: DocumentId,
+}
+
+impl Arrival {
+    /// Arrival time in seconds.
+    pub fn time_secs(&self) -> f64 {
+        self.time_micros as f64 / 1e6
+    }
+}
+
+/// Arrival times for every document of a corpus, sorted by time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrivalTimeline {
+    /// All arrivals sorted by `(time_micros, doc)`.
+    arrivals: Vec<Arrival>,
+    /// Arrival time per document id (parallel to the corpus).
+    per_doc_micros: Vec<u64>,
+    horizon_secs: f64,
+}
+
+impl ArrivalTimeline {
+    /// Generates arrival times for every document of `corpus`.
+    ///
+    /// Each user's arrival instants are a homogeneous Poisson process on
+    /// `[0, horizon)` conditioned on the user's document count — i.e. sorted
+    /// uniform order statistics, which is the exact conditional distribution.
+    /// The user's documents are then matched to those instants in drift
+    /// order: a document's drift rank mixes its mean tag-popularity rank
+    /// (corpus tag ids are popularity-ordered by the generator) with uniform
+    /// noise, weighted by [`ArrivalSpec::drift`].
+    pub fn generate(corpus: &Corpus, spec: &ArrivalSpec) -> Self {
+        assert!(spec.horizon_secs > 0.0, "horizon must be positive");
+        let drift = spec.drift.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let num_tags = corpus.num_tags().max(1) as f64;
+        let mut per_doc_micros = vec![0u64; corpus.len()];
+        for docs in corpus.documents_by_user() {
+            if docs.is_empty() {
+                continue;
+            }
+            // Conditioned Poisson process: n sorted uniforms over the window.
+            let mut times: Vec<u64> = (0..docs.len())
+                .map(|_| (rng.gen_range(0.0..spec.horizon_secs) * 1e6) as u64)
+                .collect();
+            times.sort_unstable();
+            // Drift rank: popular-tag documents first, exploratory ones last.
+            let mut ranked: Vec<(f64, DocumentId)> = docs
+                .iter()
+                .map(|&d| {
+                    let tags = corpus.tag_ids_of(d);
+                    let mean_rank = if tags.is_empty() {
+                        0.5
+                    } else {
+                        tags.iter().map(|&t| t as f64).sum::<f64>() / tags.len() as f64 / num_tags
+                    };
+                    let noise: f64 = rng.gen_range(0.0..1.0);
+                    (drift * mean_rank + (1.0 - drift) * noise, d)
+                })
+                .collect();
+            ranked.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            for (&t, &(_, d)) in times.iter().zip(&ranked) {
+                per_doc_micros[d] = t;
+            }
+        }
+        let mut arrivals: Vec<Arrival> = per_doc_micros
+            .iter()
+            .enumerate()
+            .map(|(doc, &time_micros)| Arrival { time_micros, doc })
+            .collect();
+        arrivals.sort_by_key(|a| (a.time_micros, a.doc));
+        Self {
+            arrivals,
+            per_doc_micros,
+            horizon_secs: spec.horizon_secs,
+        }
+    }
+
+    /// Number of arrivals (= corpus documents).
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrival window length in seconds.
+    pub fn horizon_secs(&self) -> f64 {
+        self.horizon_secs
+    }
+
+    /// All arrivals, sorted by time.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// The arrival time of one document, in seconds.
+    pub fn arrival_secs(&self, doc: DocumentId) -> f64 {
+        self.per_doc_micros[doc] as f64 / 1e6
+    }
+
+    /// The documents arriving in `[from_secs, to_secs)`, in arrival order.
+    pub fn arrivals_between(&self, from_secs: f64, to_secs: f64) -> &[Arrival] {
+        self.arrivals_between_micros(
+            (from_secs.max(0.0) * 1e6) as u64,
+            (to_secs.max(0.0) * 1e6) as u64,
+        )
+    }
+
+    /// The documents arriving in `[from, to)` microseconds, in arrival order.
+    /// Integer bounds let epoch drivers partition the timeline without
+    /// float-rounding gaps or overlaps at window boundaries.
+    pub fn arrivals_between_micros(&self, from: u64, to: u64) -> &[Arrival] {
+        let lo = self.arrivals.partition_point(|a| a.time_micros < from);
+        let hi = self.arrivals.partition_point(|a| a.time_micros < to);
+        &self.arrivals[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusGenerator, CorpusSpec};
+
+    fn corpus() -> Corpus {
+        CorpusGenerator::new(CorpusSpec::tiny()).generate()
+    }
+
+    #[test]
+    fn every_document_arrives_exactly_once_inside_the_horizon() {
+        let c = corpus();
+        let tl = ArrivalTimeline::generate(&c, &ArrivalSpec::default());
+        assert_eq!(tl.len(), c.len());
+        let mut docs: Vec<DocumentId> = tl.arrivals().iter().map(|a| a.doc).collect();
+        docs.sort_unstable();
+        docs.dedup();
+        assert_eq!(docs.len(), c.len());
+        for a in tl.arrivals() {
+            assert!(a.time_secs() < tl.horizon_secs());
+        }
+        for w in tl.arrivals().windows(2) {
+            assert!(w[0].time_micros <= w[1].time_micros);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let c = corpus();
+        let a = ArrivalTimeline::generate(&c, &ArrivalSpec::default());
+        let b = ArrivalTimeline::generate(&c, &ArrivalSpec::default());
+        assert_eq!(a.arrivals(), b.arrivals());
+        let other = ArrivalTimeline::generate(
+            &c,
+            &ArrivalSpec {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.arrivals(), other.arrivals());
+    }
+
+    #[test]
+    fn windows_partition_the_timeline() {
+        let c = corpus();
+        let tl = ArrivalTimeline::generate(&c, &ArrivalSpec::default());
+        let h = tl.horizon_secs();
+        let total: usize = (0..4)
+            .map(|i| {
+                tl.arrivals_between(i as f64 * h / 4.0, (i + 1) as f64 * h / 4.0)
+                    .len()
+            })
+            .sum();
+        assert_eq!(total, tl.len());
+        assert!(tl.arrivals_between(h, h * 2.0).is_empty());
+    }
+
+    #[test]
+    fn full_drift_orders_each_user_from_popular_to_rare_tags() {
+        let c = corpus();
+        let spec = ArrivalSpec {
+            drift: 1.0,
+            ..Default::default()
+        };
+        let tl = ArrivalTimeline::generate(&c, &spec);
+        let num_tags = c.num_tags() as f64;
+        let mean_rank = |docs: &[DocumentId]| -> f64 {
+            let ranks: Vec<f64> = docs
+                .iter()
+                .map(|&d| {
+                    let tags = c.tag_ids_of(d);
+                    tags.iter().map(|&t| t as f64).sum::<f64>() / tags.len() as f64 / num_tags
+                })
+                .collect();
+            ranks.iter().sum::<f64>() / ranks.len().max(1) as f64
+        };
+        // Pool the early and late halves over all users: early arrivals must
+        // skew toward popular (low-rank) tags.
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        for docs in c.documents_by_user() {
+            let mut by_time = docs.clone();
+            by_time.sort_by_key(|&d| (tl.arrival_secs(d) * 1e6) as u64);
+            let mid = by_time.len() / 2;
+            early.extend_from_slice(&by_time[..mid]);
+            late.extend_from_slice(&by_time[mid..]);
+        }
+        assert!(
+            mean_rank(&early) + 0.02 < mean_rank(&late),
+            "early {} late {}",
+            mean_rank(&early),
+            mean_rank(&late)
+        );
+    }
+}

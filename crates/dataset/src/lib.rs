@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrivals;
 pub mod corpus;
 pub mod generator;
 pub mod split;
@@ -33,12 +34,14 @@ pub mod vectorize;
 
 /// Common re-exports.
 pub mod prelude {
+    pub use crate::arrivals::{Arrival, ArrivalSpec, ArrivalTimeline};
     pub use crate::corpus::{Corpus, Document, DocumentId, UserId};
     pub use crate::generator::{CorpusGenerator, CorpusSpec};
     pub use crate::split::TrainTestSplit;
     pub use crate::vectorize::VectorizedCorpus;
 }
 
+pub use arrivals::{Arrival, ArrivalSpec, ArrivalTimeline};
 pub use corpus::{Corpus, Document, DocumentId, UserId};
 pub use generator::{CorpusGenerator, CorpusSpec};
 pub use split::TrainTestSplit;

@@ -28,6 +28,10 @@
 //!   edges, cluster detection and bridge tags (Figure 4).
 //! * [`refine::RefinementLog`] — the record of users' tag corrections that
 //!   drives model updates.
+//! * [`session::SessionDriver`] — the streaming session layer: replays a
+//!   timeline of document arrivals, manual taggings, auto-tag requests and
+//!   refinements against the network's churn timeline, folding each epoch's
+//!   new examples into the models with warm-start incremental training.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 pub mod config;
 pub mod library;
 pub mod refine;
+pub mod session;
 pub mod suggest;
 pub mod system;
 pub mod tagcloud;
@@ -65,6 +70,9 @@ pub mod prelude {
     pub use crate::config::{DocTaggerConfig, ProtocolKind};
     pub use crate::library::DocumentLibrary;
     pub use crate::refine::RefinementLog;
+    pub use crate::session::{
+        run_session, EpochReport, SessionConfig, SessionDriver, SessionOutcome,
+    };
     pub use crate::suggest::{SuggestionCloud, SuggestionEntry};
     pub use crate::system::{AutoTagOutcome, P2PDocTagger};
     pub use crate::tagcloud::{TagCloud, TagCloudEntry};
@@ -73,6 +81,7 @@ pub mod prelude {
 
 pub use config::{DocTaggerConfig, ProtocolKind};
 pub use library::DocumentLibrary;
+pub use session::{run_session, SessionConfig, SessionDriver, SessionOutcome};
 pub use suggest::SuggestionCloud;
 pub use system::{AutoTagOutcome, P2PDocTagger};
 pub use tagcloud::TagCloud;

@@ -61,6 +61,13 @@ pub struct P2PDocTagger {
     library: DocumentLibrary,
     tag_store: TagStore,
     refinements: RefinementLog,
+    /// Evaluation tag universe, frozen at [`Self::learn`] time so metric
+    /// denominators stay comparable across epochs and protocols (refinements
+    /// must not silently grow it).
+    eval_universe: Option<BTreeSet<u32>>,
+    /// Refinement tags outside the frozen universe, by name: stored for the
+    /// library/tag store but excluded from model training and model metrics.
+    unseen_refinements: BTreeMap<String, BTreeSet<DocumentId>>,
     learned: bool,
 }
 
@@ -78,6 +85,8 @@ impl P2PDocTagger {
             library: DocumentLibrary::new(),
             tag_store: TagStore::new(),
             refinements: RefinementLog::new(),
+            eval_universe: None,
+            unseen_refinements: BTreeMap::new(),
             learned: false,
         }
     }
@@ -108,6 +117,8 @@ impl P2PDocTagger {
         self.library = DocumentLibrary::new();
         self.tag_store = TagStore::new();
         self.refinements = RefinementLog::new();
+        self.eval_universe = None;
+        self.unseen_refinements = BTreeMap::new();
         self.learned = false;
     }
 
@@ -151,7 +162,52 @@ impl P2PDocTagger {
 
         self.protocol.train(network, &peer_data)?;
         self.split = Some(split.clone());
+        // Freeze the evaluation universe: refinements after this point may
+        // introduce tags the models were never trained on, and those must not
+        // change metric denominators across epochs.
+        self.eval_universe = Some((0..corpus.num_tags() as u32).collect());
         self.learned = true;
+        Ok(())
+    }
+
+    /// Folds newly arrived, manually tagged documents into the already
+    /// trained models — the streaming counterpart of [`Self::learn`].
+    ///
+    /// The documents' tags are recorded as manual, the examples are grouped
+    /// per owning peer and handed to
+    /// [`P2PTagClassifier::train_incremental`], which warm-starts from the
+    /// stored models instead of retraining from scratch. The split's train
+    /// side grows (and its test side shrinks) accordingly, so a later
+    /// [`Self::auto_tag_all`] does not evaluate on documents the models were
+    /// trained on.
+    /// An empty `new_train` is not a no-op: the protocol still gets an
+    /// incremental round, which flushes any backlog from peers that were
+    /// offline when their data arrived and have since returned.
+    pub fn learn_incremental(&mut self, new_train: &[DocumentId]) -> Result<(), ProtocolError> {
+        if !self.learned {
+            return Err(ProtocolError::NotTrained);
+        }
+        let corpus = self.corpus.as_ref().expect("ingested");
+        let vectorized = self.vectorized.as_ref().expect("ingested");
+        let network = self.network.as_mut().expect("ingested");
+        let num_peers = network.num_peers();
+        let mut peer_data: Vec<MultiLabelDataset> = vec![MultiLabelDataset::new(); num_peers];
+        for &doc in new_train {
+            let d = corpus.document(doc).expect("new documents exist in corpus");
+            self.library
+                .assign(doc, d.user, d.tags.clone(), TagSource::Manual);
+            self.tag_store
+                .set_tags(&Self::path_of(doc, d.user), d.tags.iter().cloned());
+            peer_data[d.user % num_peers].push(vectorized.example(doc));
+        }
+        self.protocol.train_incremental(network, &peer_data)?;
+        if let Some(split) = self.split.as_mut() {
+            let added: BTreeSet<DocumentId> = new_train.iter().copied().collect();
+            split.test.retain(|d| !added.contains(d));
+            split.train.extend(added);
+            split.train.sort_unstable();
+            split.train.dedup();
+        }
         Ok(())
     }
 
@@ -176,7 +232,17 @@ impl P2PDocTagger {
     /// Maps predicted tag ids to names and records them for `doc` in the
     /// library and the tag store — the single write path shared by
     /// [`Self::auto_tag`] and [`Self::auto_tag_all`].
+    ///
+    /// Documents whose latest tags came from the user (`Manual` or `Refined`)
+    /// are left untouched and keep their current tags: re-running the
+    /// automated tagger must adapt to the user's corrections (§2), not
+    /// overwrite them with machine output.
     fn record_auto_tags(&mut self, doc: DocumentId, tag_ids: &BTreeSet<u32>) -> BTreeSet<String> {
+        if let Some(entry) = self.library.entry(doc) {
+            if matches!(entry.source, TagSource::Manual | TagSource::Refined) {
+                return entry.tags.clone();
+            }
+        }
         let (user, names) = {
             let corpus = self.corpus.as_ref().expect("ingested");
             let d = corpus.document(doc).expect("document exists");
@@ -204,17 +270,27 @@ impl P2PDocTagger {
     /// document order, so the outcome is identical to calling
     /// [`Self::auto_tag`] per document.
     pub fn auto_tag_all(&mut self) -> Result<AutoTagOutcome, ProtocolError> {
-        let split = self.split.clone().ok_or(ProtocolError::NotTrained)?;
+        let test = self.split.clone().ok_or(ProtocolError::NotTrained)?.test;
+        self.auto_tag_docs(&test)
+    }
+
+    /// Automatically tags the given documents (a streaming epoch's worth of
+    /// auto-tag requests) and evaluates against the held-out ground truth
+    /// over the evaluation universe frozen at [`Self::learn`] time.
+    pub fn auto_tag_docs(&mut self, docs: &[DocumentId]) -> Result<AutoTagOutcome, ProtocolError> {
         if !self.learned {
             return Err(ProtocolError::NotTrained);
         }
+        let universe = self
+            .eval_universe
+            .clone()
+            .ok_or(ProtocolError::NotTrained)?;
         let results = {
             let corpus = self.corpus.as_ref().expect("ingested");
             let vectorized = self.vectorized.as_ref().expect("ingested");
             let network = self.network.as_mut().expect("ingested");
             let num_peers = network.num_peers();
-            let requests: Vec<(PeerId, &textproc::SparseVector)> = split
-                .test
+            let requests: Vec<(PeerId, &textproc::SparseVector)> = docs
                 .iter()
                 .map(|&doc| {
                     let d = corpus.document(doc).expect("document exists");
@@ -224,13 +300,13 @@ impl P2PDocTagger {
             self.protocol.predict_batch(network, &requests)
         };
 
-        let mut predictions = Vec::with_capacity(split.test.len());
-        let mut truths = Vec::with_capacity(split.test.len());
+        let mut predictions = Vec::with_capacity(docs.len());
+        let mut truths = Vec::with_capacity(docs.len());
         let mut tagged = 0;
         let mut failed = 0;
         let mut failed_peer_offline = 0;
         let mut failed_unreachable = 0;
-        for (&doc, result) in split.test.iter().zip(results) {
+        for (&doc, result) in docs.iter().zip(results) {
             let truth = {
                 let corpus = self.corpus.as_ref().expect("ingested");
                 corpus.tag_ids_of(doc)
@@ -259,8 +335,6 @@ impl P2PDocTagger {
             }
             truths.push(truth);
         }
-        let corpus = self.corpus.as_ref().expect("ingested");
-        let universe: BTreeSet<u32> = (0..corpus.num_tags() as u32).collect();
         let metrics = MultiLabelMetrics::evaluate(&predictions, &truths, &universe);
         Ok(AutoTagOutcome {
             metrics,
@@ -298,6 +372,14 @@ impl P2PDocTagger {
 
     /// Applies a user's tag correction: the library and tag store are updated,
     /// the correction is logged, and the classification models adapt.
+    ///
+    /// Tags inside the evaluation universe frozen at [`Self::learn`] time are
+    /// folded into the models as a corrected example. Tags *outside* it
+    /// (names the corpus has never seen) are routed explicitly: they reach
+    /// the library and the tag store — the user's view — and are tracked in
+    /// [`Self::unseen_tag_refinements`], but they are not interned into the
+    /// corpus and never enter the models or the metric universe, so micro-F1
+    /// keeps the same denominator across epochs.
     pub fn refine(
         &mut self,
         doc: DocumentId,
@@ -307,23 +389,38 @@ impl P2PDocTagger {
             return Err(ProtocolError::NotTrained);
         }
         let before = self.library.tags_of(doc);
-        let (user, example) = {
-            let corpus = self.corpus.as_mut().expect("ingested");
+        let (user, example, unseen) = {
+            let corpus = self.corpus.as_ref().expect("ingested");
             let user = corpus.document(doc).expect("document exists").user;
-            let tag_ids: BTreeSet<u32> = corrected.iter().map(|t| corpus.intern_tag(t)).collect();
+            let mut tag_ids = BTreeSet::new();
+            let mut unseen = Vec::new();
+            for t in &corrected {
+                match corpus.tag_id(t) {
+                    Some(id) => {
+                        tag_ids.insert(id);
+                    }
+                    None => unseen.push(t.clone()),
+                }
+            }
             let vectorized = self.vectorized.as_ref().expect("ingested");
             (
                 user,
                 MultiLabelExample::new(vectorized.vector(doc).clone(), tag_ids),
+                unseen,
             )
         };
         let network = self.network.as_mut().expect("ingested");
         let peer = PeerId::from(user % network.num_peers());
+        // An example whose known-tag set is empty is still informative: the
+        // user is saying none of the modelled tags apply.
         self.protocol.refine(network, peer, &example)?;
         self.library
             .assign(doc, user, corrected.clone(), TagSource::Refined);
         self.tag_store
             .set_tags(&Self::path_of(doc, user), corrected.iter().cloned());
+        for name in unseen {
+            self.unseen_refinements.entry(name).or_default().insert(doc);
+        }
         self.refinements.record(Refinement {
             doc,
             user,
@@ -354,6 +451,19 @@ impl P2PDocTagger {
     /// The refinement log.
     pub fn refinements(&self) -> &RefinementLog {
         &self.refinements
+    }
+
+    /// Refinement tags outside the frozen evaluation universe, with the
+    /// documents they were applied to. These are visible to the user (library
+    /// and tag store) but excluded from model training and model metrics.
+    pub fn unseen_tag_refinements(&self) -> &BTreeMap<String, BTreeSet<DocumentId>> {
+        &self.unseen_refinements
+    }
+
+    /// The evaluation tag universe frozen at [`Self::learn`] time (`None`
+    /// before learning).
+    pub fn eval_universe(&self) -> Option<&BTreeSet<u32>> {
+        self.eval_universe.as_ref()
     }
 
     /// The current tag cloud (the "Tag Cloud" navigation component).
@@ -484,6 +594,89 @@ mod tests {
         assert!(sys.known_tags().contains_key("entirely-new-tag"));
         // The original corpus is untouched.
         assert!(corpus.tag_id("entirely-new-tag").is_none());
+    }
+
+    #[test]
+    fn auto_tagging_never_clobbers_manual_or_refined_tags() {
+        let (mut sys, _, split) = system_with(ProtocolKind::pace());
+        sys.learn(&split).unwrap();
+        sys.auto_tag_all().unwrap();
+        let doc = split.test[0];
+        let manual_doc = split.train[0];
+        let corrected: BTreeSet<String> = ["user-truth".to_string()].into();
+        sys.refine(doc, corrected.clone()).unwrap();
+        let manual_tags = sys.library().tags_of(manual_doc);
+        // Re-running the automated tagger must adapt to the correction, not
+        // overwrite it with machine output.
+        sys.auto_tag_all().unwrap();
+        assert_eq!(sys.library().tags_of(doc), corrected);
+        assert_eq!(sys.library().entry(doc).unwrap().source, TagSource::Refined);
+        assert_eq!(sys.library().tags_of(manual_doc), manual_tags);
+        assert_eq!(
+            sys.library().entry(manual_doc).unwrap().source,
+            TagSource::Manual
+        );
+        // auto_tag() on a single refined document is likewise a no-op write.
+        sys.auto_tag(doc).unwrap();
+        assert_eq!(sys.library().tags_of(doc), corrected);
+    }
+
+    #[test]
+    fn refinements_never_grow_the_frozen_evaluation_universe() {
+        let (mut sys, corpus, split) = system_with(ProtocolKind::pace());
+        sys.learn(&split).unwrap();
+        let universe_before = sys.eval_universe().unwrap().clone();
+        assert_eq!(universe_before.len(), corpus.num_tags());
+        let first = sys.auto_tag_all().unwrap();
+
+        // Refine two documents with a brand-new tag name.
+        for &doc in &split.test[..2] {
+            let mut tags = sys.library().tags_of(doc);
+            tags.insert("never-seen-before".to_string());
+            sys.refine(doc, tags).unwrap();
+        }
+        // The corpus, and therefore the evaluation universe, are unchanged.
+        assert!(sys.corpus().unwrap().tag_id("never-seen-before").is_none());
+        assert_eq!(sys.eval_universe().unwrap(), &universe_before);
+        let unseen = sys.unseen_tag_refinements();
+        assert_eq!(unseen.len(), 1);
+        assert_eq!(unseen["never-seen-before"].len(), 2);
+
+        // Metrics after the refinement keep the same per-tag shape: same
+        // number of per-tag entries as before (the denominator is stable).
+        let second = sys.auto_tag_all().unwrap();
+        assert_eq!(
+            first.metrics.per_tag().len(),
+            second.metrics.per_tag().len()
+        );
+    }
+
+    #[test]
+    fn incremental_learning_extends_the_training_side() {
+        let (mut sys, _, mut split) = system_with(ProtocolKind::pace());
+        // Hold back the last few training documents and feed them
+        // incrementally after the initial learn.
+        let held_back: Vec<DocumentId> = split.train.split_off(split.train.len() - 4);
+        sys.learn(&split).unwrap();
+        let baseline = sys.auto_tag_all().unwrap();
+        sys.learn_incremental(&held_back).unwrap();
+        // The held-back documents are now manual training docs...
+        for &doc in &held_back {
+            assert_eq!(sys.library().entry(doc).unwrap().source, TagSource::Manual);
+        }
+        let outcome = sys.auto_tag_all().unwrap();
+        // ...and the warm-started models still tag the remaining test set at
+        // comparable quality.
+        assert!(outcome.metrics.micro_f1() > baseline.metrics.micro_f1() - 0.1);
+        assert_eq!(outcome.tagged + outcome.failed, split.test.len());
+        // Before learn(), the incremental path refuses to run.
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let mut fresh = P2PDocTagger::new(DocTaggerConfig::default());
+        fresh.ingest(&corpus);
+        assert!(matches!(
+            fresh.learn_incremental(&[0]).unwrap_err(),
+            ProtocolError::NotTrained
+        ));
     }
 
     #[test]

@@ -159,6 +159,13 @@ impl MultiLabelDataset {
         self.tags.extend_from_slice(&other.tags);
     }
 
+    /// Keeps only the first `len` examples (no-op when already shorter) —
+    /// used to roll back speculatively appended examples.
+    pub fn truncate(&mut self, len: usize) {
+        self.vectors.truncate(len);
+        self.tags.truncate(len);
+    }
+
     /// Total wire size of the dataset if shipped raw to another peer.
     pub fn wire_size(&self) -> usize {
         self.iter().map(|(v, t)| example_wire_size(v, t)).sum()

@@ -51,6 +51,13 @@ pub struct LshIndex<T> {
     /// Lets [`Self::query_batched`] compute every key dot product in one
     /// pass over the query's nonzeros instead of one merge-join per entry.
     postings: HashMap<u32, Vec<(u32, f64)>>,
+    /// Tombstones: `live[i] == false` hides entry `i` from every query.
+    /// Entries are append-only (hash tables and postings hold stable
+    /// indices), so replacing an item's keys retires the old entries instead
+    /// of removing them; see [`Self::retire_matching`].
+    live: Vec<bool>,
+    /// Number of live entries.
+    num_live: usize,
 }
 
 impl<T> LshIndex<T> {
@@ -63,17 +70,19 @@ impl<T> LshIndex<T> {
             entries: Vec::new(),
             norms_sq: Vec::new(),
             postings: HashMap::new(),
+            live: Vec::new(),
+            num_live: 0,
         }
     }
 
-    /// Number of indexed items.
+    /// Number of indexed (live) items.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.num_live
     }
 
-    /// Whether the index is empty.
+    /// Whether the index has no live items.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.num_live == 0
     }
 
     /// The configuration in use.
@@ -96,10 +105,54 @@ impl<T> LshIndex<T> {
                 .push((idx as u32, value));
         }
         self.entries.push((key, item));
+        self.live.push(true);
+        self.num_live += 1;
     }
 
-    /// Returns the indices of candidate entries colliding with `query` in at
-    /// least one band.
+    /// Retires every live entry whose item matches `pred` (tombstoning — the
+    /// entry keeps its index but disappears from all queries). This is how an
+    /// item whose keys changed is replaced: retire the old entries, insert
+    /// the new ones. Returns the number of entries retired.
+    ///
+    /// When tombstones start to dominate, the index compacts itself (live
+    /// entries are re-inserted in their original relative order), so a
+    /// long-running stream of replacements keeps query cost proportional to
+    /// the *live* entry count, not the all-time insert count.
+    pub fn retire_matching<F: Fn(&T) -> bool>(&mut self, pred: F) -> usize {
+        let mut retired = 0;
+        for (i, (_, item)) in self.entries.iter().enumerate() {
+            if self.live[i] && pred(item) {
+                self.live[i] = false;
+                self.num_live -= 1;
+                retired += 1;
+            }
+        }
+        let dead = self.entries.len() - self.num_live;
+        if dead > self.num_live.max(16) {
+            self.compact();
+        }
+        retired
+    }
+
+    /// Rebuilds the index from its live entries only, dropping tombstones
+    /// from the hash tables, postings and entry store. Live entries keep
+    /// their relative order, so query tie-breaking is unchanged.
+    fn compact(&mut self) {
+        let old_entries = std::mem::take(&mut self.entries);
+        let old_live = std::mem::take(&mut self.live);
+        self.tables = (0..self.config.num_bands).map(|_| HashMap::new()).collect();
+        self.norms_sq.clear();
+        self.postings.clear();
+        self.num_live = 0;
+        for ((key, item), alive) in old_entries.into_iter().zip(old_live) {
+            if alive {
+                self.insert(key, item);
+            }
+        }
+    }
+
+    /// Returns the indices of live candidate entries colliding with `query`
+    /// in at least one band.
     fn candidates(&self, query: &SparseVector) -> Vec<usize> {
         let mut seen = vec![false; self.entries.len()];
         let mut out = Vec::new();
@@ -107,7 +160,7 @@ impl<T> LshIndex<T> {
             let sig = self.band_signature(query, band);
             if let Some(list) = self.tables[band].get(&sig) {
                 for &idx in list {
-                    if !seen[idx] {
+                    if self.live[idx] && !seen[idx] {
                         seen[idx] = true;
                         out.push(idx);
                     }
@@ -121,12 +174,12 @@ impl<T> LshIndex<T> {
     /// key vectors), preferring LSH candidates and falling back to a full scan
     /// when fewer than `k` candidates collide.
     pub fn query(&self, query: &SparseVector, k: usize) -> Vec<(&T, f64)> {
-        if self.entries.is_empty() || k == 0 {
+        if self.is_empty() || k == 0 {
             return Vec::new();
         }
         let mut candidates = self.candidates(query);
         if candidates.len() < k {
-            candidates = (0..self.entries.len()).collect();
+            candidates = (0..self.entries.len()).filter(|&i| self.live[i]).collect();
         }
         let mut scored: Vec<(usize, f64)> = candidates
             .into_iter()
@@ -152,7 +205,7 @@ impl<T> LshIndex<T> {
     /// as `SparseVector::dot`, so the distances — and therefore the ranking —
     /// are bit-for-bit those of the scalar query.
     pub fn query_batched(&self, query: &SparseVector, k: usize) -> Vec<(&T, f64)> {
-        if self.entries.is_empty() || k == 0 {
+        if self.is_empty() || k == 0 {
             return Vec::new();
         }
         let q_norm_sq = query.norm_sq();
@@ -170,6 +223,7 @@ impl<T> LshIndex<T> {
             }
             dots.into_iter()
                 .enumerate()
+                .filter(|&(i, _)| self.live[i])
                 .map(|(i, dot)| (i, distance(i, dot)))
                 .collect()
         } else {
@@ -190,6 +244,7 @@ impl<T> LshIndex<T> {
     /// ablation.
     pub fn query_exact(&self, query: &SparseVector, k: usize) -> Vec<(&T, f64)> {
         let mut scored: Vec<(usize, f64)> = (0..self.entries.len())
+            .filter(|&i| self.live[i])
             .map(|i| (i, self.entries[i].0.distance(query)))
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -282,6 +337,70 @@ mod tests {
         let hits = idx.query(&SparseVector::from_pairs([(0, 7.2)]), 3);
         assert_eq!(hits.len(), 3);
         assert_eq!(*hits[0].0, 7);
+    }
+
+    #[test]
+    fn retired_entries_disappear_from_every_query_path() {
+        let mut idx = LshIndex::new(LshConfig::default());
+        for i in 0..10u32 {
+            idx.insert(SparseVector::from_pairs([(0, i as f64)]), i);
+        }
+        assert_eq!(idx.len(), 10);
+        // Replace item 3: retire its old key, insert a new one far away.
+        let retired = idx.retire_matching(|&item| item == 3);
+        assert_eq!(retired, 1);
+        assert_eq!(idx.len(), 9);
+        idx.insert(SparseVector::from_pairs([(0, 100.0)]), 3);
+        let probe = SparseVector::from_pairs([(0, 3.1)]);
+        for hits in [
+            idx.query(&probe, 3),
+            idx.query_batched(&probe, 3),
+            idx.query_exact(&probe, 3),
+        ] {
+            // The nearest live entries are 3's neighbours, not its old key.
+            assert!(
+                hits.iter().all(|(&item, d)| item != 3 || *d > 50.0),
+                "stale key of item 3 still reachable: {:?}",
+                hits.iter().map(|(i, d)| (**i, *d)).collect::<Vec<_>>()
+            );
+        }
+        // query and query_batched still agree bit-for-bit with tombstones.
+        let a: Vec<(u32, f64)> = idx
+            .query(&probe, 5)
+            .into_iter()
+            .map(|(i, d)| (*i, d))
+            .collect();
+        let b: Vec<(u32, f64)> = idx
+            .query_batched(&probe, 5)
+            .into_iter()
+            .map(|(i, d)| (*i, d))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_replacement_compacts_instead_of_accumulating_tombstones() {
+        let mut idx = LshIndex::new(LshConfig::default());
+        for i in 0..8u32 {
+            idx.insert(SparseVector::from_pairs([(0, i as f64)]), i);
+        }
+        // Replace item 0's key many times, as incremental re-propagation does.
+        for round in 0..100 {
+            idx.retire_matching(|&item| item == 0);
+            idx.insert(SparseVector::from_pairs([(0, 0.1 * round as f64)]), 0);
+        }
+        assert_eq!(idx.len(), 8);
+        // Compaction bounds the backing store: dead entries never exceed the
+        // live count by more than the compaction slack.
+        assert!(
+            idx.entries.len() <= 2 * idx.len() + 16,
+            "tombstones accumulated: {} entries for {} live",
+            idx.entries.len(),
+            idx.len()
+        );
+        // Queries still see exactly the live set.
+        let hits = idx.query_exact(&SparseVector::from_pairs([(0, 3.0)]), 8);
+        assert_eq!(hits.len(), 8);
     }
 
     #[test]

@@ -108,6 +108,75 @@ impl OneVsAllTrainer {
     ) -> OneVsAllModel<KernelSvm> {
         self.train_with(data, |_, xs, ys| svm.train(xs, ys))
     }
+
+    /// Warm-start one-vs-all refit for linear models: tags already known to
+    /// `prev` are refit with [`LinearSvmTrainer::train_warm`] (a few SGD
+    /// passes from the stored weights), tags new to the dataset are
+    /// cold-trained. `data` is the peer's *full* (old + new) local dataset,
+    /// so the refit sees every example — only the optimization is
+    /// incremental, not the data.
+    pub fn train_linear_warm(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &LinearSvmTrainer,
+        prev: &OneVsAllModel<LinearSvm>,
+    ) -> OneVsAllModel<LinearSvm> {
+        self.train_with(data, |tag, xs, ys| match prev.classifier(tag) {
+            Some(warm) => svm.train_warm(xs, ys, warm),
+            None => svm.train(xs, ys),
+        })
+    }
+
+    /// Warm-start one-vs-all refit for kernel models, the classic incremental
+    /// SVM (retain the support vectors, add the new data, retrain): for each
+    /// tag known to `prev`, the trainer runs on the previous classifier's
+    /// support vectors pooled with the `new` examples — the same reduction the
+    /// CEMPaR cascade applies when merging models — which costs
+    /// `O((#SV + #new)²)` instead of `O(#full²)`. Tags without a previous
+    /// classifier are cold-trained on the full dataset. `data` must contain
+    /// the `new` examples (it provides the per-tag positive counts and the
+    /// cold-training corpus).
+    pub fn train_kernel_warm(
+        &self,
+        data: &MultiLabelDataset,
+        new: &MultiLabelDataset,
+        svm: &KernelSvmTrainer,
+        prev: &OneVsAllModel<KernelSvm>,
+    ) -> OneVsAllModel<KernelSvm> {
+        let tags: Vec<TagId> = data
+            .tag_counts()
+            .into_iter()
+            .filter(|&(_, count)| count >= self.min_positive)
+            .map(|(tag, _)| tag)
+            .collect();
+        let trained = parallel::par_map(&tags, |&tag| {
+            let Some(warm) = prev.classifier(tag) else {
+                return svm.train(data.vectors(), &data.label_mask(tag));
+            };
+            let mut xs: Vec<SparseVector> = warm
+                .support_vectors()
+                .iter()
+                .map(|sv| sv.vector.clone())
+                .collect();
+            let mut ys: Vec<bool> = warm.support_vectors().iter().map(|sv| sv.label).collect();
+            xs.extend(new.vectors().iter().cloned());
+            ys.extend(new.tag_sets().iter().map(|t| t.contains(&tag)));
+            let has_pos = ys.iter().any(|&y| y);
+            let has_neg = ys.iter().any(|&y| !y);
+            if xs.is_empty() || !has_pos || !has_neg {
+                // Nothing new to learn for this tag (or a degenerate pooled
+                // set): the previous classifier stands.
+                return warm.clone();
+            }
+            svm.train(&xs, &ys)
+        });
+        let classifiers: BTreeMap<TagId, KernelSvm> = tags.into_iter().zip(trained).collect();
+        OneVsAllModel {
+            classifiers,
+            threshold: self.threshold,
+            min_tags: self.min_tags,
+        }
+    }
 }
 
 impl<C: BinaryClassifier> OneVsAllModel<C> {
@@ -319,6 +388,62 @@ mod tests {
         assert_eq!(model.num_tags(), 2);
         let pred = model.predict(&SparseVector::from_pairs([(0, 1.0)]));
         assert!(pred.contains(&1));
+    }
+
+    #[test]
+    fn linear_warm_refit_learns_a_new_tag_and_keeps_old_ones() {
+        let mut ds = toy_dataset();
+        let trainer = OneVsAllTrainer::default();
+        let cold = trainer.train_linear(&ds, &LinearSvmTrainer::default());
+        // A new tag 7 arrives, concentrated on feature 4.
+        for i in 0..12 {
+            ds.push(MultiLabelExample::new(
+                SparseVector::from_pairs([(4, 1.0 + 0.05 * i as f64)]),
+                [7],
+            ));
+        }
+        let warm = trainer.train_linear_warm(&ds, &LinearSvmTrainer::default(), &cold);
+        assert_eq!(warm.num_tags(), 3);
+        assert!(warm
+            .predict(&SparseVector::from_pairs([(4, 1.2)]))
+            .contains(&7));
+        assert!(warm
+            .predict(&SparseVector::from_pairs([(0, 1.0)]))
+            .contains(&1));
+    }
+
+    #[test]
+    fn kernel_warm_refit_pools_support_vectors_with_new_examples() {
+        let ds = toy_dataset();
+        let trainer = OneVsAllTrainer::default();
+        let cold = trainer.train_kernel(&ds, &KernelSvmTrainer::default());
+        let mut full = ds.clone();
+        let mut new = MultiLabelDataset::new();
+        for i in 0..10 {
+            let ex =
+                MultiLabelExample::new(SparseVector::from_pairs([(5, 1.0 + 0.05 * i as f64)]), [9]);
+            full.push(ex.clone());
+            new.push(ex);
+        }
+        let warm = trainer.train_kernel_warm(&full, &new, &KernelSvmTrainer::default(), &cold);
+        assert_eq!(warm.num_tags(), 3);
+        assert!(warm
+            .predict(&SparseVector::from_pairs([(5, 1.1)]))
+            .contains(&9));
+        assert!(warm
+            .predict(&SparseVector::from_pairs([(1, 1.0)]))
+            .contains(&2));
+        // The warm refit never sees more examples per tag than SVs + new.
+        let max_sv = cold
+            .iter()
+            .map(|(_, c)| c.num_support_vectors())
+            .max()
+            .unwrap();
+        for (tag, clf) in warm.iter() {
+            if cold.classifier(tag).is_some() {
+                assert!(clf.num_support_vectors() <= max_sv + new.len());
+            }
+        }
     }
 
     #[test]

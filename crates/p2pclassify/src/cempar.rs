@@ -131,6 +131,11 @@ pub struct Cempar {
     regions: Vec<Option<RegionState>>,
     /// Per-peer local data retained for refinement retraining.
     local_data: Vec<MultiLabelDataset>,
+    /// Per-peer examples not yet absorbed into that peer's propagated model
+    /// (the peer was offline, or its propagation failed): retried on the next
+    /// incremental round. An empty entry marks a peer that has *never*
+    /// trained (its whole local collection is outstanding).
+    pending: BTreeMap<PeerId, MultiLabelDataset>,
     trained: bool,
 }
 
@@ -143,6 +148,7 @@ impl Cempar {
             directory,
             regions: Vec::new(),
             local_data: Vec::new(),
+            pending: BTreeMap::new(),
             trained: false,
         }
     }
@@ -231,6 +237,26 @@ impl Cempar {
         state.scorer = scorer;
     }
 
+    /// Re-cascades a set of touched regions: deduplicates, computes the
+    /// merged per-tag models (and their batched scorers) in parallel, then
+    /// installs them in region order.
+    fn cascade_regions(&mut self, mut touched: Vec<usize>) {
+        touched.sort_unstable();
+        touched.dedup();
+        let cascaded = parallel::par_map(&touched, |&region| {
+            self.regions[region]
+                .as_ref()
+                .map(|state| self.cascaded_with_scorer(state))
+        });
+        for (&region, result) in touched.iter().zip(cascaded) {
+            if let Some((regional, scorer)) = result {
+                let state = self.regions[region].as_mut().expect("region populated");
+                state.regional = regional;
+                state.scorer = scorer;
+            }
+        }
+    }
+
     /// Propagates a peer's local model to its region's super-peer, charging the
     /// DHT lookup and the model transfer. Returns the region index on success.
     fn propagate_model(
@@ -269,6 +295,7 @@ impl P2PTagClassifier for Cempar {
         peer_data: &PeerDataMap,
     ) -> Result<(), ProtocolError> {
         self.regions = vec![None; self.config.regions];
+        self.pending = BTreeMap::new();
         self.local_data = peer_data.clone();
         self.local_data
             .resize(net.num_peers(), MultiLabelDataset::new());
@@ -291,6 +318,13 @@ impl P2PTagClassifier for Cempar {
             self.train_local(data).map(|model| (peer, model))
         });
 
+        // Offline peers' knowledge is outstanding: the next incremental
+        // round contributes it once they are back online.
+        for &(peer, data) in &jobs {
+            if !data.is_empty() && !net_ref.is_online(peer) {
+                self.pending.insert(peer, MultiLabelDataset::new());
+            }
+        }
         let mut touched_regions = Vec::new();
         for (peer, model) in local_models.into_iter().flatten() {
             match self.propagate_model(net, peer, model, MessageKind::ModelPropagation) {
@@ -298,6 +332,7 @@ impl P2PTagClassifier for Cempar {
                 Err(_) => {
                     // The peer could not reach its super-peer; its knowledge is
                     // simply not contributed this round (no global failure).
+                    self.pending.insert(peer, MultiLabelDataset::new());
                     let now = net.now();
                     net.log_mut().log(
                         now,
@@ -308,24 +343,90 @@ impl P2PTagClassifier for Cempar {
                 }
             }
         }
-        touched_regions.sort_unstable();
-        touched_regions.dedup();
         // Regions cascade independently; compute the merged per-tag models
         // (and their batched scorers) in parallel, then install them in
         // region order.
-        let cascaded = parallel::par_map(&touched_regions, |&region| {
-            self.regions[region]
+        self.cascade_regions(touched_regions);
+        self.trained = true;
+        Ok(())
+    }
+
+    fn train_incremental(
+        &mut self,
+        net: &mut P2PNetwork,
+        new_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if self.local_data.len() < net.num_peers() {
+            self.local_data
+                .resize(net.num_peers(), MultiLabelDataset::new());
+        }
+        for (i, data) in new_data.iter().enumerate() {
+            if data.is_empty() {
+                continue;
+            }
+            if i >= self.local_data.len() {
+                self.local_data.resize(i + 1, MultiLabelDataset::new());
+            }
+            self.local_data[i].extend_from(data);
+            self.pending
+                .entry(PeerId::from(i))
+                .or_default()
+                .extend_from(data);
+        }
+        // Warm-start refits fan out across every peer with outstanding
+        // examples: each refit retrains on the previous model's support
+        // vectors pooled with the peer's unabsorbed examples (the classic
+        // incremental SVM), instead of an SMO solve over the peer's full
+        // local collection.
+        let touched: Vec<PeerId> = self.pending.keys().copied().collect();
+        let net_ref: &P2PNetwork = net;
+        let local_models = parallel::par_map(&touched, |&peer| {
+            if !net_ref.is_online(peer) {
+                return None;
+            }
+            let full = &self.local_data[peer.index()];
+            let new = &self.pending[&peer];
+            let region = self.region_of_peer(peer);
+            let prev = self.regions[region]
                 .as_ref()
-                .map(|state| self.cascaded_with_scorer(state))
+                .and_then(|s| s.contributed.get(&peer));
+            let model = match prev {
+                Some(prev) if !new.is_empty() => {
+                    self.config
+                        .one_vs_all
+                        .train_kernel_warm(full, new, &self.config.svm, prev)
+                }
+                // Never trained (or nothing recorded since a failed
+                // propagation): cold-train on the full local collection.
+                _ => return self.train_local(full).map(|m| (peer, m)),
+            };
+            (model.num_tags() > 0).then_some((peer, model))
         });
-        for (&region, result) in touched_regions.iter().zip(cascaded) {
-            if let Some((regional, scorer)) = result {
-                let state = self.regions[region].as_mut().expect("region populated");
-                state.regional = regional;
-                state.scorer = scorer;
+
+        let mut touched_regions = Vec::new();
+        for (peer, model) in local_models.into_iter().flatten() {
+            match self.propagate_model(net, peer, model, MessageKind::ModelPropagation) {
+                Ok(region) => {
+                    self.pending.remove(&peer);
+                    touched_regions.push(region);
+                }
+                Err(_) => {
+                    // Keep the peer's pending examples for the next round.
+                    let now = net.now();
+                    net.log_mut().log(
+                        now,
+                        Some(peer),
+                        "cempar",
+                        "incremental propagation failed; peer not contributing",
+                    );
+                }
             }
         }
-        self.trained = true;
+        // Only the regions that received a refreshed model re-cascade.
+        self.cascade_regions(touched_regions);
         Ok(())
     }
 
@@ -442,12 +543,47 @@ impl P2PTagClassifier for Cempar {
             self.local_data.resize(idx + 1, MultiLabelDataset::new());
         }
         self.local_data[idx].push(example.clone());
-        let Some(model) = self.train_local(&self.local_data[idx]) else {
+        // Warm refit: previous support vectors + any pending examples + the
+        // correction itself; cold train only when the peer never contributed.
+        let model = {
+            let full = &self.local_data[idx];
+            let region = self.region_of_peer(peer);
+            let prev = self.regions[region]
+                .as_ref()
+                .and_then(|s| s.contributed.get(&peer));
+            match prev {
+                Some(prev) => {
+                    let mut new = self.pending.get(&peer).cloned().unwrap_or_default();
+                    new.push(example.clone());
+                    let m = self.config.one_vs_all.train_kernel_warm(
+                        full,
+                        &new,
+                        &self.config.svm,
+                        prev,
+                    );
+                    (m.num_tags() > 0).then_some(m)
+                }
+                None => self.train_local(full),
+            }
+        };
+        let Some(model) = model else {
             return Ok(());
         };
-        let region = self.propagate_model(net, peer, model, MessageKind::RefinementUpdate)?;
-        self.cascade_region(region);
-        Ok(())
+        match self.propagate_model(net, peer, model, MessageKind::RefinementUpdate) {
+            Ok(region) => {
+                self.pending.remove(&peer);
+                self.cascade_region(region);
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the correction back out of the local store: the error
+                // tells the caller to retry the whole refine(), and a retry
+                // must not find a duplicate of the example already recorded.
+                let len = self.local_data[idx].len();
+                self.local_data[idx].truncate(len - 1);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -590,6 +726,38 @@ mod tests {
             net.stats().kind(MessageKind::RefinementUpdate).messages >= 1,
             "refinement traffic accounted"
         );
+    }
+
+    #[test]
+    fn incremental_training_recascades_only_touched_regions() {
+        let mut net = network(16);
+        let data = toy_peer_data(16, 10, 9);
+        let mut cempar = Cempar::new(CemparConfig {
+            regions: 4,
+            ..Default::default()
+        });
+        assert_eq!(
+            cempar.train_incremental(&mut net, &data).unwrap_err(),
+            ProtocolError::NotTrained
+        );
+        cempar.train(&mut net, &data).unwrap();
+        let probe = SparseVector::from_pairs([(4, 1.3)]);
+        let before = cempar.predict(&mut net, PeerId(2), &probe).unwrap();
+        assert!(!before.contains(&7));
+        let mut new_data = vec![MultiLabelDataset::new(); 16];
+        for i in 0..10 {
+            new_data[2].push(MultiLabelExample::new(
+                SparseVector::from_pairs([(4, 1.0 + 0.05 * i as f64)]),
+                [7],
+            ));
+        }
+        let msgs_before = net.stats().kind(MessageKind::ModelPropagation).messages;
+        cempar.train_incremental(&mut net, &new_data).unwrap();
+        // One refreshed local model travelled to one super-peer.
+        let msgs_after = net.stats().kind(MessageKind::ModelPropagation).messages;
+        assert_eq!(msgs_after - msgs_before, 1);
+        let scores = cempar.scores(&mut net, PeerId(2), &probe).unwrap();
+        assert!(scores.iter().any(|p| p.tag == 7), "{scores:?}");
     }
 
     #[test]

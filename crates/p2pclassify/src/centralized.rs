@@ -59,6 +59,9 @@ pub struct Centralized {
     /// the model on every retrain.
     matrix: Option<TagWeightMatrix>,
     pooled: MultiLabelDataset,
+    /// Per-peer examples that could not reach the server yet (sender or
+    /// server offline): retried on the next incremental round.
+    pending: Vec<MultiLabelDataset>,
     trained: bool,
 }
 
@@ -70,6 +73,7 @@ impl Centralized {
             model: None,
             matrix: None,
             pooled: MultiLabelDataset::new(),
+            pending: Vec::new(),
             trained: false,
         }
     }
@@ -97,6 +101,28 @@ impl Centralized {
         self.model = (model.num_tags() > 0).then_some(model);
         self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
     }
+
+    /// Warm-start variant of [`Self::retrain`]: the global model is refit
+    /// from its stored per-tag weights with a few SGD passes over the grown
+    /// pool instead of a cold dual solve (falls back to a cold train when no
+    /// model exists yet).
+    fn retrain_warm(&mut self) {
+        if self.pooled.is_empty() || self.model.is_none() {
+            // No pool to refit on (keep whatever model exists) or no model
+            // to warm-start from (cold train handles both cases).
+            if !self.pooled.is_empty() {
+                self.retrain();
+            }
+            return;
+        }
+        let prev = self.model.take().expect("checked above");
+        let model = self
+            .config
+            .one_vs_all
+            .train_linear_warm(&self.pooled, &self.config.svm, &prev);
+        self.model = (model.num_tags() > 0).then_some(model);
+        self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
+    }
 }
 
 impl P2PTagClassifier for Centralized {
@@ -110,6 +136,7 @@ impl P2PTagClassifier for Centralized {
         peer_data: &PeerDataMap,
     ) -> Result<(), ProtocolError> {
         self.pooled = MultiLabelDataset::new();
+        self.pending = vec![MultiLabelDataset::new(); net.num_peers().max(peer_data.len())];
         let server = self.config.server;
         for (i, data) in peer_data.iter().enumerate() {
             let peer = PeerId::from(i);
@@ -121,14 +148,18 @@ impl P2PTagClassifier for Centralized {
                 continue;
             }
             if !net.is_online(peer) {
+                // The peer uploads once it is back online (next incremental
+                // round).
+                self.pending[i].extend_from(data);
                 continue;
             }
             // The raw document vectors travel to the server.
             match net.send(peer, server, MessageKind::TrainingData, data.wire_size()) {
                 Ok(_) => self.pooled.extend_from(data),
                 Err(_) => {
-                    // Server or sender unreachable: that peer's data is lost to
-                    // the global model.
+                    // Server unreachable: the upload is retried on the next
+                    // incremental round.
+                    self.pending[i].extend_from(data);
                 }
             }
         }
@@ -185,6 +216,60 @@ impl P2PTagClassifier for Centralized {
         ))
     }
 
+    fn train_incremental(
+        &mut self,
+        net: &mut P2PNetwork,
+        new_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        let server = self.config.server;
+        if self.pending.len() < new_data.len().max(net.num_peers()) {
+            self.pending.resize(
+                new_data.len().max(net.num_peers()),
+                MultiLabelDataset::new(),
+            );
+        }
+        for (i, data) in new_data.iter().enumerate() {
+            if !data.is_empty() {
+                self.pending[i].extend_from(data);
+            }
+        }
+        let mut changed = false;
+        for i in 0..self.pending.len() {
+            if self.pending[i].is_empty() {
+                continue;
+            }
+            let peer = PeerId::from(i);
+            if peer != server {
+                if !net.is_online(peer) {
+                    continue;
+                }
+                // Only the outstanding document vectors travel, not the whole
+                // collection; failures stay queued for the next round.
+                if net
+                    .send(
+                        peer,
+                        server,
+                        MessageKind::TrainingData,
+                        self.pending[i].wire_size(),
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+            let batch = std::mem::take(&mut self.pending[i]);
+            self.pooled.extend_from(&batch);
+            changed = true;
+        }
+        if changed {
+            self.retrain_warm();
+        }
+        Ok(())
+    }
+
     fn refine(
         &mut self,
         net: &mut P2PNetwork,
@@ -208,7 +293,7 @@ impl P2PTagClassifier for Centralized {
             .map_err(|_| ProtocolError::NoModelReachable)?;
         }
         self.pooled.push(example.clone());
-        self.retrain();
+        self.retrain_warm();
         Ok(())
     }
 }
@@ -344,6 +429,43 @@ mod tests {
         }
         let scores = c.scores(&mut net, PeerId(1), &probe).unwrap();
         assert!(scores.iter().any(|p| p.tag == 7));
+    }
+
+    #[test]
+    fn incremental_training_ships_only_the_new_examples() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(4));
+        let data = toy_peer_data(4, 10, 7);
+        let mut c = Centralized::new(CentralizedConfig::default());
+        assert_eq!(
+            c.train_incremental(&mut net, &data).unwrap_err(),
+            ProtocolError::NotTrained
+        );
+        c.train(&mut net, &data).unwrap();
+        let bytes_before = net.stats().kind(MessageKind::TrainingData).bytes;
+        let mut new_data = vec![MultiLabelDataset::new(); 4];
+        for i in 0..6 {
+            new_data[2].push(MultiLabelExample::new(
+                SparseVector::from_pairs([(8, 1.0 + 0.1 * i as f64)]),
+                [5],
+            ));
+        }
+        let expected = new_data[2].wire_size() as u64;
+        c.train_incremental(&mut net, &new_data).unwrap();
+        assert_eq!(
+            net.stats().kind(MessageKind::TrainingData).bytes - bytes_before,
+            expected,
+            "only the delta travels to the server"
+        );
+        assert_eq!(c.pooled_examples(), 46);
+        let pred = c
+            .predict(&mut net, PeerId(1), &SparseVector::from_pairs([(8, 1.2)]))
+            .unwrap();
+        assert!(pred.contains(&5));
+        // Old knowledge survives the warm refit.
+        let old = c
+            .predict(&mut net, PeerId(1), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert!(old.contains(&1));
     }
 
     #[test]

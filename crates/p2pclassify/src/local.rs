@@ -69,16 +69,34 @@ impl LocalOnly {
     /// Trains one peer's local model from a dataset (pure, so the per-peer
     /// training loop can fan out across cores).
     fn trained_model(&self, data: &MultiLabelDataset) -> Option<LocalModel> {
+        self.trained_model_warm(data, None)
+    }
+
+    /// Trains one peer's local model, warm-starting the per-tag SVMs from a
+    /// previous model when given (the incremental path).
+    fn trained_model_warm(
+        &self,
+        data: &MultiLabelDataset,
+        warm: Option<&LocalModel>,
+    ) -> Option<LocalModel> {
         if data.is_empty() {
             return None;
         }
-        let m = self.config.one_vs_all.train_linear(data, &self.config.svm);
+        let m = match warm {
+            Some(prev) => {
+                self.config
+                    .one_vs_all
+                    .train_linear_warm(data, &self.config.svm, &prev.model)
+            }
+            None => self.config.one_vs_all.train_linear(data, &self.config.svm),
+        };
         (m.num_tags() > 0).then(|| LocalModel::build(m))
     }
 
     fn train_peer(&mut self, peer: PeerId) {
         let idx = peer.index();
-        self.models[idx] = self.trained_model(&self.local_data[idx]);
+        let refit = self.trained_model_warm(&self.local_data[idx], self.models[idx].as_ref());
+        self.models[idx] = refit;
     }
 
     fn model_for(&self, peer: PeerId) -> Result<&LocalModel, ProtocolError> {
@@ -168,6 +186,43 @@ impl P2PTagClassifier for LocalOnly {
                 ScoringBackend::Batched => local.matrix.predict(x),
             })
         })
+    }
+
+    fn train_incremental(
+        &mut self,
+        net: &mut P2PNetwork,
+        new_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if self.local_data.len() < net.num_peers() {
+            self.local_data
+                .resize(net.num_peers(), MultiLabelDataset::new());
+            self.models.resize(net.num_peers(), None);
+        }
+        let mut touched = Vec::new();
+        for (i, data) in new_data.iter().enumerate() {
+            if data.is_empty() {
+                continue;
+            }
+            if i >= self.local_data.len() {
+                self.local_data.resize(i + 1, MultiLabelDataset::new());
+                self.models.resize(i + 1, None);
+            }
+            self.local_data[i].extend_from(data);
+            touched.push(i);
+        }
+        // Training is purely local (no communication), so — like train() —
+        // it is not gated on overlay membership; warm refits of the touched
+        // peers fan out across cores.
+        let refits = parallel::par_map(&touched, |&idx| {
+            self.trained_model_warm(&self.local_data[idx], self.models[idx].as_ref())
+        });
+        for (idx, model) in touched.into_iter().zip(refits) {
+            self.models[idx] = model;
+        }
+        Ok(())
     }
 
     fn refine(
@@ -268,6 +323,49 @@ mod tests {
                 .unwrap_err(),
             ProtocolError::NoModelReachable
         );
+    }
+
+    #[test]
+    fn incremental_training_updates_only_touched_peers() {
+        let mut net = P2PNetwork::new(SimConfig::with_peers(3));
+        let data = vec![
+            MultiLabelDataset::from_examples(vec![two_tag_example(0, 1, 1.0); 4]),
+            MultiLabelDataset::from_examples(vec![two_tag_example(1, 2, 1.0); 4]),
+            MultiLabelDataset::new(),
+        ];
+        let mut local = LocalOnly::new(LocalOnlyConfig::default());
+        assert_eq!(
+            local.train_incremental(&mut net, &data).unwrap_err(),
+            ProtocolError::NotTrained
+        );
+        local.train(&mut net, &data).unwrap();
+        // Peer 2 (previously model-less) and peer 0 (warm refit) get new data.
+        let mut new_data = vec![MultiLabelDataset::new(); 3];
+        for i in 0..4 {
+            new_data[0].push(two_tag_example(5, 9, 1.0 + 0.1 * i as f64));
+            new_data[2].push(two_tag_example(6, 4, 1.0 + 0.1 * i as f64));
+        }
+        local.train_incremental(&mut net, &new_data).unwrap();
+        assert_eq!(local.peers_with_models(), 3);
+        assert_eq!(net.stats().total_messages(), 0, "still no communication");
+        let p0 = local
+            .predict(&mut net, PeerId(0), &SparseVector::from_pairs([(5, 1.0)]))
+            .unwrap();
+        assert!(p0.contains(&9));
+        // Old knowledge survives the warm refit.
+        let p0_old = local
+            .predict(&mut net, PeerId(0), &SparseVector::from_pairs([(0, 1.0)]))
+            .unwrap();
+        assert!(p0_old.contains(&1));
+        let p2 = local
+            .predict(&mut net, PeerId(2), &SparseVector::from_pairs([(6, 1.0)]))
+            .unwrap();
+        assert!(p2.contains(&4));
+        // Peer 1 was untouched: identical model as right after train().
+        let p1 = local
+            .predict(&mut net, PeerId(1), &SparseVector::from_pairs([(1, 1.0)]))
+            .unwrap();
+        assert!(p1.contains(&2));
     }
 
     #[test]

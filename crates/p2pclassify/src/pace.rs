@@ -167,6 +167,9 @@ pub struct Pace {
     received: Vec<BTreeSet<PeerId>>,
     /// Per-peer local data retained for refinement retraining.
     local_data: Vec<MultiLabelDataset>,
+    /// Peers whose local data grew while they were offline (or whose refit
+    /// was otherwise skipped): retried on the next incremental round.
+    dirty: BTreeSet<PeerId>,
     trained: bool,
 }
 
@@ -180,6 +183,7 @@ impl Pace {
             index,
             received: Vec::new(),
             local_data: Vec::new(),
+            dirty: BTreeSet::new(),
             trained: false,
         }
     }
@@ -194,12 +198,30 @@ impl Pace {
         self.models.len()
     }
 
-    /// Trains one peer's local model + centroids.
+    /// Trains one peer's local model + centroids from scratch.
     fn train_local(&self, peer: PeerId, data: &MultiLabelDataset) -> Option<PaceModel> {
+        self.train_local_warm(peer, data, None)
+    }
+
+    /// Trains one peer's local model + centroids, warm-starting the per-tag
+    /// SVMs from `warm` when given (the incremental path: a few SGD passes
+    /// from the stored weights instead of a cold dual solve).
+    fn train_local_warm(
+        &self,
+        peer: PeerId,
+        data: &MultiLabelDataset,
+        warm: Option<&OneVsAllModel<LinearSvm>>,
+    ) -> Option<PaceModel> {
         if data.is_empty() {
             return None;
         }
-        let model = self.config.one_vs_all.train_linear(data, &self.config.svm);
+        let model = match warm {
+            Some(prev) => self
+                .config
+                .one_vs_all
+                .train_linear_warm(data, &self.config.svm, prev),
+            None => self.config.one_vs_all.train_linear(data, &self.config.svm),
+        };
         if model.num_tags() == 0 {
             return None;
         }
@@ -259,6 +281,12 @@ impl Pace {
             if model_ok && centroid_ok {
                 self.received[to.index()].insert(source);
             }
+        }
+        // Replacing a peer's model: its old centroids must leave the index,
+        // otherwise incremental re-propagations accumulate stale positions
+        // that crowd the candidate set and skew model retrieval.
+        if self.models.contains_key(&source) {
+            self.index.retire_matching(|s| *s == source);
         }
         for c in &pace_model.centroids {
             self.index.insert(c.clone(), source);
@@ -398,6 +426,7 @@ impl P2PTagClassifier for Pace {
         self.models.clear();
         self.index = LshIndex::new(self.config.lsh.clone());
         self.received = vec![BTreeSet::new(); net.num_peers()];
+        self.dirty.clear();
         self.local_data = peer_data.clone();
         self.local_data
             .resize(net.num_peers(), MultiLabelDataset::new());
@@ -419,6 +448,13 @@ impl P2PTagClassifier for Pace {
             }
             self.train_local(peer, data)
         });
+        // Offline peers keep their data; the next incremental round folds it
+        // in once they are back online.
+        for &(peer, data) in &jobs {
+            if !data.is_empty() && !net_ref.is_online(peer) {
+                self.dirty.insert(peer);
+            }
+        }
         for model in models.into_iter().flatten() {
             self.propagate(net, model, MessageKind::ModelPropagation);
         }
@@ -471,6 +507,52 @@ impl P2PTagClassifier for Pace {
         })
     }
 
+    fn train_incremental(
+        &mut self,
+        net: &mut P2PNetwork,
+        new_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError> {
+        if !self.trained {
+            return Err(ProtocolError::NotTrained);
+        }
+        if self.local_data.len() < net.num_peers() {
+            self.local_data
+                .resize(net.num_peers(), MultiLabelDataset::new());
+        }
+        // Fold the new examples into the per-peer stores first, then
+        // warm-start retrain every peer with unabsorbed data — the ones that
+        // just received examples plus the ones still dirty from rounds they
+        // spent offline.
+        for (i, data) in new_data.iter().enumerate() {
+            if data.is_empty() {
+                continue;
+            }
+            if i >= self.local_data.len() {
+                self.local_data.resize(i + 1, MultiLabelDataset::new());
+            }
+            self.local_data[i].extend_from(data);
+            self.dirty.insert(PeerId::from(i));
+        }
+        let touched: Vec<PeerId> = self.dirty.iter().copied().collect();
+        // Same shape as train(): independent per-peer refits fan out across
+        // cores, the ordered reduction keeps propagation order deterministic.
+        let net_ref: &P2PNetwork = net;
+        let models = parallel::par_map(&touched, |&peer| {
+            if !net_ref.is_online(peer) {
+                return None;
+            }
+            let warm = self.models.get(&peer).map(|m| &m.model);
+            self.train_local_warm(peer, &self.local_data[peer.index()], warm)
+        });
+        for model in models.into_iter().flatten() {
+            // Replaces this peer's model in the ensemble and swaps its
+            // centroids in the LSH index.
+            self.dirty.remove(&model.source);
+            self.propagate(net, model, MessageKind::ModelPropagation);
+        }
+        Ok(())
+    }
+
     fn refine(
         &mut self,
         net: &mut P2PNetwork,
@@ -488,11 +570,11 @@ impl P2PTagClassifier for Pace {
             self.local_data.resize(idx + 1, MultiLabelDataset::new());
         }
         self.local_data[idx].push(example.clone());
-        if let Some(model) = self.train_local(peer, &self.local_data[idx]) {
-            // Re-propagating replaces this peer's model in the ensemble. The
-            // LSH index keeps the stale centroids, but queries resolve models
-            // through the store, so they see the refreshed model; a full
-            // re-index happens on the next train() round.
+        let warm = self.models.get(&peer).map(|m| &m.model);
+        if let Some(model) = self.train_local_warm(peer, &self.local_data[idx], warm) {
+            // Re-propagating replaces this peer's model in the ensemble and
+            // swaps its centroids in the LSH index.
+            self.dirty.remove(&peer);
             self.propagate(net, model, MessageKind::RefinementUpdate);
         }
         Ok(())
@@ -656,6 +738,89 @@ mod tests {
         let scores = pace.scores(&mut net, PeerId(2), &probe).unwrap();
         assert!(scores.iter().any(|p| p.tag == 9));
         assert!(net.stats().kind(MessageKind::RefinementUpdate).messages > 0);
+    }
+
+    #[test]
+    fn incremental_training_folds_new_tags_in_without_full_retrain() {
+        let mut net = network(10);
+        let data = toy_peer_data(10, 10, 8);
+        let mut pace = Pace::new(PaceConfig::default());
+        assert_eq!(
+            pace.train_incremental(&mut net, &data).unwrap_err(),
+            ProtocolError::NotTrained
+        );
+        pace.train(&mut net, &data).unwrap();
+        let probe = SparseVector::from_pairs([(6, 1.2)]);
+        let before = pace.predict(&mut net, PeerId(3), &probe).unwrap();
+        assert!(!before.contains(&5));
+        // Peer 3 alone receives a batch of new documents carrying tag 5.
+        let mut new_data = vec![MultiLabelDataset::new(); 10];
+        for i in 0..10 {
+            new_data[3].push(MultiLabelExample::new(
+                SparseVector::from_pairs([(6, 1.0 + 0.05 * i as f64)]),
+                [5],
+            ));
+        }
+        let msgs_before = net.stats().kind(MessageKind::ModelPropagation).messages;
+        pace.train_incremental(&mut net, &new_data).unwrap();
+        // Only peer 3's refreshed model was re-propagated (one broadcast).
+        let msgs_after = net.stats().kind(MessageKind::ModelPropagation).messages;
+        assert_eq!(msgs_after - msgs_before, 9);
+        let scores = pace.scores(&mut net, PeerId(3), &probe).unwrap();
+        assert!(scores.iter().any(|p| p.tag == 5), "{scores:?}");
+    }
+
+    #[test]
+    fn offline_peers_new_data_is_folded_in_once_they_return() {
+        use p2psim::churn::ChurnModel;
+        let mut net = P2PNetwork::new(p2psim::SimConfig {
+            num_peers: 12,
+            churn: ChurnModel::Exponential {
+                mean_session_secs: 300.0,
+                mean_offline_secs: 300.0,
+            },
+            horizon_secs: 1_000_000,
+            seed: 3,
+            ..Default::default()
+        });
+        let data = toy_peer_data(12, 10, 10);
+        let mut pace = Pace::new(PaceConfig::default());
+        pace.train(&mut net, &data).unwrap();
+        // Find an offline peer and hand it new documents with a new tag.
+        let mut guard = 0;
+        while net.online_peers().len() == 12 && guard < 1_000 {
+            net.advance(p2psim::SimTime::from_secs(100));
+            guard += 1;
+        }
+        let offline = net
+            .peers()
+            .find(|&p| !net.is_online(p))
+            .expect("some peer is offline");
+        let mut new_data = vec![MultiLabelDataset::new(); 12];
+        for i in 0..10 {
+            new_data[offline.index()].push(MultiLabelExample::new(
+                SparseVector::from_pairs([(8, 1.0 + 0.05 * i as f64)]),
+                [6],
+            ));
+        }
+        pace.train_incremental(&mut net, &new_data).unwrap();
+        // The peer was offline: nothing propagated yet. Wait for it to come
+        // back, then an incremental round with no new data flushes its
+        // outstanding examples.
+        let mut guard = 0;
+        while !net.is_online(offline) && guard < 10_000 {
+            net.advance(p2psim::SimTime::from_secs(50));
+            guard += 1;
+        }
+        assert!(net.is_online(offline), "peer came back online");
+        let empty = vec![MultiLabelDataset::new(); 12];
+        pace.train_incremental(&mut net, &empty).unwrap();
+        let probe = SparseVector::from_pairs([(8, 1.2)]);
+        let scores = pace.scores(&mut net, offline, &probe).unwrap();
+        assert!(
+            scores.iter().any(|p| p.tag == 6),
+            "returning peer's knowledge reached the ensemble: {scores:?}"
+        );
     }
 
     #[test]

@@ -81,6 +81,34 @@ pub trait P2PTagClassifier {
             .collect()
     }
 
+    /// Folds a batch of newly tagged examples into the existing models
+    /// without a full retrain: `new_data[i]` holds peer `i`'s *new* manually
+    /// tagged documents since the last training round (most entries are
+    /// empty in a streaming session).
+    ///
+    /// Protocols warm-start from the per-peer models they already hold —
+    /// linear models refit with a few SGD passes from the stored weights
+    /// ([`ml::svm::LinearSvmTrainer::train_warm`]), kernel models retrain on
+    /// their retained support vectors pooled with the new examples — and
+    /// re-propagate only the affected models/regions. A full
+    /// [`Self::train`] on the cumulative data remains the accuracy
+    /// reference; the session regression suite bounds the gap between the
+    /// two.
+    ///
+    /// Errors with [`ProtocolError::NotTrained`] before an initial
+    /// [`Self::train`]. In protocols where training has a communication
+    /// side (model or data propagation), peers that are currently offline
+    /// keep their new data locally but neither retrain nor propagate this
+    /// round — the data is folded in the next time that peer trains.
+    /// Protocols whose training is entirely local (the local-only baseline)
+    /// refit regardless of overlay membership, mirroring their
+    /// [`Self::train`].
+    fn train_incremental(
+        &mut self,
+        net: &mut P2PNetwork,
+        new_data: &PeerDataMap,
+    ) -> Result<(), ProtocolError>;
+
     /// Incorporates a user's tag refinement (a corrected example) and updates
     /// the local and global models accordingly.
     fn refine(

@@ -206,30 +206,133 @@ fn centralized_default_predict_batch_equals_sequential() {
     assert_batch_equals_sequential(8, 84, || Centralized::new(CentralizedConfig::default()));
 }
 
-#[test]
-fn refinement_keeps_backends_in_lockstep() {
-    // After refinement retrains + re-propagates, the rebuilt batched
-    // structures must still match the scalar path.
-    let num_peers = 8;
-    let data = peer_data(num_peers, 12, 91);
+/// Trains both backends, drives them through an identical sequence of
+/// `refine()` calls followed by a `train_incremental` round, and checks
+/// bit-identity of scores and predictions after *each* mutation — not just
+/// after initial training. This pins the invariant that every model-rebuild
+/// path (refinement retrain + re-propagation, warm-start incremental
+/// training) keeps the batched structures in lockstep with the scalar
+/// reference.
+fn assert_backends_agree_through_refine_and_incremental<P, F>(num_peers: usize, seed: u64, make: F)
+where
+    P: P2PTagClassifier,
+    F: Fn(ScoringBackend) -> P,
+{
+    let data = peer_data(num_peers, 14, seed);
     let mut net_s = network(num_peers);
     let mut net_b = network(num_peers);
-    let mut scalar = Pace::new(PaceConfig {
-        backend: ScoringBackend::Scalar,
-        ..PaceConfig::default()
-    });
-    let mut batched = Pace::new(PaceConfig::default());
+    let mut scalar = make(ScoringBackend::Scalar);
+    let mut batched = make(ScoringBackend::Batched);
     scalar.train(&mut net_s, &data).unwrap();
     batched.train(&mut net_b, &data).unwrap();
+
+    let assert_agree =
+        |scalar: &P, batched: &P, net_s: &mut P2PNetwork, net_b: &mut P2PNetwork, stage: &str| {
+            for (i, probe) in probes(seed ^ 0x77).iter().enumerate().take(12) {
+                let peer = PeerId((i % num_peers) as u64);
+                assert_eq!(
+                    scalar.scores(net_s, peer, probe),
+                    batched.scores(net_b, peer, probe),
+                    "scores diverge after {stage} on probe {i}"
+                );
+                assert_eq!(
+                    scalar.predict(net_s, peer, probe),
+                    batched.predict(net_b, peer, probe),
+                    "predictions diverge after {stage} on probe {i}"
+                );
+            }
+        };
+
+    // A sequence of refinements teaching a new tag plus corrections of an
+    // existing one, spread over two peers.
     for i in 0..6 {
-        let v = SparseVector::from_pairs([(4, 1.0 + 0.1 * i as f64)]);
-        let ex = MultiLabelExample::new(v, [9]);
-        scalar.refine(&mut net_s, PeerId(2), &ex).unwrap();
-        batched.refine(&mut net_b, PeerId(2), &ex).unwrap();
+        let (v, tags): (SparseVector, Vec<TagId>) = if i % 2 == 0 {
+            (
+                SparseVector::from_pairs([(4, 1.0 + 0.1 * i as f64)]),
+                vec![9],
+            )
+        } else {
+            (SparseVector::from_pairs([(0, 0.9), (2, 0.5)]), vec![1, 3])
+        };
+        let ex = MultiLabelExample::new(v, tags);
+        let peer = PeerId((i % 2 + 1) as u64);
+        scalar.refine(&mut net_s, peer, &ex).unwrap();
+        batched.refine(&mut net_b, peer, &ex).unwrap();
+        assert_agree(
+            &scalar,
+            &batched,
+            &mut net_s,
+            &mut net_b,
+            &format!("refine {i}"),
+        );
     }
-    let probe = SparseVector::from_pairs([(4, 1.2)]);
-    assert_eq!(
-        scalar.scores(&mut net_s, PeerId(2), &probe),
-        batched.scores(&mut net_b, PeerId(2), &probe)
+
+    // An incremental training round: two peers receive new arrivals, one of
+    // them carrying a tag the ensemble has never seen.
+    let mut new_data = vec![MultiLabelDataset::new(); num_peers];
+    for i in 0..8 {
+        new_data[0].push(MultiLabelExample::new(
+            SparseVector::from_pairs([(3, 0.8 + 0.05 * i as f64)]),
+            [4],
+        ));
+        new_data[num_peers - 1].push(MultiLabelExample::new(
+            SparseVector::from_pairs([(5, 1.0 + 0.05 * i as f64)]),
+            [11],
+        ));
+    }
+    scalar.train_incremental(&mut net_s, &new_data).unwrap();
+    batched.train_incremental(&mut net_b, &new_data).unwrap();
+    assert_agree(
+        &scalar,
+        &batched,
+        &mut net_s,
+        &mut net_b,
+        "train_incremental",
     );
+    assert_eq!(
+        net_s.stats().total_messages(),
+        net_b.stats().total_messages(),
+        "both backends account identical traffic"
+    );
+}
+
+#[test]
+fn pace_backends_agree_through_refine_and_incremental() {
+    assert_backends_agree_through_refine_and_incremental(8, 91, |backend| {
+        Pace::new(PaceConfig {
+            backend,
+            ..PaceConfig::default()
+        })
+    });
+}
+
+#[test]
+fn cempar_backends_agree_through_refine_and_incremental() {
+    assert_backends_agree_through_refine_and_incremental(12, 92, |backend| {
+        Cempar::new(CemparConfig {
+            backend,
+            regions: 3,
+            ..CemparConfig::default()
+        })
+    });
+}
+
+#[test]
+fn local_only_backends_agree_through_refine_and_incremental() {
+    assert_backends_agree_through_refine_and_incremental(6, 93, |backend| {
+        LocalOnly::new(LocalOnlyConfig {
+            backend,
+            ..LocalOnlyConfig::default()
+        })
+    });
+}
+
+#[test]
+fn centralized_backends_agree_through_refine_and_incremental() {
+    assert_backends_agree_through_refine_and_incremental(6, 94, |backend| {
+        Centralized::new(CentralizedConfig {
+            backend,
+            ..CentralizedConfig::default()
+        })
+    });
 }

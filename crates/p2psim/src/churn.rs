@@ -145,7 +145,15 @@ impl ChurnTimeline {
             loop {
                 let end = (t + session_remaining).min(horizon);
                 if end > t {
-                    peer_intervals.push((t, end));
+                    // A zero-length offline period (possible when the sampled
+                    // offline duration truncates to zero, e.g. `mean <= 0.0`)
+                    // would otherwise produce two adjacent intervals touching
+                    // at `t` — and a leave + join event pair at the same
+                    // instant. Merge them into one continuous session.
+                    match peer_intervals.last_mut() {
+                        Some(&mut (_, ref mut prev_end)) if *prev_end == t => *prev_end = end,
+                        _ => peer_intervals.push((t, end)),
+                    }
                 }
                 t = end + model.sample_offline(&mut rng);
                 if t >= horizon {
@@ -211,7 +219,13 @@ impl ChurnTimeline {
                 }
             }
         }
-        out.sort_by_key(|e| (e.time, e.peer));
+        // Deterministic tie-break: at equal times, order by peer and emit a
+        // leave (`online == false`) before a join, so consumers that apply
+        // the stream in order never conclude a peer ended up offline from a
+        // same-instant leave/join pair. (Zero-gap intervals are already
+        // merged at generation time; this also covers same-instant events of
+        // different origins.)
+        out.sort_by_key(|e| (e.time, e.peer, e.online));
         out
     }
 
@@ -311,6 +325,60 @@ mod tests {
             assert!(model.sample_session(&mut rng) >= SimTime::from_secs(30));
         }
         assert!(model.expected_availability() > 0.5);
+    }
+
+    #[test]
+    fn zero_gap_offline_periods_merge_into_one_session() {
+        // With a zero mean offline duration every sampled gap truncates to
+        // zero: pre-fix this produced chains of adjacent intervals and
+        // same-instant leave/join event pairs that could leave a peer
+        // "offline" for in-order consumers of the event stream.
+        let model = ChurnModel::Exponential {
+            mean_session_secs: 50.0,
+            mean_offline_secs: 0.0,
+        };
+        let tl = ChurnTimeline::generate(model, 30, SimTime::from_secs(1_000), 11);
+        // Adjacent intervals merged: each peer has exactly one continuous
+        // session reaching the horizon, so the only events are initial joins.
+        assert!(tl.events().iter().all(|e| e.online));
+        assert!((tl.mean_sessions_per_peer() - 1.0).abs() < 1e-12);
+        for p in 0..30u64 {
+            assert!(tl.is_online(PeerId(p), SimTime::from_secs(999)));
+        }
+    }
+
+    #[test]
+    fn same_instant_events_order_leave_before_join() {
+        // Replaying the event stream in order must reproduce is_online at
+        // every event time: a peer with a leave and a join at the same
+        // instant must come out online (leave sorts first).
+        let model = ChurnModel::Exponential {
+            mean_session_secs: 40.0,
+            mean_offline_secs: 20.0,
+        };
+        let tl = ChurnTimeline::generate(model, 50, SimTime::from_secs(2_000), 13);
+        let events = tl.events();
+        for w in events.windows(2) {
+            assert!((w[0].time, w[0].peer, w[0].online) < (w[1].time, w[1].peer, w[1].online));
+        }
+        let mut online = [false; 50];
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].time;
+            let mut j = i;
+            while j < events.len() && events[j].time == t {
+                online[events[j].peer.index()] = events[j].online;
+                j += 1;
+            }
+            for p in 0..50u64 {
+                assert_eq!(
+                    online[p as usize],
+                    tl.is_online(PeerId(p), t),
+                    "replayed state diverges for peer {p} at {t}"
+                );
+            }
+            i = j;
+        }
     }
 
     #[test]
