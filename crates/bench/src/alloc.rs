@@ -1,0 +1,169 @@
+//! Allocation metering for the benchmark binaries.
+//!
+//! Behind the `alloc-count` feature this module installs a counting
+//! [`std::alloc::GlobalAlloc`] wrapper around the system allocator, so the throughput
+//! harness can report **allocations per document** and **peak live bytes**
+//! alongside docs/sec. Memory traffic is what the shared-storage/CSR training
+//! refactor attacks, so regressions must be visible in the perf trajectory,
+//! not just as second-order timing noise.
+//!
+//! Without the feature the probes return `None` and the JSON rows carry
+//! `null`s — the binaries behave identically either way. Counting costs a few
+//! relaxed atomics per allocation; it is enabled for recorded benchmark runs
+//! (`cargo run --release -p bench --features alloc-count --bin throughput`)
+//! and the JSON marks whether it was on, so numbers are compared
+//! like-for-like.
+
+/// A snapshot of allocator activity since the last [`reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AllocStats {
+    /// Number of allocation calls (`alloc` + `realloc`).
+    pub allocs: u64,
+    /// Total bytes requested by those calls.
+    pub allocated_bytes: u64,
+    /// Peak live (allocated minus freed) bytes observed.
+    pub peak_bytes: u64,
+}
+
+impl AllocStats {
+    /// Allocation calls per document for a stage that processed `docs`.
+    pub fn allocs_per_doc(&self, docs: usize) -> f64 {
+        self.allocs as f64 / docs.max(1) as f64
+    }
+}
+
+#[cfg(feature = "alloc-count")]
+mod imp {
+    use super::AllocStats;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts every allocation through the system allocator. All counters
+    /// are relaxed: they feed a report, not synchronization.
+    pub struct CountingAllocator;
+
+    fn on_alloc(size: u64) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED.fetch_add(size, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: u64) {
+        // Saturating: a reset between an alloc and its dealloc could
+        // otherwise underflow the live counter.
+        let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(size))
+        });
+    }
+
+    // SAFETY: delegates every operation to `System`; the counter updates have
+    // no effect on the returned memory.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                // Release the old size before counting the new one: an
+                // in-place growth never has both blocks live, so counting
+                // new-then-old would inflate the live peak by the pre-growth
+                // size of every doubling realloc.
+                on_dealloc(layout.size() as u64);
+                on_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    pub fn reset() {
+        ALLOCS.store(0, Ordering::Relaxed);
+        ALLOCATED.store(0, Ordering::Relaxed);
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn snapshot() -> Option<AllocStats> {
+        Some(AllocStats {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            allocated_bytes: ALLOCATED.load(Ordering::Relaxed),
+            peak_bytes: PEAK.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(not(feature = "alloc-count"))]
+mod imp {
+    use super::AllocStats;
+
+    pub fn reset() {}
+
+    pub fn snapshot() -> Option<AllocStats> {
+        None
+    }
+}
+
+/// Whether allocation counting is compiled in.
+pub fn enabled() -> bool {
+    cfg!(feature = "alloc-count")
+}
+
+/// Zeroes the counters (peak restarts from the current live size).
+pub fn reset() {
+    imp::reset();
+}
+
+/// The counters since the last [`reset`], or `None` without `alloc-count`.
+pub fn snapshot() -> Option<AllocStats> {
+    imp::snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_feature_flag() {
+        reset();
+        let snap = snapshot();
+        assert_eq!(snap.is_some(), enabled());
+        if enabled() {
+            // Allocate something measurable and confirm the counters move.
+            let v: Vec<u64> = (0..1024).collect();
+            let snap = snapshot().unwrap();
+            assert!(snap.allocs >= 1, "{snap:?}");
+            assert!(snap.allocated_bytes >= 8 * 1024, "{snap:?}");
+            assert!(snap.peak_bytes > 0);
+            drop(v);
+        }
+    }
+
+    #[test]
+    fn allocs_per_doc_guards_division() {
+        let s = AllocStats {
+            allocs: 10,
+            allocated_bytes: 100,
+            peak_bytes: 100,
+        };
+        assert_eq!(s.allocs_per_doc(0), 10.0);
+        assert_eq!(s.allocs_per_doc(5), 2.0);
+    }
+}

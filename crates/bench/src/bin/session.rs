@@ -41,15 +41,7 @@ fn main() {
     } else {
         "BENCH_session.json"
     };
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .ok()
-        .and_then(|d| {
-            std::path::Path::new(&d)
-                .ancestors()
-                .find(|p| p.join("CHANGES.md").exists())
-                .map(std::path::Path::to_path_buf)
-        })
-        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let root = bench::workspace_root();
     let path = root.join(filename);
     std::fs::write(&path, &json).expect("write session json");
     println!("{json}");

@@ -43,15 +43,7 @@ fn main() {
         "BENCH_throughput.json"
     };
     // Prefer the workspace root (where CHANGES.md lives); fall back to cwd.
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .ok()
-        .and_then(|d| {
-            std::path::Path::new(&d)
-                .ancestors()
-                .find(|p| p.join("CHANGES.md").exists())
-                .map(std::path::Path::to_path_buf)
-        })
-        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let root = bench::workspace_root();
     let path = root.join(filename);
     std::fs::write(&path, &json).expect("write throughput json");
     println!("{json}");
@@ -71,5 +63,17 @@ fn main() {
                 row.auto_tag.speedup()
             );
         }
+        // Regression guard for the CSR-native training path: on the largest
+        // quick workload the shared-context one-vs-all train must not fall
+        // back below the legacy clone-per-tag loop. (At full scale the
+        // committed BENCH_throughput.json shows ≥ 1.5x; the quick workload
+        // is smaller and noisier, so the guard is the break-even line.)
+        let last = rows.last().expect("at least one row");
+        assert!(
+            last.one_vs_all.speedup() >= 1.0,
+            "CSR one-vs-all train regressed below the scalar reference at {} peers: x{:.2}",
+            last.peers,
+            last.one_vs_all.speedup()
+        );
     }
 }

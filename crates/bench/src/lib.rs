@@ -10,10 +10,28 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc;
 pub mod experiments;
+pub mod kernels;
 pub mod session;
 pub mod throughput;
 pub mod workload;
 
 pub use experiments::*;
 pub use workload::*;
+
+/// The directory the benchmark binaries write their `BENCH_*.json` files to:
+/// the workspace root (identified by `CHANGES.md`, walking up from
+/// `CARGO_MANIFEST_DIR`), falling back to the current directory when run
+/// outside the workspace.
+pub fn workspace_root() -> std::path::PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .ok()
+        .and_then(|d| {
+            std::path::Path::new(&d)
+                .ancestors()
+                .find(|p| p.join("CHANGES.md").exists())
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}

@@ -10,11 +10,16 @@
 //! [`ScoringBackend::Scalar`], which preserves the pre-refactor per-(tag,
 //! classifier) loops, so the reported auto-tag speedup isolates the batched
 //! engine rather than compiler or workload drift; the one-vs-all row
-//! likewise re-executes the pre-refactor clone-per-tag loop. Ingest and the
-//! full learning phase are backend-independent code, so they are reported
-//! as plain rates with no before/after claim. The equivalence tests
-//! guarantee both backends produce identical predictions, so the auto-tag
-//! comparison is work-for-work.
+//! likewise re-executes the pre-refactor clone-per-tag training loop against
+//! the CSR-native shared-context path. Ingest and the full learning phase
+//! are scoring-backend-independent code, so they are reported as plain rates
+//! with no before/after claim. The equivalence tests guarantee both backends
+//! produce identical predictions (and the training backends bit-identical
+//! models), so every comparison is work-for-work.
+//!
+//! With the `alloc-count` feature the rows also carry allocations/doc and
+//! peak live bytes per stage (see [`crate::alloc`]), making memory-traffic
+//! regressions visible alongside docs/sec.
 //!
 //! The workload is tag-heavy (48 tags, Zipf popularity, interest locality):
 //! Golder & Huberman show collaborative tag vocabularies grow into the
@@ -22,6 +27,7 @@
 //! ROADMAP's scale target. The binary writes `BENCH_throughput.json` at the
 //! repository root; `EXPERIMENTS.md` records a captured run.
 
+use crate::alloc::{self, AllocStats};
 use dataset::{CorpusGenerator, CorpusSpec, TrainTestSplit};
 use doctagger::{DocTaggerConfig, P2PDocTagger, ProtocolKind};
 use ml::multilabel::OneVsAllTrainer;
@@ -40,6 +46,10 @@ pub struct StagePair {
     pub scalar_secs: f64,
     /// Wall-clock seconds on the batched path.
     pub batched_secs: f64,
+    /// Allocator activity of the scalar run (with `alloc-count`).
+    pub scalar_mem: Option<AllocStats>,
+    /// Allocator activity of the batched run (with `alloc-count`).
+    pub batched_mem: Option<AllocStats>,
 }
 
 impl StagePair {
@@ -68,6 +78,8 @@ pub struct StageRate {
     pub docs: usize,
     /// Wall-clock seconds.
     pub secs: f64,
+    /// Allocator activity of the stage (with `alloc-count`).
+    pub mem: Option<AllocStats>,
 }
 
 impl StageRate {
@@ -123,6 +135,27 @@ pub fn throughput_spec(num_users: usize, seed: u64) -> CorpusSpec {
     }
 }
 
+/// The held-out split of the throughput workload (20 % test, split seed
+/// derived from the workload seed). Shared with the kernel microbenchmarks
+/// (`crate::kernels`) so both harnesses decompose the identical workload.
+pub fn throughput_split(corpus: &dataset::Corpus, seed: u64) -> TrainTestSplit {
+    TrainTestSplit::stratified_by_user(corpus, 0.2, seed ^ 0xABCD)
+}
+
+/// The pooled (all-peers) training dataset of a split — the
+/// centralized-baseline shape the one-vs-all microbenchmark and the kernel
+/// microbenchmarks train on.
+pub fn pooled_training_set(
+    vectorized: &dataset::VectorizedCorpus,
+    split: &TrainTestSplit,
+) -> MultiLabelDataset {
+    split
+        .train
+        .iter()
+        .map(|&doc| vectorized.example(doc))
+        .collect()
+}
+
 fn pace_with(backend: ScoringBackend) -> ProtocolKind {
     ProtocolKind::Pace(PaceConfig {
         backend,
@@ -131,11 +164,13 @@ fn pace_with(backend: ScoringBackend) -> ProtocolKind {
 }
 
 /// Replicates the pre-refactor one-vs-all training loop: the full
-/// feature-vector set is cloned per tag (`MultiLabelDataset::one_vs_all`),
-/// tags are trained sequentially, and the per-tag training accuracies are
-/// computed with another clone-per-tag pass — exactly what
-/// `OneVsAllTrainer::train_with` and PACE's `train_local` did before the
-/// borrow-once refactor.
+/// feature-vector set is cloned per tag
+/// (`MultiLabelDataset::one_vs_all_cloned`), tags are trained sequentially
+/// with each fit re-deriving the problem dimension, DCD diagonal and shuffle
+/// orders from scratch, and the per-tag training accuracies are computed
+/// with another clone-per-tag pass of per-(tag, document) dot products —
+/// exactly what `OneVsAllTrainer::train_with` and PACE's `train_local` did
+/// before the borrow-once and CSR refactors.
 fn legacy_train_peer(
     data: &MultiLabelDataset,
     trainer: &LinearSvmTrainer,
@@ -148,7 +183,7 @@ fn legacy_train_peer(
         if data.tag_count(tag) < 1 {
             continue;
         }
-        let (xs, ys) = data.one_vs_all(tag);
+        let (xs, ys) = data.one_vs_all_cloned(tag);
         classifiers.insert(tag, trainer.train(&xs, &ys));
     }
     if classifiers.is_empty() {
@@ -158,7 +193,7 @@ fn legacy_train_peer(
     let mut acc_sum = 0.0;
     let mut acc_n = 0usize;
     for (tag, clf) in model.iter() {
-        let (xs, ys) = data.one_vs_all(tag);
+        let (xs, ys) = data.one_vs_all_cloned(tag);
         acc_sum += accuracy_on(clf, &xs, &ys);
         acc_n += 1;
     }
@@ -166,10 +201,12 @@ fn legacy_train_peer(
     Some((model, accuracy))
 }
 
-/// The post-refactor equivalent of [`legacy_train_peer`]: the feature
-/// vectors are borrowed once and shared by every per-tag problem, and the
-/// accuracy pass reads the same borrowed slice with a per-tag label mask —
-/// no per-tag corpus clone anywhere.
+/// The CSR-native equivalent of [`legacy_train_peer`]: the dataset is
+/// materialized once as a row-major CSR arena whose shared training context
+/// (diagonal, shuffle orders, solver scratch) serves every per-tag fit, and
+/// the accuracy pass scores the whole tag universe in one
+/// `TagWeightMatrix` pass per document — no per-tag corpus view anywhere.
+/// Models and accuracies are bit-identical to the legacy loop's.
 fn current_train_peer(
     data: &MultiLabelDataset,
     trainer: &LinearSvmTrainer,
@@ -177,25 +214,34 @@ fn current_train_peer(
     if data.is_empty() {
         return None;
     }
-    let model = OneVsAllTrainer::default().train_linear(data, trainer);
+    let model = OneVsAllTrainer::default().train_linear_csr(data, trainer);
     if model.num_tags() == 0 {
         return None;
     }
-    let xs = data.vectors();
-    let mut acc_sum = 0.0;
-    let mut acc_n = 0usize;
-    for (tag, clf) in model.iter() {
-        let ys = data.label_mask(tag);
-        acc_sum += accuracy_on(clf, xs, &ys);
-        acc_n += 1;
+    // Batched accuracy pass: per-tag correct counts from one matrix pass per
+    // document (matrix decisions are bit-identical to per-classifier ones).
+    let matrix = model.weight_matrix();
+    let mut correct = vec![0usize; matrix.num_tags()];
+    let mut decisions = Vec::new();
+    for (x, tags) in data.iter() {
+        matrix.decisions_into(x, &mut decisions);
+        for (slot, &tag) in matrix.tags().iter().enumerate() {
+            if (decisions[slot] >= 0.0) == tags.contains(&tag) {
+                correct[slot] += 1;
+            }
+        }
     }
-    Some((model, acc_sum / acc_n.max(1) as f64))
+    let mut acc_sum = 0.0;
+    for &c in &correct {
+        acc_sum += c as f64 / data.len() as f64;
+    }
+    Some((model, acc_sum / matrix.num_tags().max(1) as f64))
 }
 
 /// Runs the throughput experiment for one network size.
 pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
     let corpus = CorpusGenerator::new(throughput_spec(num_users, seed)).generate();
-    let split = TrainTestSplit::stratified_by_user(&corpus, 0.2, seed ^ 0xABCD);
+    let split = throughput_split(&corpus, seed);
 
     let run = |backend: ScoringBackend| {
         let mut system = P2PDocTagger::new(DocTaggerConfig {
@@ -206,18 +252,42 @@ pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
         let t0 = Instant::now();
         system.ingest(&corpus);
         let ingest_secs = t0.elapsed().as_secs_f64();
+        alloc::reset();
         let t1 = Instant::now();
         system.learn(&split).expect("learning succeeds");
         let train_secs = t1.elapsed().as_secs_f64();
+        let train_mem = alloc::snapshot();
+        alloc::reset();
         let t2 = Instant::now();
         let outcome = system.auto_tag_all().expect("tagging succeeds");
         let auto_secs = t2.elapsed().as_secs_f64();
-        (ingest_secs, train_secs, auto_secs, outcome)
+        let auto_mem = alloc::snapshot();
+        (
+            ingest_secs,
+            train_secs,
+            auto_secs,
+            train_mem,
+            auto_mem,
+            outcome,
+        )
     };
 
-    let (_scalar_ingest, _scalar_train, scalar_auto, scalar_outcome) = run(ScoringBackend::Scalar);
-    let (batched_ingest, batched_train, batched_auto, batched_outcome) =
-        run(ScoringBackend::Batched);
+    let (
+        _scalar_ingest,
+        _scalar_train,
+        scalar_auto,
+        _scalar_train_mem,
+        scalar_auto_mem,
+        scalar_outcome,
+    ) = run(ScoringBackend::Scalar);
+    let (
+        batched_ingest,
+        batched_train,
+        batched_auto,
+        batched_train_mem,
+        batched_auto_mem,
+        batched_outcome,
+    ) = run(ScoringBackend::Batched);
     assert_eq!(
         scalar_outcome.metrics.micro_f1(),
         batched_outcome.metrics.micro_f1(),
@@ -229,18 +299,37 @@ pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
     // clone-per-tag view's O(tags × corpus) allocation churn is worst.
     let vectorized = dataset::VectorizedCorpus::build(&corpus);
     let num_peers = corpus.num_users().max(1);
-    let pooled: MultiLabelDataset = split
-        .train
-        .iter()
-        .map(|&doc| vectorized.example(doc))
-        .collect();
+    let pooled = pooled_training_set(&vectorized, &split);
     let trainer = LinearSvmTrainer::default();
-    let t = Instant::now();
-    let legacy = legacy_train_peer(&pooled, &trainer).expect("pooled data trains");
-    let legacy_secs = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let current = current_train_peer(&pooled, &trainer).expect("pooled data trains");
-    let current_secs = t.elapsed().as_secs_f64();
+    // Interleaved best-of-3: both paths run alternately and keep their
+    // fastest time, so a scheduler hiccup during either path's window cannot
+    // masquerade as (or hide) a speedup — the treatment is symmetric. The
+    // fits are deterministic, so every repetition does identical work; the
+    // allocator counters are captured on the first repetition.
+    let mut legacy_secs = f64::INFINITY;
+    let mut current_secs = f64::INFINITY;
+    let mut legacy_mem = None;
+    let mut current_mem = None;
+    let mut legacy = None;
+    let mut current = None;
+    for rep in 0..3 {
+        alloc::reset();
+        let t = Instant::now();
+        legacy = Some(legacy_train_peer(&pooled, &trainer).expect("pooled data trains"));
+        legacy_secs = legacy_secs.min(t.elapsed().as_secs_f64());
+        if rep == 0 {
+            legacy_mem = alloc::snapshot();
+        }
+        alloc::reset();
+        let t = Instant::now();
+        current = Some(current_train_peer(&pooled, &trainer).expect("pooled data trains"));
+        current_secs = current_secs.min(t.elapsed().as_secs_f64());
+        if rep == 0 {
+            current_mem = alloc::snapshot();
+        }
+    }
+    let legacy = legacy.expect("three repetitions ran");
+    let current = current.expect("three repetitions ran");
     assert_eq!(legacy.1, current.1, "training accuracies must agree");
     assert_eq!(legacy.0.num_tags(), current.0.num_tags());
 
@@ -252,20 +341,26 @@ pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
         ingest: StageRate {
             docs: corpus.len(),
             secs: batched_ingest,
+            mem: None,
         },
         train: StageRate {
             docs: split.train.len(),
             secs: batched_train,
+            mem: batched_train_mem,
         },
         one_vs_all: StagePair {
             docs: split.train.len(),
             scalar_secs: legacy_secs,
             batched_secs: current_secs,
+            scalar_mem: legacy_mem,
+            batched_mem: current_mem,
         },
         auto_tag: StagePair {
             docs: split.test.len(),
             scalar_secs: scalar_auto,
             batched_secs: batched_auto,
+            scalar_mem: scalar_auto_mem,
+            batched_mem: batched_auto_mem,
         },
         micro_f1: batched_outcome.metrics.micro_f1(),
     }
@@ -273,10 +368,19 @@ pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
 
 /// Renders the rows as the `BENCH_throughput.json` document.
 pub fn to_json(rows: &[ThroughputRow], seed: u64) -> String {
+    let mem_fields = |prefix: &str, mem: &Option<AllocStats>, docs: usize| match mem {
+        Some(m) => format!(
+            ", \"{prefix}allocs_per_doc\": {:.1}, \"{prefix}peak_bytes\": {}",
+            m.allocs_per_doc(docs),
+            m.peak_bytes,
+        ),
+        None => String::new(),
+    };
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"throughput\",\n");
     out.push_str("  \"protocol\": \"pace\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"alloc_counting\": {},\n", alloc::enabled()));
     out.push_str(&format!(
         "  \"threads\": {},\n",
         parallel::effective_threads(usize::MAX)
@@ -291,18 +395,21 @@ pub fn to_json(rows: &[ThroughputRow], seed: u64) -> String {
         out.push_str(&format!("      \"micro_f1\": {:.4},\n", r.micro_f1));
         let rate = |name: &str, s: &StageRate| {
             format!(
-                "      \"{name}\": {{\"docs\": {}, \"docs_per_sec\": {:.1}}},\n",
+                "      \"{name}\": {{\"docs\": {}, \"docs_per_sec\": {:.1}{}}},\n",
                 s.docs,
                 s.docs_per_sec(),
+                mem_fields("", &s.mem, s.docs),
             )
         };
         let stage = |name: &str, s: &StagePair, trailing: bool| {
             format!(
-                "      \"{name}\": {{\"docs\": {}, \"scalar_docs_per_sec\": {:.1}, \"batched_docs_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                "      \"{name}\": {{\"docs\": {}, \"scalar_docs_per_sec\": {:.1}, \"batched_docs_per_sec\": {:.1}, \"speedup\": {:.2}{}{}}}{}\n",
                 s.docs,
                 s.scalar_docs_per_sec(),
                 s.batched_docs_per_sec(),
                 s.speedup(),
+                mem_fields("scalar_", &s.scalar_mem, s.docs),
+                mem_fields("batched_", &s.batched_mem, s.docs),
                 if trailing { "," } else { "" },
             )
         };

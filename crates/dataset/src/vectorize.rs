@@ -73,7 +73,10 @@ impl VectorizedCorpus {
         &self.tags[doc]
     }
 
-    /// A labeled example for a document.
+    /// A labeled example for a document. The example's vector **shares
+    /// storage** with this corpus (`SparseVector` clones are reference-count
+    /// bumps), so building per-peer datasets from a vectorized corpus — the
+    /// doctagger ingest/learn path — never copies the underlying entries.
     pub fn example(&self, doc: DocumentId) -> MultiLabelExample {
         MultiLabelExample::new(self.vectors[doc].clone(), self.tags[doc].iter().copied())
     }
@@ -118,6 +121,17 @@ mod tests {
         for d in corpus.documents().iter().take(20) {
             let ex = v.example(d.id);
             assert_eq!(ex.tags, corpus.tag_ids_of(d.id));
+        }
+    }
+
+    #[test]
+    fn examples_share_vector_storage_with_the_corpus() {
+        let (_, v) = vectorized();
+        for d in 0..v.len().min(10) {
+            assert!(
+                v.example(d).vector.shares_storage_with(v.vector(d)),
+                "example {d} copied its vector instead of sharing it"
+            );
         }
     }
 

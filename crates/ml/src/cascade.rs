@@ -92,6 +92,9 @@ impl CascadeSvm {
     }
 
     fn merge_group(&self, models: &[KernelSvm]) -> Option<KernelSvm> {
+        // Pooling copies `SupportVector`s, but their vectors share storage
+        // (`SparseVector` clones are reference-count bumps), so a cascade
+        // level never duplicates the underlying document entries.
         let pooled: Vec<SupportVector> = models
             .iter()
             .flat_map(|m| m.support_vectors().iter().cloned())

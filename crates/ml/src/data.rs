@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use textproc::SparseVector;
+use textproc::{CsrMatrix, SparseVector};
 
 /// Identifier of a tag in the global tag universe `Y`.
 pub type TagId = u32;
@@ -142,15 +142,38 @@ impl MultiLabelDataset {
         self.tags.iter().map(|t| t.contains(&tag)).collect()
     }
 
-    /// Produces the one-against-all binary view for `tag`: data from the target
-    /// tag belongs to the positive class and all other data to the negative
-    /// class.
-    ///
-    /// This clones every feature vector; it is kept for tests and as the
-    /// pre-refactor reference in the throughput benchmark. Hot paths use
-    /// [`Self::vectors`] + [`Self::label_mask`] instead.
-    pub fn one_vs_all(&self, tag: TagId) -> (Vec<SparseVector>, Vec<bool>) {
+    /// [`Self::label_mask`] into a caller-provided buffer, so a loop over the
+    /// tag universe reuses one allocation instead of allocating per tag.
+    pub fn label_mask_into(&self, tag: TagId, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.extend(self.tags.iter().map(|t| t.contains(&tag)));
+    }
+
+    /// Produces the one-against-all binary view for `tag`: the feature-vector
+    /// slice is borrowed (shared by every tag), only the boolean label mask is
+    /// per-tag.
+    pub fn one_vs_all(&self, tag: TagId) -> (&[SparseVector], Vec<bool>) {
+        (&self.vectors, self.label_mask(tag))
+    }
+
+    /// The pre-refactor form of [`Self::one_vs_all`], returning an owned copy
+    /// of the full feature-vector list per tag. Kept **only** as the legacy
+    /// reference the throughput benchmark measures the borrow-once/CSR
+    /// training paths against; never call this on a hot path. (With the
+    /// shared-storage [`SparseVector`] the per-vector copies are now
+    /// reference-count bumps, so even the legacy path no longer duplicates
+    /// the underlying entry arrays.)
+    pub fn one_vs_all_cloned(&self, tag: TagId) -> (Vec<SparseVector>, Vec<bool>) {
         (self.vectors.clone(), self.label_mask(tag))
+    }
+
+    /// Materializes the feature vectors as a row-major [`CsrMatrix`] — the
+    /// contiguous borrow-once layout the CSR-native training path
+    /// ([`crate::multilabel::OneVsAllTrainer::train_linear_csr`]) iterates.
+    /// Built in one `O(nnz)` pass; the matrix is a snapshot (it does not track
+    /// later pushes).
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_vectors(&self.vectors)
     }
 
     /// Merges another dataset into this one.
@@ -220,9 +243,31 @@ mod tests {
         let (xs, ys) = ds.one_vs_all(1);
         assert_eq!(xs.len(), 3);
         assert_eq!(ys, vec![true, false, true]);
-        // The zero-copy view agrees with the cloning one.
-        assert_eq!(ds.vectors(), xs.as_slice());
+        // The zero-copy view agrees with the legacy cloning one.
+        let (cloned_xs, cloned_ys) = ds.one_vs_all_cloned(1);
+        assert_eq!(ds.vectors(), cloned_xs.as_slice());
+        assert_eq!(ds.vectors(), xs);
         assert_eq!(ds.label_mask(1), ys);
+        assert_eq!(cloned_ys, ys);
+        let mut mask = Vec::new();
+        ds.label_mask_into(2, &mut mask);
+        assert_eq!(mask, ds.label_mask(2));
+        ds.label_mask_into(1, &mut mask);
+        assert_eq!(mask, ys, "buffer is reusable across tags");
+    }
+
+    #[test]
+    fn csr_snapshot_matches_vectors() {
+        let mut ds = MultiLabelDataset::from_examples(vec![ex(&[1]), ex(&[2])]);
+        ds.push(MultiLabelExample::new(
+            SparseVector::from_pairs([(3, 2.0), (7, -1.0)]),
+            [4],
+        ));
+        let csr = ds.to_csr();
+        assert_eq!(csr.num_rows(), ds.len());
+        for (i, v) in ds.vectors().iter().enumerate() {
+            assert_eq!(&csr.row_vector(i), v);
+        }
     }
 
     #[test]

@@ -64,19 +64,21 @@ impl KMeans {
                 assignments[i] = best;
                 new_inertia += dist;
             }
-            // Update step.
+            // Update step. Members are averaged straight off the borrowed
+            // point slice (same accumulation order as collecting them first,
+            // so the centroids are bit-identical to the pre-refactor
+            // clone-into-scratch version — without the per-iteration copies).
             let mut movement = 0.0;
             for (c, centroid) in centroids.iter_mut().enumerate() {
-                let members: Vec<SparseVector> = points
+                let members = points
                     .iter()
                     .zip(&assignments)
-                    .filter(|(_, &a)| a == c)
-                    .map(|(p, _)| p.clone())
-                    .collect();
-                if members.is_empty() {
+                    .filter(|&(_, &a)| a == c)
+                    .map(|(p, _)| p);
+                if assignments.iter().all(|&a| a != c) {
                     continue; // keep the old centroid for an empty cluster
                 }
-                let new_centroid = sparse::mean(&members);
+                let new_centroid = sparse::mean_iter(members);
                 movement += centroid.distance(&new_centroid);
                 *centroid = new_centroid;
             }

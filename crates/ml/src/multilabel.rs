@@ -9,7 +9,10 @@
 
 use crate::batch::{BatchKernelScorer, TagWeightMatrix};
 use crate::data::{MultiLabelDataset, TagId};
-use crate::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer};
+use crate::svm::{
+    gram_matrix, BinaryClassifier, CsrLinearTrainer, KernelSvm, KernelSvmTrainer, LinearSvm,
+    LinearSvmTrainer,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use textproc::SparseVector;
@@ -73,22 +76,76 @@ impl OneVsAllTrainer {
         F: Fn(TagId, &[SparseVector], &[bool]) -> C + Sync,
     {
         let xs = data.vectors();
-        let tags: Vec<TagId> = data
-            .tag_counts()
-            .into_iter()
-            .filter(|&(_, count)| count >= self.min_positive)
-            .map(|(tag, _)| tag)
-            .collect();
+        let tags = self.eligible_tags(data);
         let trained = parallel::par_map(&tags, |&tag| {
             let ys = data.label_mask(tag);
             train_fn(tag, xs, &ys)
         });
+        self.assemble(tags, trained)
+    }
+
+    /// The tags eligible for a one-vs-all reduction over `data` (at least
+    /// [`Self::min_positive`] positive examples), in ascending order.
+    fn eligible_tags(&self, data: &MultiLabelDataset) -> Vec<TagId> {
+        data.tag_counts()
+            .into_iter()
+            .filter(|&(_, count)| count >= self.min_positive)
+            .map(|(tag, _)| tag)
+            .collect()
+    }
+
+    /// Assembles a model from per-tag classifiers trained in tag order.
+    fn assemble<C: BinaryClassifier>(&self, tags: Vec<TagId>, trained: Vec<C>) -> OneVsAllModel<C> {
         let classifiers: BTreeMap<TagId, C> = tags.into_iter().zip(trained).collect();
         OneVsAllModel {
             classifiers,
             threshold: self.threshold,
             min_tags: self.min_tags,
         }
+    }
+
+    /// Drives every per-tag linear problem off one shared CSR training
+    /// context: `fit(ctx, mask, tag)` runs with the dataset-level state
+    /// (matrix, DCD diagonal, shuffle orders, solver scratch) already hoisted
+    /// out of the per-tag loop. Tag chunks fan out across cores, each chunk
+    /// sequentially reusing its own context; the ordered reduction keeps the
+    /// model identical to a sequential tag loop.
+    fn train_linear_csr_with<F>(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &LinearSvmTrainer,
+        fit: F,
+    ) -> OneVsAllModel<LinearSvm>
+    where
+        F: Fn(&mut CsrLinearTrainer<'_>, &[bool], TagId) -> LinearSvm + Sync,
+    {
+        let tags = self.eligible_tags(data);
+        if tags.is_empty() {
+            return self.assemble(tags, Vec::new());
+        }
+        let csr = data.to_csr();
+        // The DCD diagonal is label-independent: compute it once and share it
+        // across workers (each worker's context only owns mutable scratch).
+        let q = CsrLinearTrainer::dcd_diagonal(&csr);
+        let chunk = tags
+            .len()
+            .div_ceil(parallel::effective_threads(tags.len()).max(1))
+            .max(1);
+        let trained: Vec<LinearSvm> = parallel::par_chunks(&tags, chunk, |_, chunk_tags| {
+            let mut ctx = CsrLinearTrainer::with_diagonal(svm, &csr, &q);
+            let mut mask = Vec::new();
+            chunk_tags
+                .iter()
+                .map(|&tag| {
+                    data.label_mask_into(tag, &mut mask);
+                    fit(&mut ctx, &mask, tag)
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        self.assemble(tags, trained)
     }
 
     /// Convenience: one linear SVM per tag (the PACE base classifier).
@@ -100,6 +157,20 @@ impl OneVsAllTrainer {
         self.train_with(data, |_, xs, ys| svm.train(xs, ys))
     }
 
+    /// CSR-native variant of [`Self::train_linear`]: the dataset is
+    /// materialized once as a row-major [`textproc::CsrMatrix`] and every
+    /// per-tag fit runs through one shared [`CsrLinearTrainer`] context —
+    /// shared DCD diagonal, shared shuffle orders, reused solver scratch, no
+    /// per-tag corpus view of any kind. Produces a model **bit-identical** to
+    /// [`Self::train_linear`] on the same inputs.
+    pub fn train_linear_csr(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &LinearSvmTrainer,
+    ) -> OneVsAllModel<LinearSvm> {
+        self.train_linear_csr_with(data, svm, |ctx, mask, _| ctx.train(mask))
+    }
+
     /// Convenience: one kernel SVM per tag (the CEMPaR base classifier).
     pub fn train_kernel(
         &self,
@@ -107,6 +178,30 @@ impl OneVsAllTrainer {
         svm: &KernelSvmTrainer,
     ) -> OneVsAllModel<KernelSvm> {
         self.train_with(data, |_, xs, ys| svm.train(xs, ys))
+    }
+
+    /// Shared-Gram variant of [`Self::train_kernel`]: the kernel (Gram)
+    /// matrix depends only on the data, not the labels, so it is computed
+    /// **once** and shared by every per-tag SMO fit instead of being
+    /// re-evaluated per tag (`O(T · n² · nnz)` → `O(n² · nnz + T · n²)`
+    /// kernel work). Produces a model **bit-identical** to
+    /// [`Self::train_kernel`] on the same inputs.
+    pub fn train_kernel_shared(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &KernelSvmTrainer,
+    ) -> OneVsAllModel<KernelSvm> {
+        let tags = self.eligible_tags(data);
+        if tags.is_empty() {
+            return self.assemble(tags, Vec::new());
+        }
+        let xs = data.vectors();
+        let gram = gram_matrix(svm.kernel, xs);
+        let trained = parallel::par_map(&tags, |&tag| {
+            let ys = data.label_mask(tag);
+            svm.train_with_gram(xs, &ys, &gram)
+        });
+        self.assemble(tags, trained)
     }
 
     /// Warm-start one-vs-all refit for linear models: tags already known to
@@ -127,6 +222,22 @@ impl OneVsAllTrainer {
         })
     }
 
+    /// CSR-native variant of [`Self::train_linear_warm`]: warm refits and
+    /// cold fits of new tags all run through one shared [`CsrLinearTrainer`]
+    /// context per worker. Produces a model **bit-identical** to
+    /// [`Self::train_linear_warm`] on the same inputs.
+    pub fn train_linear_warm_csr(
+        &self,
+        data: &MultiLabelDataset,
+        svm: &LinearSvmTrainer,
+        prev: &OneVsAllModel<LinearSvm>,
+    ) -> OneVsAllModel<LinearSvm> {
+        self.train_linear_csr_with(data, svm, |ctx, mask, tag| match prev.classifier(tag) {
+            Some(warm) => ctx.train_warm(mask, warm),
+            None => ctx.train(mask),
+        })
+    }
+
     /// Warm-start one-vs-all refit for kernel models, the classic incremental
     /// SVM (retain the support vectors, add the new data, retrain): for each
     /// tag known to `prev`, the trainer runs on the previous classifier's
@@ -143,16 +254,13 @@ impl OneVsAllTrainer {
         svm: &KernelSvmTrainer,
         prev: &OneVsAllModel<KernelSvm>,
     ) -> OneVsAllModel<KernelSvm> {
-        let tags: Vec<TagId> = data
-            .tag_counts()
-            .into_iter()
-            .filter(|&(_, count)| count >= self.min_positive)
-            .map(|(tag, _)| tag)
-            .collect();
+        let tags = self.eligible_tags(data);
         let trained = parallel::par_map(&tags, |&tag| {
             let Some(warm) = prev.classifier(tag) else {
                 return svm.train(data.vectors(), &data.label_mask(tag));
             };
+            // The pooled copies below are reference-count bumps: the SV and
+            // new-example vectors share storage with their owners.
             let mut xs: Vec<SparseVector> = warm
                 .support_vectors()
                 .iter()
@@ -170,12 +278,7 @@ impl OneVsAllTrainer {
             }
             svm.train(&xs, &ys)
         });
-        let classifiers: BTreeMap<TagId, KernelSvm> = tags.into_iter().zip(trained).collect();
-        OneVsAllModel {
-            classifiers,
-            threshold: self.threshold,
-            min_tags: self.min_tags,
-        }
+        self.assemble(tags, trained)
     }
 }
 
@@ -444,6 +547,86 @@ mod tests {
                 assert!(clf.num_support_vectors() <= max_sv + new.len());
             }
         }
+    }
+
+    /// Per-tag decision functions must agree bit for bit on a probe set.
+    fn assert_models_bit_identical<C: BinaryClassifier>(
+        a: &OneVsAllModel<C>,
+        b: &OneVsAllModel<C>,
+        probes: &[SparseVector],
+    ) {
+        assert_eq!(a.num_tags(), b.num_tags());
+        for ((ta, ca), (tb, cb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta, tb);
+            for p in probes {
+                assert_eq!(
+                    ca.decision(p).to_bits(),
+                    cb.decision(p).to_bits(),
+                    "tag {ta}"
+                );
+            }
+        }
+    }
+
+    fn probes() -> Vec<SparseVector> {
+        vec![
+            SparseVector::from_pairs([(0, 1.0)]),
+            SparseVector::from_pairs([(1, 0.8), (4, 1.1)]),
+            SparseVector::from_pairs([(0, -0.5), (1, 0.5), (4, 0.2)]),
+            SparseVector::new(),
+        ]
+    }
+
+    #[test]
+    fn csr_one_vs_all_is_bit_identical_to_scalar() {
+        let ds = toy_dataset();
+        let trainer = OneVsAllTrainer::default();
+        let svm = LinearSvmTrainer::default();
+        let scalar = trainer.train_linear(&ds, &svm);
+        let csr = trainer.train_linear_csr(&ds, &svm);
+        assert_models_bit_identical(&scalar, &csr, &probes());
+        for p in probes() {
+            assert_eq!(scalar.scores(&p), csr.scores(&p));
+            assert_eq!(scalar.predict(&p), csr.predict(&p));
+        }
+    }
+
+    #[test]
+    fn csr_warm_one_vs_all_is_bit_identical_to_scalar() {
+        let mut ds = toy_dataset();
+        let trainer = OneVsAllTrainer::default();
+        let svm = LinearSvmTrainer::default();
+        let cold = trainer.train_linear(&ds, &svm);
+        // Enough new examples that the warm SGD path (not just the small-n
+        // cold delegation) is exercised, including a brand-new tag.
+        for i in 0..30 {
+            ds.push(MultiLabelExample::new(
+                SparseVector::from_pairs([(4, 1.0 + 0.02 * i as f64)]),
+                [7],
+            ));
+        }
+        let scalar = trainer.train_linear_warm(&ds, &svm, &cold);
+        let csr = trainer.train_linear_warm_csr(&ds, &svm, &cold);
+        assert_models_bit_identical(&scalar, &csr, &probes());
+    }
+
+    #[test]
+    fn shared_gram_one_vs_all_is_bit_identical_to_scalar() {
+        let ds = toy_dataset();
+        let trainer = OneVsAllTrainer::default();
+        let svm = KernelSvmTrainer::default();
+        let scalar = trainer.train_kernel(&ds, &svm);
+        let shared = trainer.train_kernel_shared(&ds, &svm);
+        assert_models_bit_identical(&scalar, &shared, &probes());
+        // Empty dataset degenerates to an empty model on both paths.
+        let empty = MultiLabelDataset::new();
+        assert_eq!(trainer.train_kernel_shared(&empty, &svm).num_tags(), 0);
+        assert_eq!(
+            OneVsAllTrainer::default()
+                .train_linear_csr(&empty, &LinearSvmTrainer::default())
+                .num_tags(),
+            0
+        );
     }
 
     #[test]

@@ -139,32 +139,56 @@ impl KernelSvmTrainer {
     pub fn train(&self, xs: &[SparseVector], ys: &[bool]) -> KernelSvm {
         assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
         assert!(!xs.is_empty(), "cannot train on an empty dataset");
-        let n = xs.len();
-        if n == 1 {
-            // SMO needs at least two points; a single example degenerates to a
-            // one-nearest-prototype decision around it.
-            return KernelSvm {
-                support_vectors: vec![SupportVector {
-                    vector: xs[0].clone(),
-                    label: ys[0],
-                    alpha: 1.0,
-                }],
-                bias: 0.0,
-                kernel: self.kernel,
-            };
+        if xs.len() == 1 {
+            return self.single_example_model(xs, ys);
         }
-        let y: Vec<f64> = ys.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
-
         // Precompute the kernel matrix; per-peer local datasets are small
         // (tens to a few hundred documents), so O(n²) memory is acceptable.
-        let mut k = vec![0.0; n * n];
-        for i in 0..n {
-            for j in i..n {
-                let v = self.kernel.eval(&xs[i], &xs[j]);
-                k[i * n + j] = v;
-                k[j * n + i] = v;
-            }
+        let k = gram_matrix(self.kernel, xs);
+        self.train_smo(xs, ys, &k)
+    }
+
+    /// [`Self::train`] against a caller-provided Gram matrix (row-major
+    /// `n × n`, as [`gram_matrix`] builds it).
+    ///
+    /// The Gram matrix depends only on the kernel and the data — not on the
+    /// labels — so a one-vs-all reduction over `T` tags can compute it once
+    /// and share it across every per-tag fit instead of re-evaluating all
+    /// `n²` kernel entries per tag ([`crate::multilabel::OneVsAllTrainer::train_kernel_shared`]).
+    /// Given `gram == gram_matrix(self.kernel, xs)`, the trained model is
+    /// bit-identical to [`Self::train`]'s.
+    ///
+    /// # Panics
+    /// Panics when `xs` and `ys` have different lengths or are empty, or when
+    /// `gram.len() != xs.len()²`.
+    pub fn train_with_gram(&self, xs: &[SparseVector], ys: &[bool], gram: &[f64]) -> KernelSvm {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        assert!(!xs.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(gram.len(), xs.len() * xs.len(), "gram matrix must be n × n");
+        if xs.len() == 1 {
+            return self.single_example_model(xs, ys);
         }
+        self.train_smo(xs, ys, gram)
+    }
+
+    /// SMO needs at least two points; a single example degenerates to a
+    /// one-nearest-prototype decision around it.
+    fn single_example_model(&self, xs: &[SparseVector], ys: &[bool]) -> KernelSvm {
+        KernelSvm {
+            support_vectors: vec![SupportVector {
+                vector: xs[0].clone(),
+                label: ys[0],
+                alpha: 1.0,
+            }],
+            bias: 0.0,
+            kernel: self.kernel,
+        }
+    }
+
+    /// The simplified-SMO optimization loop over a precomputed Gram matrix.
+    fn train_smo(&self, xs: &[SparseVector], ys: &[bool], k: &[f64]) -> KernelSvm {
+        let n = xs.len();
+        let y: Vec<f64> = ys.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
         let kij = |i: usize, j: usize| k[i * n + j];
 
         let mut alpha = vec![0.0f64; n];
@@ -266,6 +290,24 @@ impl KernelSvmTrainer {
     }
 }
 
+/// Precomputes the symmetric Gram matrix `K[i·n + j] = K(x_i, x_j)` in
+/// row-major order, evaluating each `(i, j ≥ i)` pair once — the exact fill
+/// order (and therefore the exact bits) the SMO trainer's inline
+/// precomputation used, hoisted out so label-independent consumers (the
+/// one-vs-all reduction) can share one matrix across tags.
+pub fn gram_matrix(kernel: Kernel, xs: &[SparseVector]) -> Vec<f64> {
+    let n = xs.len();
+    let mut k = vec![0.0; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(&xs[i], &xs[j]);
+            k[i * n + j] = v;
+            k[j * n + i] = v;
+        }
+    }
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::{accuracy_on, test_util};
@@ -346,5 +388,38 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_dataset_panics() {
         KernelSvmTrainer::default().train(&[], &[]);
+    }
+
+    #[test]
+    fn shared_gram_training_is_bit_identical_to_inline_precomputation() {
+        let (xs, ys) = test_util::xor(80, 17);
+        let trainer = KernelSvmTrainer {
+            kernel: Kernel::Rbf { gamma: 1.0 },
+            ..Default::default()
+        };
+        let inline = trainer.train(&xs, &ys);
+        let gram = gram_matrix(trainer.kernel, &xs);
+        let shared = trainer.train_with_gram(&xs, &ys, &gram);
+        assert_eq!(inline.bias().to_bits(), shared.bias().to_bits());
+        assert_eq!(inline.num_support_vectors(), shared.num_support_vectors());
+        for (a, b) in inline
+            .support_vectors()
+            .iter()
+            .zip(shared.support_vectors())
+        {
+            assert_eq!(a.vector, b.vector);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.alpha.to_bits(), b.alpha.to_bits());
+        }
+        // The flipped label mask trains a different model off the same Gram.
+        let flipped: Vec<bool> = ys.iter().map(|&b| !b).collect();
+        let other = trainer.train_with_gram(&xs, &flipped, &gram);
+        assert_eq!(
+            other.bias().to_bits(),
+            trainer.train(&xs, &flipped).bias().to_bits()
+        );
+        // Single-example degenerate case goes through the same prototype path.
+        let one = trainer.train_with_gram(&xs[..1], &ys[..1], &gram[..1]);
+        assert_eq!(one.num_support_vectors(), 1);
     }
 }

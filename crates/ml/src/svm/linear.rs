@@ -173,7 +173,7 @@ impl LinearSvmTrainer {
         let mut w = warm.weights.clone();
         w.resize(dim, 0.0);
         let mut bias = warm.bias;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x57A8_57A8);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ super::csr::WARM_SEED_XOR);
         let mut order: Vec<usize> = (0..n).collect();
         // Start the Pegasos clock one full epoch in: the warm weights stand in
         // for a completed cold pass, so the early (large) learning rates do

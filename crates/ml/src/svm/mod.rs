@@ -10,11 +10,19 @@
 //! * [`KernelSvm`] — the non-linear SVM each CEMPaR peer builds on its local
 //!   training data, trained with a simplified SMO solver. Its support vectors
 //!   are what is propagated to super-peers and cascaded.
+//!
+//! Both have a shared-storage training form for one-vs-all reductions:
+//! [`CsrLinearTrainer`] drives every per-tag linear fit off one CSR arena
+//! with tag-independent solver state hoisted out of the per-tag loop, and
+//! [`KernelSvmTrainer::train_with_gram`] shares one precomputed Gram matrix
+//! across tags. Both are bit-identical to the scalar entry points.
 
+mod csr;
 mod kernel_svm;
 mod linear;
 
-pub use kernel_svm::{KernelSvm, KernelSvmTrainer, SupportVector};
+pub use csr::CsrLinearTrainer;
+pub use kernel_svm::{gram_matrix, KernelSvm, KernelSvmTrainer, SupportVector};
 pub use linear::{LinearSolver, LinearSvm, LinearSvmTrainer};
 
 use textproc::SparseVector;

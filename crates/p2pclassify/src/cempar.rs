@@ -23,7 +23,9 @@
 //! text — which is the privacy argument the paper makes.
 
 use crate::error::ProtocolError;
-use crate::protocol::{combine_weighted_scores, P2PTagClassifier, PeerDataMap, ScoringBackend};
+use crate::protocol::{
+    combine_weighted_scores, P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend,
+};
 use ml::batch::BatchKernelScorer;
 use ml::cascade::{CascadeConfig, CascadeSvm};
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
@@ -59,6 +61,11 @@ pub struct CemparConfig {
     /// cascaded models; [`ScoringBackend::Scalar`] keeps the pre-refactor
     /// per-tag kernel expansions. Both produce identical predictions.
     pub backend: ScoringBackend,
+    /// Training-time implementation. [`TrainingBackend::Csr`] computes each
+    /// peer's kernel (Gram) matrix once and shares it across every per-tag
+    /// SMO fit; [`TrainingBackend::Scalar`] keeps the pre-refactor per-tag
+    /// recomputation as the reference. Both produce bit-identical models.
+    pub train_backend: TrainingBackend,
 }
 
 impl Default for CemparConfig {
@@ -85,6 +92,7 @@ impl Default for CemparConfig {
             rel_threshold: 0.5,
             min_tags: 1,
             backend: ScoringBackend::default(),
+            train_backend: TrainingBackend::default(),
         }
     }
 }
@@ -189,7 +197,13 @@ impl Cempar {
         if data.is_empty() {
             return None;
         }
-        let model = self.config.one_vs_all.train_kernel(data, &self.config.svm);
+        let model = match self.config.train_backend {
+            TrainingBackend::Csr => self
+                .config
+                .one_vs_all
+                .train_kernel_shared(data, &self.config.svm),
+            TrainingBackend::Scalar => self.config.one_vs_all.train_kernel(data, &self.config.svm),
+        };
         if model.num_tags() == 0 {
             None
         } else {

@@ -9,7 +9,7 @@
 //! against; communication- and availability-wise it is the worst case.
 
 use crate::error::ProtocolError;
-use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend};
+use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
 use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
@@ -35,6 +35,11 @@ pub struct CentralizedConfig {
     /// Query-time scoring implementation ([`ScoringBackend::Batched`] scores
     /// the pooled model's whole tag universe in one pass per document).
     pub backend: ScoringBackend,
+    /// Training-time implementation (CSR shared-storage vs the scalar
+    /// reference; bit-identical models either way). The pooled server-side
+    /// dataset is the largest one-vs-all problem in the system, so this is
+    /// where the shared CSR arena pays the most.
+    pub train_backend: TrainingBackend,
 }
 
 impl Default for CentralizedConfig {
@@ -46,6 +51,7 @@ impl Default for CentralizedConfig {
             vote_threshold: 0.0,
             min_tags: 1,
             backend: ScoringBackend::default(),
+            train_backend: TrainingBackend::default(),
         }
     }
 }
@@ -94,10 +100,16 @@ impl Centralized {
             self.matrix = None;
             return;
         }
-        let model = self
-            .config
-            .one_vs_all
-            .train_linear(&self.pooled, &self.config.svm);
+        let model = match self.config.train_backend {
+            TrainingBackend::Csr => self
+                .config
+                .one_vs_all
+                .train_linear_csr(&self.pooled, &self.config.svm),
+            TrainingBackend::Scalar => self
+                .config
+                .one_vs_all
+                .train_linear(&self.pooled, &self.config.svm),
+        };
         self.model = (model.num_tags() > 0).then_some(model);
         self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
     }
@@ -116,10 +128,18 @@ impl Centralized {
             return;
         }
         let prev = self.model.take().expect("checked above");
-        let model = self
-            .config
-            .one_vs_all
-            .train_linear_warm(&self.pooled, &self.config.svm, &prev);
+        let model = match self.config.train_backend {
+            TrainingBackend::Csr => {
+                self.config
+                    .one_vs_all
+                    .train_linear_warm_csr(&self.pooled, &self.config.svm, &prev)
+            }
+            TrainingBackend::Scalar => {
+                self.config
+                    .one_vs_all
+                    .train_linear_warm(&self.pooled, &self.config.svm, &prev)
+            }
+        };
         self.model = (model.num_tags() > 0).then_some(model);
         self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
     }

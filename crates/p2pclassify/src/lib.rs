@@ -43,7 +43,7 @@ pub mod prelude {
     pub use crate::error::ProtocolError;
     pub use crate::local::{LocalOnly, LocalOnlyConfig};
     pub use crate::pace::{Pace, PaceConfig};
-    pub use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend};
+    pub use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
 }
 
 pub use cempar::{Cempar, CemparConfig};
@@ -51,4 +51,4 @@ pub use centralized::{Centralized, CentralizedConfig};
 pub use error::ProtocolError;
 pub use local::{LocalOnly, LocalOnlyConfig};
 pub use pace::{Pace, PaceConfig};
-pub use protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend};
+pub use protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};

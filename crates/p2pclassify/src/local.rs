@@ -7,7 +7,7 @@
 //! across peers (§2).
 
 use crate::error::ProtocolError;
-use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend};
+use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
 use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
@@ -25,6 +25,9 @@ pub struct LocalOnlyConfig {
     pub one_vs_all: OneVsAllTrainer,
     /// Query-time scoring implementation.
     pub backend: ScoringBackend,
+    /// Training-time implementation (CSR shared-storage vs the scalar
+    /// reference; bit-identical models either way).
+    pub train_backend: TrainingBackend,
 }
 
 /// A peer's local model together with its packed scoring matrix.
@@ -82,13 +85,24 @@ impl LocalOnly {
         if data.is_empty() {
             return None;
         }
-        let m = match warm {
-            Some(prev) => {
+        let m = match (self.config.train_backend, warm) {
+            (TrainingBackend::Csr, Some(prev)) => {
+                self.config
+                    .one_vs_all
+                    .train_linear_warm_csr(data, &self.config.svm, &prev.model)
+            }
+            (TrainingBackend::Csr, None) => self
+                .config
+                .one_vs_all
+                .train_linear_csr(data, &self.config.svm),
+            (TrainingBackend::Scalar, Some(prev)) => {
                 self.config
                     .one_vs_all
                     .train_linear_warm(data, &self.config.svm, &prev.model)
             }
-            None => self.config.one_vs_all.train_linear(data, &self.config.svm),
+            (TrainingBackend::Scalar, None) => {
+                self.config.one_vs_all.train_linear(data, &self.config.svm)
+            }
         };
         (m.num_tags() > 0).then(|| LocalModel::build(m))
     }

@@ -22,7 +22,7 @@
 use crate::error::ProtocolError;
 use crate::protocol::{
     combine_confidence_votes, ConfidenceVoteAccumulator, P2PTagClassifier, PeerDataMap,
-    ScoringBackend,
+    ScoringBackend, TrainingBackend,
 };
 use ml::batch::TagWeightMatrix;
 use ml::kmeans::{KMeans, KMeansConfig};
@@ -75,6 +75,12 @@ pub struct PaceConfig {
     /// [`ScoringBackend::Scalar`] keeps the pre-refactor per-tag loops as a
     /// reference. Both produce identical predictions.
     pub backend: ScoringBackend,
+    /// Training-time implementation. [`TrainingBackend::Csr`] (the default)
+    /// runs every peer's one-vs-all fit off one shared CSR arena (shared DCD
+    /// diagonal and shuffle orders, reused solver scratch);
+    /// [`TrainingBackend::Scalar`] keeps the pre-refactor per-tag slice loops
+    /// as the reference. Both produce bit-identical models.
+    pub train_backend: TrainingBackend,
 }
 
 impl Default for PaceConfig {
@@ -95,6 +101,7 @@ impl Default for PaceConfig {
             distance_sharpness: 2.0,
             coverage_damping: 0.4,
             backend: ScoringBackend::default(),
+            train_backend: TrainingBackend::default(),
         }
     }
 }
@@ -215,12 +222,24 @@ impl Pace {
         if data.is_empty() {
             return None;
         }
-        let model = match warm {
-            Some(prev) => self
+        let model = match (self.config.train_backend, warm) {
+            (TrainingBackend::Csr, Some(prev)) => {
+                self.config
+                    .one_vs_all
+                    .train_linear_warm_csr(data, &self.config.svm, prev)
+            }
+            (TrainingBackend::Csr, None) => self
                 .config
                 .one_vs_all
-                .train_linear_warm(data, &self.config.svm, prev),
-            None => self.config.one_vs_all.train_linear(data, &self.config.svm),
+                .train_linear_csr(data, &self.config.svm),
+            (TrainingBackend::Scalar, Some(prev)) => {
+                self.config
+                    .one_vs_all
+                    .train_linear_warm(data, &self.config.svm, prev)
+            }
+            (TrainingBackend::Scalar, None) => {
+                self.config.one_vs_all.train_linear(data, &self.config.svm)
+            }
         };
         if model.num_tags() == 0 {
             return None;

@@ -29,6 +29,27 @@ pub enum ScoringBackend {
     Batched,
 }
 
+/// Which training implementation a protocol uses for its one-vs-all fits.
+///
+/// Both backends produce **bit-identical models** (and therefore identical
+/// predictions — `tests/equivalence.rs` pins this across every protocol,
+/// including `train_incremental` warm starts); they differ only in memory
+/// traffic. The scalar backend is retained as the reference the throughput
+/// benchmark measures the shared-storage engine against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainingBackend {
+    /// Per-tag fits over the `&[SparseVector]` view, each re-deriving the
+    /// problem dimension, DCD diagonal, shuffle orders (linear) or the full
+    /// kernel matrix (kernel) per tag: the pre-refactor reference loops.
+    Scalar,
+    /// Shared-storage training: linear one-vs-all runs off one row-major CSR
+    /// arena through a shared [`ml::svm::CsrLinearTrainer`] context (shared
+    /// diagonal/orders, reused scratch, bounds-check-free row kernels);
+    /// kernel one-vs-all shares one precomputed Gram matrix across tags.
+    #[default]
+    Csr,
+}
+
 /// A distributed tagging classifier that trains and predicts over a simulated
 /// P2P network, paying for every byte it exchanges.
 pub trait P2PTagClassifier {

@@ -1,15 +1,19 @@
-//! Scalar ↔ batched equivalence at the protocol level.
+//! Scalar ↔ batched/CSR equivalence at the protocol level.
 //!
-//! The batched scoring engine (`ml::TagWeightMatrix`, `ml::BatchKernelScorer`)
-//! and the parallel batch-prediction path must be drop-in replacements: for
-//! every protocol, the `Batched` backend must produce *exactly* the same
-//! `TagPrediction`s and tag sets as the pre-refactor `Scalar` loops, and
-//! `predict_batch` must equal the sequential per-document `predict` loop.
+//! The batched scoring engine (`ml::TagWeightMatrix`, `ml::BatchKernelScorer`),
+//! the CSR-native / shared-Gram training engine
+//! (`ml::svm::CsrLinearTrainer`, `OneVsAllTrainer::train_kernel_shared`) and
+//! the parallel batch-prediction path must be drop-in replacements: for every
+//! protocol, the `Batched` scoring backend and the `Csr` training backend must
+//! produce *exactly* the same models, `TagPrediction`s and tag sets as the
+//! pre-refactor `Scalar` loops — including through `refine()` and
+//! `train_incremental` warm starts — and `predict_batch` must equal the
+//! sequential per-document `predict` loop.
 
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
 use p2pclassify::{
     Cempar, CemparConfig, Centralized, CentralizedConfig, LocalOnly, LocalOnlyConfig,
-    P2PTagClassifier, Pace, PaceConfig, ScoringBackend,
+    P2PTagClassifier, Pace, PaceConfig, ScoringBackend, TrainingBackend,
 };
 use p2psim::{P2PNetwork, PeerId, SimConfig};
 use rand::rngs::StdRng;
@@ -62,18 +66,26 @@ fn network(num_peers: usize) -> P2PNetwork {
     })
 }
 
-/// Trains both backends of a protocol on identical data/networks and checks
+/// The two ends being compared: the full pre-refactor reference stack
+/// (scalar scoring + scalar training) against the full fast stack (batched
+/// scoring + CSR/shared-Gram training). Any divergence anywhere in either
+/// engine shows up as a score or prediction mismatch.
+const REFERENCE: (ScoringBackend, TrainingBackend) =
+    (ScoringBackend::Scalar, TrainingBackend::Scalar);
+const FAST: (ScoringBackend, TrainingBackend) = (ScoringBackend::Batched, TrainingBackend::Csr);
+
+/// Trains both stacks of a protocol on identical data/networks and checks
 /// that scores and predictions agree exactly on every probe, from every peer.
 fn assert_backends_agree<P, F>(num_peers: usize, seed: u64, make: F)
 where
     P: P2PTagClassifier,
-    F: Fn(ScoringBackend) -> P,
+    F: Fn(ScoringBackend, TrainingBackend) -> P,
 {
     let data = peer_data(num_peers, 14, seed);
     let mut net_scalar = network(num_peers);
     let mut net_batched = network(num_peers);
-    let mut scalar = make(ScoringBackend::Scalar);
-    let mut batched = make(ScoringBackend::Batched);
+    let mut scalar = make(REFERENCE.0, REFERENCE.1);
+    let mut batched = make(FAST.0, FAST.1);
     scalar.train(&mut net_scalar, &data).unwrap();
     batched.train(&mut net_batched, &data).unwrap();
 
@@ -86,6 +98,36 @@ where
         let bp = batched.predict(&mut net_batched, peer, probe);
         assert_eq!(sp, bp, "predictions diverge on probe {i}");
     }
+}
+
+/// The training-backend axis alone: identical (batched) scoring over models
+/// trained by the scalar reference vs the CSR/shared-Gram engine.
+fn assert_training_backends_agree<P, F>(num_peers: usize, seed: u64, make: F)
+where
+    P: P2PTagClassifier,
+    F: Fn(ScoringBackend, TrainingBackend) -> P,
+{
+    let data = peer_data(num_peers, 14, seed);
+    let mut net_a = network(num_peers);
+    let mut net_b = network(num_peers);
+    let mut scalar_trained = make(ScoringBackend::Batched, TrainingBackend::Scalar);
+    let mut csr_trained = make(ScoringBackend::Batched, TrainingBackend::Csr);
+    scalar_trained.train(&mut net_a, &data).unwrap();
+    csr_trained.train(&mut net_b, &data).unwrap();
+    for (i, probe) in probes(seed ^ 0x33).iter().enumerate() {
+        let peer = PeerId((i % num_peers) as u64);
+        assert_eq!(
+            scalar_trained.scores(&mut net_a, peer, probe),
+            csr_trained.scores(&mut net_b, peer, probe),
+            "scores diverge on probe {i}"
+        );
+    }
+    // Trained models must also ship identically (same wire accounting).
+    assert_eq!(
+        net_a.stats().total_bytes(),
+        net_b.stats().total_bytes(),
+        "training backends propagate byte-identical models"
+    );
 }
 
 /// Checks `predict_batch` against the sequential per-request `predict` loop
@@ -129,21 +171,52 @@ where
     );
 }
 
+fn pace_with(backend: ScoringBackend, train_backend: TrainingBackend) -> Pace {
+    Pace::new(PaceConfig {
+        backend,
+        train_backend,
+        ..PaceConfig::default()
+    })
+}
+
+fn cempar_with(regions: usize) -> impl Fn(ScoringBackend, TrainingBackend) -> Cempar {
+    move |backend, train_backend| {
+        Cempar::new(CemparConfig {
+            backend,
+            train_backend,
+            regions,
+            ..CemparConfig::default()
+        })
+    }
+}
+
+fn centralized_with(backend: ScoringBackend, train_backend: TrainingBackend) -> Centralized {
+    Centralized::new(CentralizedConfig {
+        backend,
+        train_backend,
+        ..CentralizedConfig::default()
+    })
+}
+
+fn local_with(backend: ScoringBackend, train_backend: TrainingBackend) -> LocalOnly {
+    LocalOnly::new(LocalOnlyConfig {
+        backend,
+        train_backend,
+        ..LocalOnlyConfig::default()
+    })
+}
+
 #[test]
 fn pace_backends_agree() {
-    assert_backends_agree(12, 71, |backend| {
-        Pace::new(PaceConfig {
-            backend,
-            ..PaceConfig::default()
-        })
-    });
+    assert_backends_agree(12, 71, pace_with);
 }
 
 #[test]
 fn pace_backends_agree_without_lsh() {
-    assert_backends_agree(10, 72, |backend| {
+    assert_backends_agree(10, 72, |backend, train_backend| {
         Pace::new(PaceConfig {
             backend,
+            train_backend,
             use_lsh: false,
             ..PaceConfig::default()
         })
@@ -152,33 +225,37 @@ fn pace_backends_agree_without_lsh() {
 
 #[test]
 fn cempar_backends_agree() {
-    assert_backends_agree(16, 73, |backend| {
-        Cempar::new(CemparConfig {
-            backend,
-            regions: 4,
-            ..CemparConfig::default()
-        })
-    });
+    assert_backends_agree(16, 73, cempar_with(4));
 }
 
 #[test]
 fn centralized_backends_agree() {
-    assert_backends_agree(8, 74, |backend| {
-        Centralized::new(CentralizedConfig {
-            backend,
-            ..CentralizedConfig::default()
-        })
-    });
+    assert_backends_agree(8, 74, centralized_with);
 }
 
 #[test]
 fn local_only_backends_agree() {
-    assert_backends_agree(6, 75, |backend| {
-        LocalOnly::new(LocalOnlyConfig {
-            backend,
-            ..LocalOnlyConfig::default()
-        })
-    });
+    assert_backends_agree(6, 75, local_with);
+}
+
+#[test]
+fn pace_training_backends_agree() {
+    assert_training_backends_agree(12, 76, pace_with);
+}
+
+#[test]
+fn cempar_training_backends_agree() {
+    assert_training_backends_agree(16, 77, cempar_with(4));
+}
+
+#[test]
+fn centralized_training_backends_agree() {
+    assert_training_backends_agree(8, 78, centralized_with);
+}
+
+#[test]
+fn local_only_training_backends_agree() {
+    assert_training_backends_agree(6, 79, local_with);
 }
 
 #[test]
@@ -206,23 +283,23 @@ fn centralized_default_predict_batch_equals_sequential() {
     assert_batch_equals_sequential(8, 84, || Centralized::new(CentralizedConfig::default()));
 }
 
-/// Trains both backends, drives them through an identical sequence of
+/// Trains both stacks, drives them through an identical sequence of
 /// `refine()` calls followed by a `train_incremental` round, and checks
 /// bit-identity of scores and predictions after *each* mutation — not just
 /// after initial training. This pins the invariant that every model-rebuild
 /// path (refinement retrain + re-propagation, warm-start incremental
-/// training) keeps the batched structures in lockstep with the scalar
-/// reference.
+/// training — both cold *and* warm CSR fits) keeps the fast structures in
+/// lockstep with the scalar reference.
 fn assert_backends_agree_through_refine_and_incremental<P, F>(num_peers: usize, seed: u64, make: F)
 where
     P: P2PTagClassifier,
-    F: Fn(ScoringBackend) -> P,
+    F: Fn(ScoringBackend, TrainingBackend) -> P,
 {
     let data = peer_data(num_peers, 14, seed);
     let mut net_s = network(num_peers);
     let mut net_b = network(num_peers);
-    let mut scalar = make(ScoringBackend::Scalar);
-    let mut batched = make(ScoringBackend::Batched);
+    let mut scalar = make(REFERENCE.0, REFERENCE.1);
+    let mut batched = make(FAST.0, FAST.1);
     scalar.train(&mut net_s, &data).unwrap();
     batched.train(&mut net_b, &data).unwrap();
 
@@ -268,7 +345,9 @@ where
     }
 
     // An incremental training round: two peers receive new arrivals, one of
-    // them carrying a tag the ensemble has never seen.
+    // them carrying a tag the ensemble has never seen. The touched peers'
+    // datasets are large enough that the warm SGD path (not only the small-n
+    // cold delegation) is exercised on the linear protocols.
     let mut new_data = vec![MultiLabelDataset::new(); num_peers];
     for i in 0..8 {
         new_data[0].push(MultiLabelExample::new(
@@ -298,41 +377,54 @@ where
 
 #[test]
 fn pace_backends_agree_through_refine_and_incremental() {
-    assert_backends_agree_through_refine_and_incremental(8, 91, |backend| {
-        Pace::new(PaceConfig {
-            backend,
-            ..PaceConfig::default()
-        })
-    });
+    assert_backends_agree_through_refine_and_incremental(8, 91, pace_with);
 }
 
 #[test]
 fn cempar_backends_agree_through_refine_and_incremental() {
-    assert_backends_agree_through_refine_and_incremental(12, 92, |backend| {
-        Cempar::new(CemparConfig {
-            backend,
-            regions: 3,
-            ..CemparConfig::default()
-        })
-    });
+    assert_backends_agree_through_refine_and_incremental(12, 92, cempar_with(3));
 }
 
 #[test]
 fn local_only_backends_agree_through_refine_and_incremental() {
-    assert_backends_agree_through_refine_and_incremental(6, 93, |backend| {
-        LocalOnly::new(LocalOnlyConfig {
-            backend,
-            ..LocalOnlyConfig::default()
-        })
-    });
+    assert_backends_agree_through_refine_and_incremental(6, 93, local_with);
 }
 
 #[test]
 fn centralized_backends_agree_through_refine_and_incremental() {
-    assert_backends_agree_through_refine_and_incremental(6, 94, |backend| {
-        Centralized::new(CentralizedConfig {
-            backend,
-            ..CentralizedConfig::default()
-        })
-    });
+    assert_backends_agree_through_refine_and_incremental(6, 94, centralized_with);
+}
+
+/// A large single-peer dataset forces the Centralized pooled warm refit onto
+/// the real warm-SGD path (n ≥ warm_min_examples), pinning CSR warm-start
+/// equivalence where it matters most.
+#[test]
+fn centralized_warm_sgd_training_backends_agree_at_scale() {
+    let num_peers = 6;
+    let data = peer_data(num_peers, 20, 95);
+    let mut net_a = network(num_peers);
+    let mut net_b = network(num_peers);
+    let mut a = centralized_with(ScoringBackend::Batched, TrainingBackend::Scalar);
+    let mut b = centralized_with(ScoringBackend::Batched, TrainingBackend::Csr);
+    a.train(&mut net_a, &data).unwrap();
+    b.train(&mut net_b, &data).unwrap();
+    // Pool is now ~120 examples (> warm_min_examples = 64): this round warm
+    // refits with real SGD passes on both backends.
+    let mut new_data = vec![MultiLabelDataset::new(); num_peers];
+    for i in 0..10 {
+        new_data[2].push(MultiLabelExample::new(
+            SparseVector::from_pairs([(6, 1.0 + 0.03 * i as f64)]),
+            [13],
+        ));
+    }
+    a.train_incremental(&mut net_a, &new_data).unwrap();
+    b.train_incremental(&mut net_b, &new_data).unwrap();
+    for (i, probe) in probes(96).iter().enumerate() {
+        let peer = PeerId((i % num_peers) as u64);
+        assert_eq!(
+            a.scores(&mut net_a, peer, probe),
+            b.scores(&mut net_b, peer, probe),
+            "warm-SGD-trained scores diverge on probe {i}"
+        );
+    }
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod csr;
 pub mod porter;
 pub mod sparse;
 pub mod stopwords;
@@ -48,6 +49,7 @@ pub mod vocabulary;
 
 /// Convenient re-exports of the most commonly used preprocessing types.
 pub mod prelude {
+    pub use crate::csr::CsrMatrix;
     pub use crate::porter::PorterStemmer;
     pub use crate::sparse::SparseVector;
     pub use crate::stopwords::StopWordFilter;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use crate::vocabulary::Vocabulary;
 }
 
+pub use csr::CsrMatrix;
 pub use porter::PorterStemmer;
 pub use sparse::SparseVector;
 pub use stopwords::StopWordFilter;

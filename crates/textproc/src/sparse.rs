@@ -5,25 +5,71 @@
 //! paper). Since `m` is typically tens of thousands while a single document only
 //! contains a few hundred distinct words, vectors are stored sparsely as sorted
 //! `(index, value)` pairs.
+//!
+//! # Shared storage
+//!
+//! The parallel index/value arrays live behind [`Arc`]s, so **cloning a
+//! `SparseVector` is two reference-count bumps**, never a copy of the
+//! underlying entries. The same document vector is held simultaneously by a
+//! peer's local dataset, kernel support-vector sets, cascade pools, k-means
+//! seeds and LSH index keys; with shared backing all of these point at one
+//! allocation. Mutating methods ([`SparseVector::set`],
+//! [`SparseVector::scale`], the normalizers) copy-on-write: they only clone
+//! the storage when it is actually shared.
 
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
-/// A sparse vector stored as parallel, index-sorted arrays.
+/// The shared index/value backing arrays of a [`SparseVector`].
+type SharedBacking = (Arc<Vec<u32>>, Arc<Vec<f64>>);
+
+/// The shared backing of the canonical empty vector, so `SparseVector::new()`
+/// stays allocation-free despite the `Arc` indirection.
+fn empty_backing() -> SharedBacking {
+    static EMPTY: OnceLock<SharedBacking> = OnceLock::new();
+    let (i, v) = EMPTY.get_or_init(|| (Arc::new(Vec::new()), Arc::new(Vec::new())));
+    (Arc::clone(i), Arc::clone(v))
+}
+
+/// A sparse vector stored as parallel, index-sorted arrays behind shared
+/// (`Arc`) storage — see the module docs for the sharing contract.
 ///
 /// Invariants maintained by all constructors:
 /// * indices are strictly increasing (no duplicates),
 /// * no stored value is exactly `0.0`,
 /// * `indices.len() == values.len()`.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SparseVector {
-    indices: Vec<u32>,
-    values: Vec<f64>,
+    indices: Arc<Vec<u32>>,
+    values: Arc<Vec<f64>>,
+}
+
+impl Default for SparseVector {
+    fn default() -> Self {
+        let (indices, values) = empty_backing();
+        Self { indices, values }
+    }
 }
 
 impl SparseVector {
     /// Creates an empty vector (the zero vector).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps freshly built parallel arrays in shared storage.
+    fn from_parts(indices: Vec<u32>, values: Vec<f64>) -> Self {
+        Self {
+            indices: Arc::new(indices),
+            values: Arc::new(values),
+        }
+    }
+
+    /// Whether this vector shares its backing storage with another clone —
+    /// diagnostics for the shared-storage contract (two clones of one vector
+    /// report `true` until one of them is mutated).
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.indices, &other.indices) && Arc::ptr_eq(&self.values, &other.values)
     }
 
     /// Creates a vector from unsorted `(index, value)` pairs.
@@ -47,9 +93,7 @@ impl SparseVector {
             indices.push(i);
             values.push(v);
         }
-        let mut out = Self { indices, values };
-        out.prune_zeros();
-        out
+        Self::pruned(indices, values)
     }
 
     /// Creates a vector from `(index, value)` pairs that are **already in
@@ -80,7 +124,7 @@ impl SparseVector {
                 values.push(v);
             }
         }
-        Self { indices, values }
+        Self::from_parts(indices, values)
     }
 
     /// Creates a vector from a dense slice, skipping zero entries. Dense
@@ -95,7 +139,7 @@ impl SparseVector {
     /// Entries with index `>= dim` are ignored.
     pub fn to_dense(&self, dim: usize) -> Vec<f64> {
         let mut out = vec![0.0; dim];
-        for (&i, &v) in self.indices.iter().zip(&self.values) {
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
             if (i as usize) < dim {
                 out[i as usize] = v;
             }
@@ -126,21 +170,22 @@ impl SparseVector {
         }
     }
 
-    /// Sets the value at `index`, inserting, overwriting, or removing as needed.
+    /// Sets the value at `index`, inserting, overwriting, or removing as
+    /// needed (copy-on-write when the storage is shared).
     pub fn set(&mut self, index: u32, value: f64) {
         match self.indices.binary_search(&index) {
             Ok(pos) => {
                 if value == 0.0 {
-                    self.indices.remove(pos);
-                    self.values.remove(pos);
+                    Arc::make_mut(&mut self.indices).remove(pos);
+                    Arc::make_mut(&mut self.values).remove(pos);
                 } else {
-                    self.values[pos] = value;
+                    Arc::make_mut(&mut self.values)[pos] = value;
                 }
             }
             Err(pos) => {
                 if value != 0.0 {
-                    self.indices.insert(pos, index);
-                    self.values.insert(pos, value);
+                    Arc::make_mut(&mut self.indices).insert(pos, index);
+                    Arc::make_mut(&mut self.values).insert(pos, value);
                 }
             }
         }
@@ -186,7 +231,7 @@ impl SparseVector {
     /// Dot product with a dense weight vector (entries beyond `dense.len()` are ignored).
     pub fn dot_dense(&self, dense: &[f64]) -> f64 {
         let mut sum = 0.0;
-        for (&i, &v) in self.indices.iter().zip(&self.values) {
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
             if let Some(w) = dense.get(i as usize) {
                 sum += w * v;
             }
@@ -229,14 +274,16 @@ impl SparseVector {
         }
     }
 
-    /// Multiplies every entry by `factor` in place.
+    /// Multiplies every entry by `factor` in place (copy-on-write when the
+    /// storage is shared).
     pub fn scale(&mut self, factor: f64) {
         if factor == 0.0 {
-            self.indices.clear();
-            self.values.clear();
+            let (indices, values) = empty_backing();
+            self.indices = indices;
+            self.values = values;
             return;
         }
-        for v in &mut self.values {
+        for v in Arc::make_mut(&mut self.values) {
             *v *= factor;
         }
     }
@@ -266,12 +313,7 @@ impl SparseVector {
                 b += 1;
             }
         }
-        let mut out = Self {
-            indices: out_idx,
-            values: out_val,
-        };
-        out.prune_zeros();
-        out
+        Self::pruned(out_idx, out_val)
     }
 
     /// Returns `self + other`.
@@ -308,17 +350,21 @@ impl SparseVector {
             + std::mem::size_of::<u32>()
     }
 
-    fn prune_zeros(&mut self) {
-        let mut keep_idx = Vec::with_capacity(self.indices.len());
-        let mut keep_val = Vec::with_capacity(self.values.len());
-        for (&i, &v) in self.indices.iter().zip(&self.values) {
-            if v != 0.0 {
-                keep_idx.push(i);
-                keep_val.push(v);
+    /// Wraps parallel arrays in shared storage, dropping exactly-zero entries.
+    fn pruned(mut indices: Vec<u32>, mut values: Vec<f64>) -> Self {
+        if values.contains(&0.0) {
+            let mut keep = 0usize;
+            for k in 0..values.len() {
+                if values[k] != 0.0 {
+                    indices[keep] = indices[k];
+                    values[keep] = values[k];
+                    keep += 1;
+                }
             }
+            indices.truncate(keep);
+            values.truncate(keep);
         }
-        self.indices = keep_idx;
-        self.values = keep_val;
+        Self::from_parts(indices, values)
     }
 }
 
@@ -332,14 +378,27 @@ impl FromIterator<(u32, f64)> for SparseVector {
 ///
 /// Returns the zero vector when `vectors` is empty.
 pub fn mean(vectors: &[SparseVector]) -> SparseVector {
-    if vectors.is_empty() {
-        return SparseVector::new();
-    }
+    mean_iter(vectors)
+}
+
+/// [`mean`] over borrowed vectors from any iterator — the clone-free form the
+/// k-means update step uses (members are accumulated straight off the point
+/// slice instead of being copied into a scratch `Vec` first). Accumulation
+/// order is the iterator order, so for the same sequence of vectors the
+/// result is bit-identical to [`mean`].
+pub fn mean_iter<'a, I>(vectors: I) -> SparseVector
+where
+    I: IntoIterator<Item = &'a SparseVector>,
+{
     let mut acc = SparseVector::new();
+    let mut n = 0usize;
     for v in vectors {
         acc = acc.add(v);
+        n += 1;
     }
-    acc.scale(1.0 / vectors.len() as f64);
+    if n > 0 {
+        acc.scale(1.0 / n as f64);
+    }
     acc
 }
 
@@ -416,6 +475,39 @@ mod tests {
         assert_eq!(m.get(0), 1.0);
         assert_eq!(m.get(1), 2.0);
         assert!(mean(&[]).is_empty());
+    }
+
+    #[test]
+    fn mean_iter_is_bit_identical_to_mean() {
+        let vs: Vec<SparseVector> = (0..7)
+            .map(|i| SparseVector::from_pairs([(i, 1.0 + 0.3 * i as f64), (i + 2, -0.7)]))
+            .collect();
+        let a = mean(&vs);
+        let b = mean_iter(vs.iter());
+        assert_eq!(a, b);
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(mean_iter(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let a = SparseVector::from_pairs([(0, 1.0), (3, 2.0)]);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        // Copy-on-write: mutating one clone must not disturb the other.
+        let mut c = a.clone();
+        c.set(3, 9.0);
+        assert!(!c.shares_storage_with(&a));
+        assert_eq!(a.get(3), 2.0);
+        assert_eq!(c.get(3), 9.0);
+        let mut d = a.clone();
+        d.scale(2.0);
+        assert_eq!(a.get(0), 1.0);
+        assert_eq!(d.get(0), 2.0);
+        // The empty vector is allocation-shared globally.
+        assert!(SparseVector::new().shares_storage_with(&SparseVector::default()));
     }
 
     #[test]
