@@ -1,0 +1,82 @@
+//! Wire-codec benchmark: measured frame bytes vs the legacy `wire_size()`
+//! estimates, plus the accuracy cost of the quantized/pruned modes.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin wire            # 200-peer workload
+//! cargo run --release -p bench --bin wire -- --quick # 12-peer (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_wire.json` to the repository root (quick mode writes
+//! `BENCH_wire_quick.json` so committed numbers are not clobbered by CI).
+//!
+//! Exit status is non-zero when the codec violates its contract: any payload
+//! fails the round-trip identity check, the lossless frames exceed the
+//! legacy estimate by more than 10 % on any payload class, or the lossless
+//! end-to-end run changes macro-F1 at all.
+
+use bench::wire::{measure, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = 2010;
+    let num_users = if quick { 12 } else { 200 };
+
+    eprintln!("measuring wire codec on the {num_users}-peer workload...");
+    let report = measure(num_users, seed);
+    for r in &report.payloads {
+        eprintln!(
+            "  {:<14} {:>4} payloads  est {:>9} B  measured {:>9} B  (x{:.2})  enc {:>7.0} ns  dec {:>7.0} ns",
+            r.payload, r.count, r.estimated_bytes, r.measured_bytes, r.ratio(), r.encode_ns, r.decode_ns
+        );
+    }
+    for m in &report.modes {
+        eprintln!(
+            "  mode {:<12} model bytes {:>9}  macro-F1 {:.4}",
+            m.mode, m.model_bytes, m.macro_f1
+        );
+    }
+
+    let json = to_json(&report, seed);
+    let filename = if quick {
+        "BENCH_wire_quick.json"
+    } else {
+        "BENCH_wire.json"
+    };
+    let root = bench::workspace_root();
+    let path = root.join(filename);
+    std::fs::write(&path, &json).expect("write wire json");
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+
+    // Contract gates (CI smoke fails the build on violation).
+    let mut failures = Vec::new();
+    if !report.round_trip_ok {
+        failures.push("round-trip decode mismatch".to_string());
+    }
+    for r in &report.payloads {
+        if r.measured_bytes as f64 > r.estimated_bytes as f64 * 1.10 {
+            failures.push(format!(
+                "lossless {} frames exceed the legacy estimate by >10% ({} vs {})",
+                r.payload, r.measured_bytes, r.estimated_bytes
+            ));
+        }
+    }
+    let lossless_delta = report.f1_delta("lossless");
+    if lossless_delta != Some(0.0) {
+        failures.push(format!(
+            "lossless wire must not change macro-F1 (delta {lossless_delta:?})"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("WIRE GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wire gates passed: lossless model compression x{:.2}, zero F1 delta",
+        report.lossless_model_ratio()
+    );
+}

@@ -159,7 +159,9 @@ pub fn e3_communication(num_users: usize, seed: u64) -> Table {
         system.learn(&workload.split).expect("learning succeeds");
         system.auto_tag_all().expect("tagging succeeds");
         let stats = system.network_stats();
-        let by = |k: MessageKind| stats.kind(k).bytes.to_string();
+        // Sent view (delivered + dropped), consistent with the total/peer
+        // column: the sender paid for every byte it put on the wire.
+        let by = |k: MessageKind| stats.kind(k).bytes_sent().to_string();
         rows.push(vec![
             name,
             by(MessageKind::TrainingData),

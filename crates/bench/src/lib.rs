@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod kernels;
 pub mod session;
 pub mod throughput;
+pub mod wire;
 pub mod workload;
 
 pub use experiments::*;

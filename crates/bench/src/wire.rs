@@ -1,0 +1,503 @@
+//! Wire-codec benchmark: measured frame bytes vs the legacy `wire_size()`
+//! estimates, encode/decode throughput, and the accuracy cost of the lossy
+//! modes.
+//!
+//! Two views of the same question — *what does model propagation actually
+//! cost?*:
+//!
+//! * **Payload rows** — every payload class the four protocols put on the
+//!   simulated network (PACE linear models, centroids, CEMPaR kernel models,
+//!   raw training uploads, prediction queries and responses) is really
+//!   encoded with `p2pclassify::wire`, giving bytes/payload, the compression
+//!   ratio against the legacy estimator, and encode/decode ns. Every payload
+//!   is also decoded back and verified against the original (round-trip
+//!   identity) — the binary fails if any frame does not survive.
+//! * **Mode rows** — PACE runs end to end (learn + auto-tag the held-out
+//!   split) under each wire mode: the legacy estimator, the lossless codec,
+//!   `f32` weights, `q8` weights, and accuracy-guarded top-k pruning. Each
+//!   row reports the model-propagation bytes the statistics actually
+//!   recorded and the resulting macro-F1, so the bytes↔accuracy trade-off is
+//!   measured, not asserted. With the lossless codec the macro-F1 must equal
+//!   the estimator run's exactly (bit-identical round-trips).
+//!
+//! The binary writes `BENCH_wire.json`; `EXPERIMENTS.md` §W1 records a
+//! captured run and the E3 tables are re-derived from measured bytes.
+
+use crate::throughput::{throughput_spec, throughput_split};
+use crate::workload::Workload;
+use dataset::{CorpusGenerator, VectorizedCorpus};
+use doctagger::{DocTaggerConfig, P2PDocTagger, ProtocolKind};
+use ml::codec::WeightPrecision;
+use ml::kmeans::KMeans;
+use ml::multilabel::{OneVsAllModel, OneVsAllTrainer};
+use ml::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer};
+use ml::{MultiLabelDataset, TagPrediction};
+use p2pclassify::{wire, CemparConfig, PaceConfig, WireConfig};
+use p2psim::message::MessageKind;
+use std::hint::black_box;
+use std::time::Instant;
+use textproc::SparseVector;
+
+/// One payload class: legacy estimate vs measured frame bytes + codec speed.
+#[derive(Debug, Clone)]
+pub struct PayloadRow {
+    /// Payload class name (stable identifier for the JSON).
+    pub payload: &'static str,
+    /// Number of payloads measured.
+    pub count: usize,
+    /// Total bytes the legacy `wire_size()` estimators would charge.
+    pub estimated_bytes: u64,
+    /// Total bytes of the real lossless frames.
+    pub measured_bytes: u64,
+    /// Encode time per payload.
+    pub encode_ns: f64,
+    /// Decode time per payload.
+    pub decode_ns: f64,
+}
+
+impl PayloadRow {
+    /// Legacy-estimate-over-measured compression ratio (> 1 means the codec
+    /// beats the estimator).
+    pub fn ratio(&self) -> f64 {
+        self.estimated_bytes as f64 / self.measured_bytes.max(1) as f64
+    }
+}
+
+/// One end-to-end PACE run under a wire mode.
+#[derive(Debug, Clone)]
+pub struct ModeRow {
+    /// Mode name (stable identifier for the JSON).
+    pub mode: &'static str,
+    /// Model-propagation bytes put on the wire over the whole run.
+    pub model_bytes: u64,
+    /// Total bytes put on the wire over the whole run.
+    pub total_bytes: u64,
+    /// Macro-F1 on the held-out split.
+    pub macro_f1: f64,
+}
+
+/// The full wire benchmark result.
+#[derive(Debug, Clone)]
+pub struct WireReport {
+    /// Number of peers in the workload.
+    pub peers: usize,
+    /// Corpus size in documents.
+    pub docs: usize,
+    /// Per-payload-class byte + speed rows.
+    pub payloads: Vec<PayloadRow>,
+    /// Per-wire-mode end-to-end rows (first row is the legacy estimator).
+    pub modes: Vec<ModeRow>,
+    /// Whether every encoded payload decoded back identical to the original.
+    pub round_trip_ok: bool,
+}
+
+impl WireReport {
+    /// The headline compression claim: estimate-over-measured ratio of the
+    /// PACE model-propagation payloads under the lossless codec.
+    pub fn lossless_model_ratio(&self) -> f64 {
+        self.payloads
+            .iter()
+            .find(|r| r.payload == "pace-model")
+            .map(PayloadRow::ratio)
+            .unwrap_or(0.0)
+    }
+
+    /// Macro-F1 delta of a mode row against the legacy-estimator reference.
+    pub fn f1_delta(&self, mode: &str) -> Option<f64> {
+        let base = self.modes.first()?.macro_f1;
+        self.modes
+            .iter()
+            .find(|m| m.mode == mode)
+            .map(|m| m.macro_f1 - base)
+    }
+}
+
+fn time_per<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let t = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..reps {
+        count += black_box(f());
+    }
+    t.elapsed().as_secs_f64() * 1e9 / count.max(1) as f64
+}
+
+fn models_equal<C: PartialEq + BinaryClassifier>(
+    a: &OneVsAllModel<C>,
+    b: &OneVsAllModel<C>,
+) -> bool {
+    a.num_tags() == b.num_tags()
+        && a.threshold() == b.threshold()
+        && a.min_tags() == b.min_tags()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ta, ca), (tb, cb))| ta == tb && ca == cb)
+}
+
+/// Per-peer training datasets of the throughput workload (one peer per user,
+/// training docs only) — the data the protocols really train and propagate
+/// from.
+fn per_peer_training_sets(
+    corpus: &dataset::Corpus,
+    vectorized: &VectorizedCorpus,
+    split: &dataset::TrainTestSplit,
+) -> Vec<MultiLabelDataset> {
+    let train: std::collections::BTreeSet<_> = split.train.iter().copied().collect();
+    corpus
+        .documents_by_user()
+        .into_iter()
+        .map(|docs| {
+            docs.into_iter()
+                .filter(|d| train.contains(d))
+                .map(|d| vectorized.example(d))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the payload-class measurements and the end-to-end mode sweep on the
+/// `num_users` throughput workload.
+pub fn measure(num_users: usize, seed: u64) -> WireReport {
+    let corpus = CorpusGenerator::new(throughput_spec(num_users, seed)).generate();
+    let split = throughput_split(&corpus, seed);
+    let vectorized = VectorizedCorpus::build(&corpus);
+    let peer_data = per_peer_training_sets(&corpus, &vectorized, &split);
+    let docs = corpus.len();
+
+    let mut round_trip_ok = true;
+    let mut payloads = Vec::new();
+
+    // --- PACE linear models (+ their accuracy field) ---------------------
+    let linear_trainer = LinearSvmTrainer::default();
+    let ova = OneVsAllTrainer::default();
+    let linear_models: Vec<(OneVsAllModel<LinearSvm>, f64)> = peer_data
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| {
+            let m = ova.train_linear_csr(d, &linear_trainer);
+            let acc = ml::codec::ensemble_accuracy(&m, d);
+            (m, acc)
+        })
+        .filter(|(m, _)| m.num_tags() > 0)
+        .collect();
+    let estimated: u64 = linear_models
+        .iter()
+        .map(|(m, _)| (m.wire_size() + 8) as u64)
+        .sum();
+    let frames: Vec<Vec<u8>> = linear_models
+        .iter()
+        .map(|(m, acc)| wire::encode_pace_model(m, *acc, WeightPrecision::F64))
+        .collect();
+    for ((m, acc), f) in linear_models.iter().zip(&frames) {
+        let (dm, dacc) = wire::decode_pace_model(f).expect("pace model frame decodes");
+        round_trip_ok &= models_equal(m, &dm) && dacc == *acc;
+    }
+    let encode_ns = time_per(8, || {
+        linear_models.iter().fold(0usize, |n, (m, acc)| {
+            black_box(wire::encode_pace_model(m, *acc, WeightPrecision::F64));
+            n + 1
+        })
+    });
+    let decode_ns = time_per(8, || {
+        frames.iter().fold(0usize, |n, f| {
+            black_box(wire::decode_pace_model(f).unwrap());
+            n + 1
+        })
+    });
+    payloads.push(PayloadRow {
+        payload: "pace-model",
+        count: linear_models.len(),
+        estimated_bytes: estimated,
+        measured_bytes: frames.iter().map(|f| f.len() as u64).sum(),
+        encode_ns,
+        decode_ns,
+    });
+
+    // --- PACE centroids ---------------------------------------------------
+    let kmeans_cfg = PaceConfig::default().kmeans;
+    let centroid_sets: Vec<Vec<SparseVector>> = peer_data
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| KMeans::fit(d.vectors(), &kmeans_cfg).centroids().to_vec())
+        .collect();
+    let estimated: u64 = centroid_sets
+        .iter()
+        .map(|cs| cs.iter().map(SparseVector::wire_size).sum::<usize>() as u64)
+        .sum();
+    let frames: Vec<Vec<u8>> = centroid_sets
+        .iter()
+        .map(|cs| wire::encode_centroids(cs))
+        .collect();
+    for (cs, f) in centroid_sets.iter().zip(&frames) {
+        round_trip_ok &= wire::decode_centroids(f).expect("centroid frame decodes") == *cs;
+    }
+    let encode_ns = time_per(8, || {
+        centroid_sets.iter().fold(0usize, |n, cs| {
+            black_box(wire::encode_centroids(cs));
+            n + 1
+        })
+    });
+    let decode_ns = time_per(8, || {
+        frames.iter().fold(0usize, |n, f| {
+            black_box(wire::decode_centroids(f).unwrap());
+            n + 1
+        })
+    });
+    payloads.push(PayloadRow {
+        payload: "pace-centroids",
+        count: centroid_sets.len(),
+        estimated_bytes: estimated,
+        measured_bytes: frames.iter().map(|f| f.len() as u64).sum(),
+        encode_ns,
+        decode_ns,
+    });
+
+    // --- CEMPaR kernel models --------------------------------------------
+    let kernel_trainer: KernelSvmTrainer = CemparConfig::default().svm;
+    let kernel_models: Vec<OneVsAllModel<KernelSvm>> = peer_data
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| ova.train_kernel_shared(d, &kernel_trainer))
+        .filter(|m| m.num_tags() > 0)
+        .collect();
+    let estimated: u64 = kernel_models.iter().map(|m| m.wire_size() as u64).sum();
+    let frames: Vec<Vec<u8>> = kernel_models
+        .iter()
+        .map(|m| wire::encode_kernel_model(m, WeightPrecision::F64))
+        .collect();
+    for (m, f) in kernel_models.iter().zip(&frames) {
+        let dm = wire::decode_kernel_model(f).expect("kernel model frame decodes");
+        round_trip_ok &= models_equal(m, &dm);
+    }
+    let encode_ns = time_per(4, || {
+        kernel_models.iter().fold(0usize, |n, m| {
+            black_box(wire::encode_kernel_model(m, WeightPrecision::F64));
+            n + 1
+        })
+    });
+    let decode_ns = time_per(4, || {
+        frames.iter().fold(0usize, |n, f| {
+            black_box(wire::decode_kernel_model(f).unwrap());
+            n + 1
+        })
+    });
+    payloads.push(PayloadRow {
+        payload: "cempar-model",
+        count: kernel_models.len(),
+        estimated_bytes: estimated,
+        measured_bytes: frames.iter().map(|f| f.len() as u64).sum(),
+        encode_ns,
+        decode_ns,
+    });
+
+    // --- Raw training uploads (Centralized) -------------------------------
+    let uploads: Vec<&MultiLabelDataset> = peer_data.iter().filter(|d| !d.is_empty()).collect();
+    let estimated: u64 = uploads.iter().map(|d| d.wire_size() as u64).sum();
+    let frames: Vec<Vec<u8>> = uploads.iter().map(|d| wire::encode_dataset(d)).collect();
+    for (d, f) in uploads.iter().zip(&frames) {
+        round_trip_ok &= wire::decode_dataset(f).expect("dataset frame decodes") == **d;
+    }
+    let encode_ns = time_per(4, || {
+        uploads.iter().fold(0usize, |n, d| {
+            black_box(wire::encode_dataset(d));
+            n + 1
+        })
+    });
+    let decode_ns = time_per(4, || {
+        frames.iter().fold(0usize, |n, f| {
+            black_box(wire::decode_dataset(f).unwrap());
+            n + 1
+        })
+    });
+    payloads.push(PayloadRow {
+        payload: "training-data",
+        count: uploads.len(),
+        estimated_bytes: estimated,
+        measured_bytes: frames.iter().map(|f| f.len() as u64).sum(),
+        encode_ns,
+        decode_ns,
+    });
+
+    // --- Prediction queries + responses -----------------------------------
+    let queries: Vec<SparseVector> = split
+        .test
+        .iter()
+        .take(200)
+        .map(|&d| vectorized.example(d).vector)
+        .collect();
+    let estimated: u64 = queries.iter().map(|q| q.wire_size() as u64).sum();
+    let frames: Vec<Vec<u8>> = queries.iter().map(wire::encode_query).collect();
+    for (q, f) in queries.iter().zip(&frames) {
+        round_trip_ok &= wire::decode_query(f).expect("query frame decodes") == *q;
+    }
+    let encode_ns = time_per(8, || {
+        queries.iter().fold(0usize, |n, q| {
+            black_box(wire::encode_query(q));
+            n + 1
+        })
+    });
+    let decode_ns = time_per(8, || {
+        frames.iter().fold(0usize, |n, f| {
+            black_box(wire::decode_query(f).unwrap());
+            n + 1
+        })
+    });
+    payloads.push(PayloadRow {
+        payload: "query",
+        count: queries.len(),
+        estimated_bytes: estimated,
+        measured_bytes: frames.iter().map(|f| f.len() as u64).sum(),
+        encode_ns,
+        decode_ns,
+    });
+
+    // Responses: the pooled model's score lists for the query sample, the
+    // shape CEMPaR/Centralized super-peers send back.
+    let pooled: MultiLabelDataset = crate::throughput::pooled_training_set(&vectorized, &split);
+    let pooled_model = ova.train_linear_csr(&pooled, &linear_trainer);
+    let responses: Vec<Vec<TagPrediction>> =
+        queries.iter().map(|q| pooled_model.scores(q)).collect();
+    let estimated: u64 = responses
+        .iter()
+        .map(|r| (r.len() * (std::mem::size_of::<u32>() + 8)) as u64)
+        .sum();
+    let frames: Vec<Vec<u8>> = responses.iter().map(|r| wire::encode_scores(r)).collect();
+    for (r, f) in responses.iter().zip(&frames) {
+        round_trip_ok &= wire::decode_scores(f).expect("score frame decodes") == *r;
+    }
+    let encode_ns = time_per(8, || {
+        responses.iter().fold(0usize, |n, r| {
+            black_box(wire::encode_scores(r));
+            n + 1
+        })
+    });
+    let decode_ns = time_per(8, || {
+        frames.iter().fold(0usize, |n, f| {
+            black_box(wire::decode_scores(f).unwrap());
+            n + 1
+        })
+    });
+    payloads.push(PayloadRow {
+        payload: "scores",
+        count: responses.len(),
+        estimated_bytes: estimated,
+        measured_bytes: frames.iter().map(|f| f.len() as u64).sum(),
+        encode_ns,
+        decode_ns,
+    });
+
+    // --- End-to-end mode sweep (PACE) --------------------------------------
+    let workload = Workload { corpus, split };
+    let modes: Vec<(&'static str, WireConfig)> = vec![
+        ("estimated", WireConfig::estimated()),
+        ("lossless", WireConfig::default()),
+        ("f32", WireConfig::measured(WeightPrecision::F32, None)),
+        ("q8", WireConfig::measured(WeightPrecision::Q8, None)),
+        (
+            "prune-top32",
+            WireConfig::measured(WeightPrecision::F64, Some(32)),
+        ),
+    ];
+    let mode_rows = modes
+        .into_iter()
+        .map(|(name, wire_cfg)| {
+            let mut system = P2PDocTagger::new(DocTaggerConfig {
+                protocol: ProtocolKind::Pace(PaceConfig {
+                    wire: wire_cfg,
+                    ..PaceConfig::default()
+                }),
+                seed,
+                ..DocTaggerConfig::default()
+            });
+            system.ingest(&workload.corpus);
+            system.learn(&workload.split).expect("learning succeeds");
+            let outcome = system.auto_tag_all().expect("tagging succeeds");
+            let stats = system.network_stats();
+            ModeRow {
+                mode: name,
+                model_bytes: stats.kind(MessageKind::ModelPropagation).bytes_sent()
+                    + stats.kind(MessageKind::CentroidPropagation).bytes_sent(),
+                total_bytes: stats.total_bytes(),
+                macro_f1: outcome.metrics.macro_f1(),
+            }
+        })
+        .collect();
+
+    WireReport {
+        peers: num_users,
+        docs,
+        payloads,
+        modes: mode_rows,
+        round_trip_ok,
+    }
+}
+
+/// Renders the report as the `BENCH_wire.json` document.
+pub fn to_json(report: &WireReport, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"wire\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"peers\": {},\n", report.peers));
+    out.push_str(&format!("  \"docs\": {},\n", report.docs));
+    out.push_str(&format!("  \"round_trip_ok\": {},\n", report.round_trip_ok));
+    out.push_str(&format!(
+        "  \"lossless_model_compression_ratio\": {:.3},\n",
+        report.lossless_model_ratio()
+    ));
+    out.push_str("  \"payloads\": [\n");
+    for (i, r) in report.payloads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload\": \"{}\", \"count\": {}, \"estimated_bytes\": {}, \"measured_bytes\": {}, \"ratio\": {:.3}, \"encode_ns\": {:.0}, \"decode_ns\": {:.0}}}{}\n",
+            r.payload,
+            r.count,
+            r.estimated_bytes,
+            r.measured_bytes,
+            r.ratio(),
+            r.encode_ns,
+            r.decode_ns,
+            if i + 1 < report.payloads.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"modes\": [\n");
+    let base_bytes = report.modes.first().map_or(0, |m| m.model_bytes);
+    let base_f1 = report.modes.first().map_or(0.0, |m| m.macro_f1);
+    for (i, m) in report.modes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"model_bytes\": {}, \"total_bytes\": {}, \"bytes_vs_estimate\": {:.3}, \"macro_f1\": {:.4}, \"f1_delta\": {:.4}}}{}\n",
+            m.mode,
+            m.model_bytes,
+            m.total_bytes,
+            m.model_bytes as f64 / base_bytes.max(1) as f64,
+            m.macro_f1,
+            m.macro_f1 - base_f1,
+            if i + 1 < report.modes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_all_payloads_and_modes() {
+        let report = measure(4, 7);
+        assert!(report.round_trip_ok);
+        assert_eq!(report.payloads.len(), 6);
+        for r in &report.payloads {
+            assert!(r.count > 0, "{}", r.payload);
+            assert!(r.measured_bytes > 0, "{}", r.payload);
+            assert!(r.encode_ns > 0.0 && r.decode_ns > 0.0, "{}", r.payload);
+        }
+        assert_eq!(report.modes.len(), 5);
+        // Lossless codec changes nothing about predictions.
+        assert_eq!(report.f1_delta("lossless"), Some(0.0));
+        // Models compress vs the legacy estimate.
+        assert!(report.lossless_model_ratio() > 1.0);
+        let json = to_json(&report, 7);
+        assert!(json.contains("\"pace-model\""));
+        assert!(json.contains("\"prune-top32\""));
+    }
+}

@@ -250,7 +250,7 @@ impl TagWeightMatrix {
         if !above.is_empty() {
             return above;
         }
-        scores.iter().take(self.min_tags).map(|p| p.tag).collect()
+        crate::multilabel::top_scored_tags(&scores, self.min_tags)
     }
 
     /// Scores a whole slice of documents, in input order. Documents are

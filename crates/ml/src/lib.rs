@@ -16,7 +16,9 @@
 //! [`metrics`]; the one-vs-all multi-label reduction lives in [`multilabel`].
 //! The batched scoring engine — CSR-packed per-tag linear models and
 //! shared-kernel-row scoring, bit-for-bit identical to the scalar per-tag
-//! loops — lives in [`batch`].
+//! loops — lives in [`batch`]. The binary wire codec every propagated model,
+//! example and prediction payload travels through (delta-varint indices,
+//! optional weight quantization, guarded top-k pruning) lives in [`codec`].
 //!
 //! ```
 //! use ml::prelude::*;
@@ -38,6 +40,7 @@
 
 pub mod batch;
 pub mod cascade;
+pub mod codec;
 pub mod data;
 pub mod kernel;
 pub mod kmeans;
@@ -62,6 +65,7 @@ pub mod prelude {
 }
 
 pub use batch::{BatchKernelScorer, TagWeightMatrix};
+pub use codec::{ByteReader, CodecError, WeightPrecision};
 pub use data::{MultiLabelDataset, MultiLabelExample, TagId};
 pub use kernel::Kernel;
 pub use metrics::{BinaryMetrics, MultiLabelMetrics};

@@ -351,7 +351,7 @@ impl<C: BinaryClassifier> OneVsAllModel<C> {
         if !above.is_empty() {
             return above;
         }
-        scores.iter().take(self.min_tags).map(|p| p.tag).collect()
+        top_scored_tags(&scores, self.min_tags)
     }
 
     /// Total wire size of all per-tag classifiers.
@@ -398,6 +398,29 @@ impl OneVsAllModel<KernelSvm> {
 /// Logistic squashing used to turn decision values into display confidences.
 fn logistic(score: f64) -> f64 {
     1.0 / (1.0 + (-score).exp())
+}
+
+/// The `min_tags` fallback selection shared by every predict path (the
+/// scalar and batched model predicts here, the protocol-level
+/// `select_tags` / `select_tags_adaptive` in `p2pclassify`): the
+/// best-*scored* tags win, whatever order the caller's score list is in,
+/// with NaN scores excluded (a single NaN must neither be selected nor
+/// poison the ordering of everything else — `total_cmp` gives a
+/// deterministic total order where the old `partial_cmp(..).unwrap_or(Equal)`
+/// comparator silently degraded to "whatever order the list already had").
+/// The signs of exact zeros are normalized first so `-0.0`/`+0.0` ties keep
+/// their stable input order, preserving scalar ↔ batched equivalence.
+pub fn top_scored_tags(scores: &[TagPrediction], min_tags: usize) -> BTreeSet<TagId> {
+    fn key(score: f64) -> f64 {
+        if score == 0.0 {
+            0.0
+        } else {
+            score
+        }
+    }
+    let mut sorted: Vec<&TagPrediction> = scores.iter().filter(|p| !p.score.is_nan()).collect();
+    sorted.sort_by(|a, b| key(b.score).total_cmp(&key(a.score)));
+    sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
 }
 
 #[cfg(test)]
@@ -627,6 +650,65 @@ mod tests {
                 .num_tags(),
             0
         );
+    }
+
+    #[test]
+    fn min_tags_fallback_picks_best_scored_tag_not_lowest_id() {
+        // Tag 9 (the highest id) is the right answer for feature 4; tags 1
+        // and 2 know nothing about it. With every score below the threshold,
+        // the fallback must pick the best-*scored* tag — a fallback walking
+        // tag-id order would return tag 1.
+        let classifiers = BTreeMap::from([
+            (
+                1,
+                LinearSvm::from_weights(vec![0.0, 0.0, 0.0, 0.0, -2.0], 0.0),
+            ),
+            (
+                2,
+                LinearSvm::from_weights(vec![0.0, 0.0, 0.0, 0.0, -1.5], 0.0),
+            ),
+            (
+                9,
+                LinearSvm::from_weights(vec![0.0, 0.0, 0.0, 0.0, -0.2], 0.0),
+            ),
+        ]);
+        let model = OneVsAllModel::from_classifiers(classifiers, 0.0, 1);
+        let probe = SparseVector::from_pairs([(4, 1.0)]);
+        assert_eq!(model.predict(&probe), BTreeSet::from([9]));
+        // The batched path agrees.
+        assert_eq!(model.weight_matrix().predict(&probe), BTreeSet::from([9]));
+    }
+
+    #[test]
+    fn min_tags_fallback_is_nan_proof() {
+        // A degenerate classifier producing NaN decisions must neither be
+        // selected by the fallback nor poison the ordering of finite scores.
+        let classifiers = BTreeMap::from([
+            (1, LinearSvm::from_weights(vec![-3.0], 0.0)),
+            (2, LinearSvm::from_weights(vec![f64::NAN], 0.0)),
+            (7, LinearSvm::from_weights(vec![-0.5], 0.0)),
+        ]);
+        let model = OneVsAllModel::from_classifiers(classifiers, 0.0, 2);
+        let probe = SparseVector::from_pairs([(0, 1.0)]);
+        assert_eq!(model.predict(&probe), BTreeSet::from([1, 7]));
+        assert_eq!(
+            model.weight_matrix().predict(&probe),
+            BTreeSet::from([1, 7])
+        );
+        // All-NaN scores select nothing rather than arbitrary tags.
+        let all_nan = vec![
+            TagPrediction {
+                tag: 3,
+                score: f64::NAN,
+                confidence: 0.5,
+            },
+            TagPrediction {
+                tag: 4,
+                score: f64::NAN,
+                confidence: 0.5,
+            },
+        ];
+        assert!(top_scored_tags(&all_nan, 1).is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::error::ProtocolError;
 use crate::protocol::{
     combine_weighted_scores, P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend,
 };
+use crate::wire::{self, WireConfig, WireCost};
 use ml::batch::BatchKernelScorer;
 use ml::cascade::{CascadeConfig, CascadeSvm};
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
@@ -66,6 +67,13 @@ pub struct CemparConfig {
     /// SMO fit; [`TrainingBackend::Scalar`] keeps the pre-refactor per-tag
     /// recomputation as the reference. Both produce bit-identical models.
     pub train_backend: TrainingBackend,
+    /// Wire accounting. Under [`WireCost::Measured`] (the default) model
+    /// propagations, prediction queries and responses are really encoded —
+    /// sends charge the frame length, super-peers score the *decoded* query
+    /// and requesters vote with the *decoded* response.
+    /// [`WireCost::Estimated`] keeps the legacy `wire_size()` reference
+    /// accounting.
+    pub wire: WireConfig,
 }
 
 impl Default for CemparConfig {
@@ -93,6 +101,7 @@ impl Default for CemparConfig {
             min_tags: 1,
             backend: ScoringBackend::default(),
             train_backend: TrainingBackend::default(),
+            wire: WireConfig::default(),
         }
     }
 }
@@ -273,6 +282,11 @@ impl Cempar {
 
     /// Propagates a peer's local model to its region's super-peer, charging the
     /// DHT lookup and the model transfer. Returns the region index on success.
+    ///
+    /// Under [`WireCost::Measured`] the support-vector model is encoded into
+    /// a real frame, the send charges the frame length, and the super-peer
+    /// records the *decoded* model — the copy every later cascade and
+    /// regional scorer is built from.
     fn propagate_model(
         &mut self,
         net: &mut P2PNetwork,
@@ -283,7 +297,16 @@ impl Cempar {
         let region = self.region_of_peer(peer);
         let anchor = self.directory.anchor_key(region);
         let (super_peer, _hops) = net.dht_lookup(peer, anchor)?;
-        net.send(peer, super_peer, kind, model.wire_size())?;
+        let (model_bytes, model) = match self.config.wire.cost {
+            WireCost::Estimated => (model.wire_size(), model),
+            WireCost::Measured => {
+                let frame = wire::encode_kernel_model(&model, self.config.wire.precision);
+                let decoded = wire::decode_kernel_model(&frame)
+                    .expect("self-encoded kernel model frame decodes");
+                (frame.len(), decoded)
+            }
+        };
+        net.send(peer, super_peer, kind, model_bytes)?;
         let state = self.regions[region].get_or_insert_with(|| RegionState {
             super_peer,
             contributed: BTreeMap::new(),
@@ -456,6 +479,18 @@ impl P2PTagClassifier for Cempar {
         if !net.is_online(peer) {
             return Err(ProtocolError::PeerOffline);
         }
+        // The same query payload travels to every region: encode it once.
+        // Under the measured wire the super-peers score the vector *decoded
+        // from the frame* (bit-identical to `x` with the lossless default).
+        let (query_bytes, decoded_query) = match self.config.wire.cost {
+            WireCost::Estimated => (x.wire_size(), None),
+            WireCost::Measured => {
+                let frame = wire::encode_query(x);
+                let decoded = wire::decode_query(&frame).expect("self-encoded query frame decodes");
+                (frame.len(), Some(decoded))
+            }
+        };
+        let x_eval = decoded_query.as_ref().unwrap_or(x);
         let mut votes: Vec<(f64, Vec<TagPrediction>)> = Vec::new();
         for state in self.regions.iter().flatten() {
             if state.regional.is_empty() {
@@ -472,7 +507,7 @@ impl P2PTagClassifier for Cempar {
                     peer,
                     state.super_peer,
                     MessageKind::PredictionQuery,
-                    x.wire_size(),
+                    query_bytes,
                 )
                 .is_err()
             {
@@ -488,7 +523,7 @@ impl P2PTagClassifier for Cempar {
                     .regional
                     .iter()
                     .map(|(&tag, clf)| {
-                        let score = clf.decision(x);
+                        let score = clf.decision(x_eval);
                         TagPrediction {
                             tag,
                             score,
@@ -501,7 +536,7 @@ impl P2PTagClassifier for Cempar {
                 // ascending-tag order) are identical to the scalar branch.
                 ScoringBackend::Batched => state
                     .scorer
-                    .decisions(x)
+                    .decisions(x_eval)
                     .into_iter()
                     .map(|(tag, score)| TagPrediction {
                         tag,
@@ -510,7 +545,17 @@ impl P2PTagClassifier for Cempar {
                     })
                     .collect(),
             };
-            let response_size = scores.len() * (std::mem::size_of::<TagId>() + 8);
+            // The response travels back as a real frame too: the requester
+            // votes with the scores decoded from it.
+            let (response_size, scores) = match self.config.wire.cost {
+                WireCost::Estimated => (scores.len() * (std::mem::size_of::<TagId>() + 8), scores),
+                WireCost::Measured => {
+                    let frame = wire::encode_scores(&scores);
+                    let decoded =
+                        wire::decode_scores(&frame).expect("self-encoded score frame decodes");
+                    (frame.len(), decoded)
+                }
+            };
             let _ = net.send(
                 state.super_peer,
                 peer,

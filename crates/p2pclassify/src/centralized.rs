@@ -10,6 +10,7 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
+use crate::wire::{self, WireConfig, WireCost};
 use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
@@ -40,6 +41,12 @@ pub struct CentralizedConfig {
     /// dataset is the largest one-vs-all problem in the system, so this is
     /// where the shared CSR arena pays the most.
     pub train_backend: TrainingBackend,
+    /// Wire accounting. Under [`WireCost::Measured`] (the default) the raw
+    /// training uploads, refinements, prediction queries and responses are
+    /// really encoded — sends charge the frame length and the server pools /
+    /// scores the *decoded* payloads. [`WireCost::Estimated`] keeps the
+    /// legacy `wire_size()` reference accounting.
+    pub wire: WireConfig,
 }
 
 impl Default for CentralizedConfig {
@@ -52,6 +59,7 @@ impl Default for CentralizedConfig {
             min_tags: 1,
             backend: ScoringBackend::default(),
             train_backend: TrainingBackend::default(),
+            wire: WireConfig::default(),
         }
     }
 }
@@ -114,6 +122,23 @@ impl Centralized {
         self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
     }
 
+    /// The wire cost of uploading `data` to the server and, under the
+    /// measured wire, the decoded copy the server actually pools (datasets
+    /// carry no model weights, so the round-trip is always lossless — but it
+    /// still goes through real bytes, which is what keeps the TrainingData
+    /// rows of the E3 table measured rather than estimated).
+    fn encode_upload(&self, data: &MultiLabelDataset) -> (usize, Option<MultiLabelDataset>) {
+        match self.config.wire.cost {
+            WireCost::Estimated => (data.wire_size(), None),
+            WireCost::Measured => {
+                let frame = wire::encode_dataset(data);
+                let decoded =
+                    wire::decode_dataset(&frame).expect("self-encoded dataset frame decodes");
+                (frame.len(), Some(decoded))
+            }
+        }
+    }
+
     /// Warm-start variant of [`Self::retrain`]: the global model is refit
     /// from its stored per-tag weights with a few SGD passes over the grown
     /// pool instead of a cold dual solve (falls back to a cold train when no
@@ -174,8 +199,9 @@ impl P2PTagClassifier for Centralized {
                 continue;
             }
             // The raw document vectors travel to the server.
-            match net.send(peer, server, MessageKind::TrainingData, data.wire_size()) {
-                Ok(_) => self.pooled.extend_from(data),
+            let (upload_bytes, decoded) = self.encode_upload(data);
+            match net.send(peer, server, MessageKind::TrainingData, upload_bytes) {
+                Ok(_) => self.pooled.extend_from(decoded.as_ref().unwrap_or(data)),
                 Err(_) => {
                     // Server unreachable: the upload is retried on the next
                     // incremental round.
@@ -204,22 +230,54 @@ impl P2PTagClassifier for Centralized {
             return Err(ProtocolError::NoModelReachable);
         };
         let server = self.config.server;
-        if peer != server {
-            // Round trip to the server; if it is down, the whole system is down
-            // (the single point of failure the paper warns about).
-            net.send(peer, server, MessageKind::PredictionQuery, x.wire_size())
-                .map_err(|_| ProtocolError::NoModelReachable)?;
-            let response_size = model.num_tags() * (std::mem::size_of::<TagId>() + 8);
-            let _ = net.send(server, peer, MessageKind::PredictionResponse, response_size);
+        if peer == server {
+            // Local query at the server: no communication, no codec.
+            return Ok(match self.config.backend {
+                ScoringBackend::Scalar => model.scores(x),
+                ScoringBackend::Batched => self
+                    .matrix
+                    .as_ref()
+                    .expect("matrix is rebuilt with the model")
+                    .scores(x),
+            });
         }
-        Ok(match self.config.backend {
-            ScoringBackend::Scalar => model.scores(x),
+        // Round trip to the server; if it is down, the whole system is down
+        // (the single point of failure the paper warns about). Under the
+        // measured wire the server scores the query *decoded from the frame*
+        // and the requester uses the scores decoded from the response.
+        let (query_bytes, decoded_query) = match self.config.wire.cost {
+            WireCost::Estimated => (x.wire_size(), None),
+            WireCost::Measured => {
+                let frame = wire::encode_query(x);
+                let decoded = wire::decode_query(&frame).expect("self-encoded query frame decodes");
+                (frame.len(), Some(decoded))
+            }
+        };
+        net.send(peer, server, MessageKind::PredictionQuery, query_bytes)
+            .map_err(|_| ProtocolError::NoModelReachable)?;
+        let x_eval = decoded_query.as_ref().unwrap_or(x);
+        let scores = match self.config.backend {
+            ScoringBackend::Scalar => model.scores(x_eval),
             ScoringBackend::Batched => self
                 .matrix
                 .as_ref()
                 .expect("matrix is rebuilt with the model")
-                .scores(x),
-        })
+                .scores(x_eval),
+        };
+        let (response_size, scores) = match self.config.wire.cost {
+            WireCost::Estimated => (
+                model.num_tags() * (std::mem::size_of::<TagId>() + 8),
+                scores,
+            ),
+            WireCost::Measured => {
+                let frame = wire::encode_scores(&scores);
+                let decoded =
+                    wire::decode_scores(&frame).expect("self-encoded score frame decodes");
+                (frame.len(), decoded)
+            }
+        };
+        let _ = net.send(server, peer, MessageKind::PredictionResponse, response_size);
+        Ok(scores)
     }
 
     fn predict(
@@ -268,16 +326,16 @@ impl P2PTagClassifier for Centralized {
                 }
                 // Only the outstanding document vectors travel, not the whole
                 // collection; failures stay queued for the next round.
+                let (upload_bytes, decoded) = self.encode_upload(&self.pending[i]);
                 if net
-                    .send(
-                        peer,
-                        server,
-                        MessageKind::TrainingData,
-                        self.pending[i].wire_size(),
-                    )
+                    .send(peer, server, MessageKind::TrainingData, upload_bytes)
                     .is_err()
                 {
                     continue;
+                }
+                if let Some(decoded) = decoded {
+                    // The server pools what it decoded off the wire.
+                    self.pending[i] = decoded;
                 }
             }
             let batch = std::mem::take(&mut self.pending[i]);
@@ -303,16 +361,24 @@ impl P2PTagClassifier for Centralized {
             return Err(ProtocolError::PeerOffline);
         }
         let server = self.config.server;
+        let mut received = example.clone();
         if peer != server {
-            net.send(
-                peer,
-                server,
-                MessageKind::RefinementUpdate,
-                example.wire_size(),
-            )
-            .map_err(|_| ProtocolError::NoModelReachable)?;
+            let (bytes, decoded) = match self.config.wire.cost {
+                WireCost::Estimated => (example.wire_size(), None),
+                WireCost::Measured => {
+                    let frame = wire::encode_example(example);
+                    let decoded = wire::decode_example(&frame)
+                        .expect("self-encoded refinement frame decodes");
+                    (frame.len(), Some(decoded))
+                }
+            };
+            net.send(peer, server, MessageKind::RefinementUpdate, bytes)
+                .map_err(|_| ProtocolError::NoModelReachable)?;
+            if let Some(decoded) = decoded {
+                received = decoded;
+            }
         }
-        self.pooled.push(example.clone());
+        self.pooled.push(received);
         self.retrain_warm();
         Ok(())
     }
@@ -367,11 +433,13 @@ mod tests {
     fn training_ships_raw_data_to_the_server() {
         let mut net = P2PNetwork::new(SimConfig::with_peers(8));
         let data = toy_peer_data(8, 10, 2);
+        // Under the measured wire (the default) every upload is charged at
+        // its real encoded frame length.
         let expected_bytes: usize = data
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != 0)
-            .map(|(_, d)| d.wire_size())
+            .map(|(_, d)| wire::encode_dataset(d).len())
             .sum();
         let mut c = Centralized::new(CentralizedConfig::default());
         c.train(&mut net, &data).unwrap();
@@ -469,7 +537,7 @@ mod tests {
                 [5],
             ));
         }
-        let expected = new_data[2].wire_size() as u64;
+        let expected = wire::encode_dataset(&new_data[2]).len() as u64;
         c.train_incremental(&mut net, &new_data).unwrap();
         assert_eq!(
             net.stats().kind(MessageKind::TrainingData).bytes - bytes_before,

@@ -8,6 +8,7 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
+use crate::wire::WireConfig;
 use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
@@ -28,6 +29,11 @@ pub struct LocalOnlyConfig {
     /// Training-time implementation (CSR shared-storage vs the scalar
     /// reference; bit-identical models either way).
     pub train_backend: TrainingBackend,
+    /// Wire accounting, kept for configuration uniformity with the other
+    /// protocols (the equivalence suite sweeps the same axis everywhere).
+    /// Local-only training and prediction never touch the network, so no
+    /// payload is ever encoded and both settings behave identically.
+    pub wire: WireConfig,
 }
 
 /// A peer's local model together with its packed scoring matrix.

@@ -24,6 +24,7 @@ use crate::protocol::{
     combine_confidence_votes, ConfidenceVoteAccumulator, P2PTagClassifier, PeerDataMap,
     ScoringBackend, TrainingBackend,
 };
+use crate::wire::{self, WireConfig, WireCost};
 use ml::batch::TagWeightMatrix;
 use ml::kmeans::{KMeans, KMeansConfig};
 use ml::lsh::{LshConfig, LshIndex};
@@ -81,6 +82,13 @@ pub struct PaceConfig {
     /// [`TrainingBackend::Scalar`] keeps the pre-refactor per-tag slice loops
     /// as the reference. Both produce bit-identical models.
     pub train_backend: TrainingBackend,
+    /// Wire accounting. Under [`WireCost::Measured`] (the default) every
+    /// model + centroid propagation is really encoded — sends charge the
+    /// frame length and the ensemble installs the *decoded* copy, so lossy
+    /// settings ([`WireConfig::precision`], [`WireConfig::prune_top_k`])
+    /// honestly affect predictions. [`WireCost::Estimated`] keeps the legacy
+    /// `wire_size()` reference accounting.
+    pub wire: WireConfig,
 }
 
 impl Default for PaceConfig {
@@ -102,6 +110,7 @@ impl Default for PaceConfig {
             coverage_damping: 0.4,
             backend: ScoringBackend::default(),
             train_backend: TrainingBackend::default(),
+            wire: WireConfig::default(),
         }
     }
 }
@@ -157,6 +166,29 @@ impl PaceModel {
         match backend {
             ScoringBackend::Scalar => self.distance_to_scalar(x),
             ScoringBackend::Batched => self.distance_to_batched(x, x_norm_sq),
+        }
+    }
+
+    /// Assembles an ensemble entry from its propagated parts, rebuilding the
+    /// derived scoring structures (packed weight matrix, cached centroid
+    /// norms). Used both when a model is trained locally and when it is
+    /// decoded back out of a wire frame — the decoded path **must** rebuild
+    /// these here, so lossy wire settings honestly reach every scoring path.
+    fn assemble(
+        source: PeerId,
+        model: OneVsAllModel<LinearSvm>,
+        centroids: Vec<SparseVector>,
+        accuracy: f64,
+    ) -> Self {
+        let matrix = model.weight_matrix();
+        let centroid_norms_sq = centroids.iter().map(SparseVector::norm_sq).collect();
+        Self {
+            source,
+            model,
+            matrix,
+            centroids,
+            centroid_norms_sq,
+            accuracy,
         }
     }
 }
@@ -244,6 +276,18 @@ impl Pace {
         if model.num_tags() == 0 {
             return None;
         }
+        // Accuracy-guarded propagation pruning: when the measured wire is
+        // configured to prune, the peer ships (and votes with) the top-k
+        // weights per tag — unless that would cost more local training
+        // accuracy than the guard allows, in which case the full model
+        // stands. The accuracy below is computed on the model that actually
+        // propagates.
+        let model = match (self.config.wire.cost, self.config.wire.prune_top_k) {
+            (WireCost::Measured, Some(k)) => {
+                ml::codec::prune_model_guarded(&model, k, data, self.config.wire.prune_guard)
+            }
+            _ => model,
+        };
         let matrix = model.weight_matrix();
         // Training accuracy, averaged over the per-tag binary problems. One
         // batched pass per training document scores every tag at once; the
@@ -282,10 +326,37 @@ impl Pace {
 
     /// Broadcasts a model to all online peers, recording who received it, and
     /// installs it in the shared store and LSH index.
+    ///
+    /// Under [`WireCost::Measured`] the model and centroids are encoded into
+    /// real wire frames **once** (every receiver gets the same payload), the
+    /// sends charge the frame lengths, and the ensemble installs the model
+    /// *decoded back out of the frames* — so the bytes the statistics record
+    /// are exactly the bytes the predictions run on. Under
+    /// [`WireCost::Estimated`] the legacy `wire_size()` estimates are charged
+    /// and the in-memory model is installed untouched.
     fn propagate(&mut self, net: &mut P2PNetwork, pace_model: PaceModel, kind: MessageKind) {
         let source = pace_model.source;
-        let model_bytes = pace_model.wire_size();
-        let centroid_bytes = pace_model.centroid_wire_size();
+        let (model_bytes, centroid_bytes, pace_model) = match self.config.wire.cost {
+            WireCost::Estimated => (
+                pace_model.wire_size(),
+                pace_model.centroid_wire_size(),
+                pace_model,
+            ),
+            WireCost::Measured => {
+                let model_frame = wire::encode_pace_model(
+                    &pace_model.model,
+                    pace_model.accuracy,
+                    self.config.wire.precision,
+                );
+                let centroid_frame = wire::encode_centroids(&pace_model.centroids);
+                let (model, accuracy) = wire::decode_pace_model(&model_frame)
+                    .expect("self-encoded PACE model frame decodes");
+                let centroids = wire::decode_centroids(&centroid_frame)
+                    .expect("self-encoded centroid frame decodes");
+                let decoded = PaceModel::assemble(source, model, centroids, accuracy);
+                (model_frame.len(), centroid_frame.len(), decoded)
+            }
+        };
         if self.received.len() < net.num_peers() {
             self.received.resize(net.num_peers(), BTreeSet::new());
         }

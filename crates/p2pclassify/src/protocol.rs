@@ -140,6 +140,19 @@ pub trait P2PTagClassifier {
     ) -> Result<(), ProtocolError>;
 }
 
+/// The `min_tags` fallback shared by [`select_tags`] and
+/// [`select_tags_adaptive`]: the best-scored tags under `f64::total_cmp`,
+/// with NaN scores filtered out *before* the take. The previous
+/// `partial_cmp(..).unwrap_or(Equal)` comparator let a single NaN vote
+/// poison the whole ordering non-deterministically (`sort_by` with an
+/// inconsistent comparator gives an unspecified permutation), and could then
+/// hand the NaN-scored tag itself to the caller. One implementation serves
+/// every predict path — this is [`ml::multilabel::top_scored_tags`], the
+/// same fallback the scalar and batched model predicts use.
+fn top_scored_fallback(scores: &[TagPrediction], min_tags: usize) -> BTreeSet<TagId> {
+    ml::multilabel::top_scored_tags(scores, min_tags)
+}
+
 /// Turns a scored tag list into a tag set: every tag with `score >= threshold`,
 /// or the `min_tags` best-scored tags when none reaches the threshold.
 pub fn select_tags(scores: &[TagPrediction], threshold: f64, min_tags: usize) -> BTreeSet<TagId> {
@@ -151,13 +164,7 @@ pub fn select_tags(scores: &[TagPrediction], threshold: f64, min_tags: usize) ->
     if !above.is_empty() {
         return above;
     }
-    let mut sorted: Vec<&TagPrediction> = scores.iter().collect();
-    sorted.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
+    top_scored_fallback(scores, min_tags)
 }
 
 /// Turns a scored tag list into a tag set using an *adaptive* cutoff: a tag is
@@ -189,13 +196,7 @@ pub fn select_tags_adaptive(
     if !above.is_empty() {
         return above;
     }
-    let mut sorted: Vec<&TagPrediction> = scores.iter().collect();
-    sorted.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    sorted.into_iter().take(min_tags).map(|p| p.tag).collect()
+    top_scored_fallback(scores, min_tags)
 }
 
 /// Combines per-tag *confidence* vote lists (scores in `(0, 1)`) into one,
@@ -372,6 +373,30 @@ mod tests {
             BTreeSet::from([1])
         );
         assert!(select_tags_adaptive(&[], 0.0, 0.5, 1).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_neither_poison_ordering_nor_get_selected() {
+        // One NaN vote among finite ones: the fallback must still return the
+        // best finite tags, deterministically, and never the NaN tag.
+        let scores = vec![
+            pred(1, -0.8),
+            pred(2, f64::NAN),
+            pred(3, -0.1),
+            pred(4, -0.5),
+        ];
+        assert_eq!(select_tags(&scores, 0.0, 1), BTreeSet::from([3]));
+        assert_eq!(select_tags(&scores, 0.0, 2), BTreeSet::from([3, 4]));
+        assert_eq!(
+            select_tags_adaptive(&scores, 0.0, 0.5, 2),
+            BTreeSet::from([3, 4])
+        );
+        // NaN in the threshold filter is never "above".
+        assert_eq!(select_tags(&scores, -0.9, 1), BTreeSet::from([1, 3, 4]));
+        // All-NaN input selects nothing instead of arbitrary tags.
+        let all_nan = vec![pred(1, f64::NAN), pred(2, f64::NAN)];
+        assert!(select_tags(&all_nan, 0.0, 1).is_empty());
+        assert!(select_tags_adaptive(&all_nan, 0.0, 0.5, 1).is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
 use p2pclassify::{
     Cempar, CemparConfig, Centralized, CentralizedConfig, LocalOnly, LocalOnlyConfig,
-    P2PTagClassifier, Pace, PaceConfig, ScoringBackend, TrainingBackend,
+    P2PTagClassifier, Pace, PaceConfig, ScoringBackend, TrainingBackend, WireConfig,
 };
 use p2psim::{P2PNetwork, PeerId, SimConfig};
 use rand::rngs::StdRng;
@@ -393,6 +393,132 @@ fn local_only_backends_agree_through_refine_and_incremental() {
 #[test]
 fn centralized_backends_agree_through_refine_and_incremental() {
     assert_backends_agree_through_refine_and_incremental(6, 94, centralized_with);
+}
+
+/// The wire-cost axis: the legacy `wire_size()` estimator against the real
+/// measured codec at its lossless defaults. Lossless frames round-trip every
+/// propagated model, query and response **bit-identically**, so switching the
+/// accounting backend must change *no* score or prediction anywhere — through
+/// initial training, refinements and incremental rounds. Only the byte
+/// totals differ (that divergence is exactly what the codec makes
+/// measurable); for the protocols that propagate models or data during
+/// training, the measured training bytes must come in **below** the legacy
+/// estimate (the delta-varint codec compresses, never inflates).
+fn assert_wire_costs_agree<P, F>(num_peers: usize, seed: u64, charges_train_bytes: bool, make: F)
+where
+    P: P2PTagClassifier,
+    F: Fn(WireConfig) -> P,
+{
+    let data = peer_data(num_peers, 14, seed);
+    let mut net_e = network(num_peers);
+    let mut net_m = network(num_peers);
+    let mut estimated = make(WireConfig::estimated());
+    let mut measured = make(WireConfig::default());
+    estimated.train(&mut net_e, &data).unwrap();
+    measured.train(&mut net_m, &data).unwrap();
+    assert_eq!(
+        net_e.stats().total_messages(),
+        net_m.stats().total_messages(),
+        "both wire backends send the same messages"
+    );
+    if charges_train_bytes {
+        let est = net_e.stats().total_bytes();
+        let meas = net_m.stats().total_bytes();
+        assert!(
+            meas < est,
+            "measured training bytes ({meas}) must undercut the estimate ({est})"
+        );
+    }
+
+    let assert_agree = |estimated: &P,
+                        measured: &P,
+                        net_e: &mut P2PNetwork,
+                        net_m: &mut P2PNetwork,
+                        stage: &str| {
+        for (i, probe) in probes(seed ^ 0x5A).iter().enumerate().take(16) {
+            let peer = PeerId((i % num_peers) as u64);
+            assert_eq!(
+                estimated.scores(net_e, peer, probe),
+                measured.scores(net_m, peer, probe),
+                "scores diverge after {stage} on probe {i}"
+            );
+            assert_eq!(
+                estimated.predict(net_e, peer, probe),
+                measured.predict(net_m, peer, probe),
+                "predictions diverge after {stage} on probe {i}"
+            );
+        }
+    };
+    assert_agree(&estimated, &measured, &mut net_e, &mut net_m, "train");
+
+    for i in 0..4 {
+        let ex = MultiLabelExample::new(
+            SparseVector::from_pairs([(4, 1.0 + 0.1 * i as f64)]),
+            vec![9],
+        );
+        let peer = PeerId((i % 2 + 1) as u64);
+        estimated.refine(&mut net_e, peer, &ex).unwrap();
+        measured.refine(&mut net_m, peer, &ex).unwrap();
+    }
+    assert_agree(&estimated, &measured, &mut net_e, &mut net_m, "refine");
+
+    let mut new_data = vec![MultiLabelDataset::new(); num_peers];
+    for i in 0..6 {
+        new_data[0].push(MultiLabelExample::new(
+            SparseVector::from_pairs([(3, 0.8 + 0.05 * i as f64)]),
+            [4],
+        ));
+    }
+    estimated.train_incremental(&mut net_e, &new_data).unwrap();
+    measured.train_incremental(&mut net_m, &new_data).unwrap();
+    assert_agree(
+        &estimated,
+        &measured,
+        &mut net_e,
+        &mut net_m,
+        "train_incremental",
+    );
+}
+
+#[test]
+fn pace_wire_costs_agree() {
+    assert_wire_costs_agree(10, 101, true, |wire| {
+        Pace::new(PaceConfig {
+            wire,
+            ..PaceConfig::default()
+        })
+    });
+}
+
+#[test]
+fn cempar_wire_costs_agree() {
+    assert_wire_costs_agree(16, 102, true, |wire| {
+        Cempar::new(CemparConfig {
+            wire,
+            regions: 4,
+            ..CemparConfig::default()
+        })
+    });
+}
+
+#[test]
+fn centralized_wire_costs_agree() {
+    assert_wire_costs_agree(8, 103, true, |wire| {
+        Centralized::new(CentralizedConfig {
+            wire,
+            ..CentralizedConfig::default()
+        })
+    });
+}
+
+#[test]
+fn local_only_wire_costs_agree() {
+    assert_wire_costs_agree(6, 104, false, |wire| {
+        LocalOnly::new(LocalOnlyConfig {
+            wire,
+            ..LocalOnlyConfig::default()
+        })
+    });
 }
 
 /// A large single-peer dataset forces the Centralized pooled warm refit onto

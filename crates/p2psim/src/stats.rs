@@ -18,10 +18,22 @@ use std::collections::BTreeMap;
 pub struct KindStats {
     /// Messages sent (including ones later dropped).
     pub messages: u64,
-    /// Bytes sent.
+    /// Bytes **delivered**. Dropped traffic is tracked separately in
+    /// [`Self::bytes_dropped`] — folding both into one counter used to make
+    /// the E3 communication tables silently mix delivered and lost traffic.
     pub bytes: u64,
+    /// Bytes sent but never delivered (receiver offline, no route, …).
+    pub bytes_dropped: u64,
     /// Messages that could not be delivered (receiver offline, no route, …).
     pub dropped: u64,
+}
+
+impl KindStats {
+    /// Bytes put on the wire: delivered plus dropped (the sender paid for
+    /// both).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes + self.bytes_dropped
+    }
 }
 
 /// Aggregated statistics of one simulation run.
@@ -60,11 +72,13 @@ impl SimStats {
         self.delivered += 1;
     }
 
-    /// Records a message that was sent but never delivered.
+    /// Records a message that was sent but never delivered. The bytes are
+    /// charged to the sender (they were put on the wire) and to the kind's
+    /// `bytes_dropped` counter — never to its delivered `bytes`.
     pub fn record_drop(&mut self, from: PeerId, kind: MessageKind, bytes: usize) {
         let k = self.by_kind.entry(kind).or_default();
         k.messages += 1;
-        k.bytes += bytes as u64;
+        k.bytes_dropped += bytes as u64;
         k.dropped += 1;
         *self.bytes_sent_by_peer.entry(from).or_default() += bytes as u64;
     }
@@ -90,9 +104,20 @@ impl SimStats {
         self.by_kind.values().map(|k| k.messages).sum()
     }
 
-    /// Total bytes sent across all categories.
+    /// Total bytes *sent* across all categories — delivered plus dropped,
+    /// i.e. everything that was put on the wire and paid for by a sender.
     pub fn total_bytes(&self) -> u64 {
+        self.by_kind.values().map(KindStats::bytes_sent).sum()
+    }
+
+    /// Total bytes actually *delivered* across all categories.
+    pub fn total_bytes_delivered(&self) -> u64 {
         self.by_kind.values().map(|k| k.bytes).sum()
+    }
+
+    /// Total bytes sent but never delivered across all categories.
+    pub fn total_bytes_dropped(&self) -> u64 {
+        self.by_kind.values().map(|k| k.bytes_dropped).sum()
     }
 
     /// Total messages dropped.
@@ -168,6 +193,7 @@ impl SimStats {
             let k = self.by_kind.entry(kind).or_default();
             k.messages += ks.messages;
             k.bytes += ks.bytes;
+            k.bytes_dropped += ks.bytes_dropped;
             k.dropped += ks.dropped;
         }
         for (&p, &b) in &other.bytes_sent_by_peer {
@@ -224,6 +250,29 @@ mod tests {
     }
 
     #[test]
+    fn dropped_bytes_are_tracked_separately_from_delivered() {
+        let mut s = SimStats::new();
+        s.record_delivery(
+            PeerId(0),
+            PeerId(1),
+            MessageKind::ModelPropagation,
+            100,
+            SimTime::ZERO,
+        );
+        s.record_drop(PeerId(0), MessageKind::ModelPropagation, 40);
+        let k = s.kind(MessageKind::ModelPropagation);
+        assert_eq!(k.bytes, 100, "delivered bytes exclude the drop");
+        assert_eq!(k.bytes_dropped, 40);
+        assert_eq!(k.bytes_sent(), 140);
+        assert_eq!(s.total_bytes(), 140, "sent view counts both");
+        assert_eq!(s.total_bytes_delivered(), 100);
+        assert_eq!(s.total_bytes_dropped(), 40);
+        // The sender paid for the dropped bytes too.
+        assert_eq!(s.bytes_sent_by(PeerId(0)), 140);
+        assert_eq!(s.bytes_received_by(PeerId(1)), 100);
+    }
+
+    #[test]
     fn lookup_hops_average() {
         let mut s = SimStats::new();
         s.record_lookup(3);
@@ -252,6 +301,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_messages(), 2);
         assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.total_bytes_delivered(), 10);
+        assert_eq!(a.total_bytes_dropped(), 20);
         assert_eq!(a.total_dropped(), 1);
         assert_eq!(a.mean_lookup_hops(), 4.0);
     }
