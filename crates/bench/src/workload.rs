@@ -1,7 +1,9 @@
 //! Workload construction shared by the experiments and the Criterion benches.
 
-use dataset::{Corpus, CorpusGenerator, CorpusSpec, TrainTestSplit, VectorizedCorpus};
-use doctagger::{AutoTagOutcome, DocTaggerConfig, P2PDocTagger, ProtocolKind};
+use dataset::{
+    BurstSpec, CommunitySpec, Corpus, CorpusGenerator, CorpusSpec, TrainTestSplit, VectorizedCorpus,
+};
+use doctagger::{AutoTagOutcome, DocTaggerConfig, P2PDocTagger, ProtocolKind, SessionConfig};
 use p2pclassify::CemparConfig;
 use p2psim::churn::ChurnModel;
 use p2psim::SimConfig;
@@ -46,6 +48,134 @@ pub fn corpus_spec(num_users: usize, scale: Scale, seed: u64) -> CorpusSpec {
             seed,
             ..CorpusSpec::default()
         },
+    }
+}
+
+/// A named adversarial-workload scenario: a bundle of skew knobs layered on
+/// the standard corpus shape of a [`Scale`]. The matrix isolates each skew
+/// mechanism (tag-popularity exponent, interest communities, re-tagging
+/// imitation, flash-crowd bursts) and then combines them, so regressions can
+/// be attributed to a single generator feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (the key in `BENCH_scenarios.json`).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub description: &'static str,
+    /// Tag-popularity Zipf exponent (1.0 = the benign default).
+    pub tag_zipf_exponent: f64,
+    /// User interest communities (`None` = independent users).
+    pub communities: Option<CommunitySpec>,
+    /// Golder–Huberman re-tagging/imitation strength in `[0, 1]`.
+    pub imitation: f64,
+    /// Flash-crowd bursts layered on the arrival timeline (`None` = smooth
+    /// Poisson arrivals).
+    pub bursts: Option<BurstSpec>,
+}
+
+impl ScenarioSpec {
+    /// The benign baseline: every skew knob disabled. Generates bit-identically
+    /// to the pre-scenario workloads.
+    pub fn benign() -> Self {
+        Self {
+            name: "benign",
+            description: "smooth Poisson arrivals, independent users, Zipf(1.0) tags",
+            tag_zipf_exponent: 1.0,
+            communities: None,
+            imitation: 0.0,
+            bursts: None,
+        }
+    }
+
+    /// The full scenario matrix the `scenarios` bin sweeps.
+    pub fn matrix() -> Vec<Self> {
+        vec![
+            Self::benign(),
+            Self {
+                name: "zipf-heavy",
+                description: "heavy-tailed tag popularity, Zipf exponent 1.7",
+                tag_zipf_exponent: 1.7,
+                ..Self::benign()
+            },
+            Self {
+                name: "communities",
+                description: "4 interest communities, 25% tag overlap, 10% cross-community",
+                communities: Some(CommunitySpec {
+                    num_communities: 4,
+                    tag_overlap: 0.25,
+                    cross_community_ratio: 0.1,
+                }),
+                ..Self::benign()
+            },
+            Self {
+                name: "imitation",
+                description: "Golder-Huberman re-tagging imitation at strength 0.7",
+                imitation: 0.7,
+                ..Self::benign()
+            },
+            Self {
+                name: "flash-crowd",
+                description: "3 self-exciting arrival bursts, width 180s, attraction 0.85",
+                bursts: Some(BurstSpec {
+                    num_bursts: 3,
+                    width_secs: 180.0,
+                    attraction: 0.85,
+                }),
+                ..Self::benign()
+            },
+            Self {
+                name: "combined",
+                description: "Zipf 1.5 + communities + imitation 0.5 + bursts together",
+                tag_zipf_exponent: 1.5,
+                communities: Some(CommunitySpec {
+                    num_communities: 4,
+                    tag_overlap: 0.25,
+                    cross_community_ratio: 0.1,
+                }),
+                imitation: 0.5,
+                bursts: Some(BurstSpec {
+                    num_bursts: 2,
+                    width_secs: 180.0,
+                    attraction: 0.8,
+                }),
+            },
+        ]
+    }
+
+    /// Looks up a scenario from the matrix by name.
+    pub fn named(name: &str) -> Option<Self> {
+        Self::matrix().into_iter().find(|s| s.name == name)
+    }
+
+    /// `true` when the scenario skews tag popularity beyond the benign
+    /// baseline — the regime where the head/tail split separates protocols.
+    pub fn is_skewed(&self) -> bool {
+        self.tag_zipf_exponent > 1.0 || self.imitation > 0.0
+    }
+
+    /// The corpus spec for this scenario at a network size and scale: the
+    /// standard [`corpus_spec`] shape with this scenario's skew knobs applied.
+    pub fn corpus_spec(&self, num_users: usize, scale: Scale, seed: u64) -> CorpusSpec {
+        CorpusSpec {
+            tag_zipf_exponent: self.tag_zipf_exponent,
+            communities: self.communities.clone(),
+            imitation: self.imitation,
+            ..corpus_spec(num_users, scale, seed)
+        }
+    }
+
+    /// The session configuration for this scenario: a churn-free streaming
+    /// replay (churn is varied by its own experiment) with this scenario's
+    /// burst layer on the arrival timeline.
+    pub fn session_config(&self, epochs: usize, seed: u64) -> SessionConfig {
+        SessionConfig {
+            epochs,
+            bursts: self.bursts.clone(),
+            churn: ChurnModel::None,
+            incremental: true,
+            seed,
+            ..SessionConfig::default()
+        }
     }
 }
 
@@ -165,6 +295,35 @@ mod tests {
             );
             assert_eq!(result.outcome.failed, 0);
         }
+    }
+
+    #[test]
+    fn scenario_matrix_names_are_unique_and_resolvable() {
+        let matrix = ScenarioSpec::matrix();
+        assert_eq!(matrix.len(), 6);
+        let mut names: Vec<_> = matrix.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        for s in &matrix {
+            assert_eq!(ScenarioSpec::named(s.name).as_ref(), Some(s));
+            // Every scenario yields a valid corpus spec at both scales.
+            s.corpus_spec(6, Scale::Small, 7).validate().unwrap();
+            s.corpus_spec(6, Scale::Demo, 7).validate().unwrap();
+        }
+        assert_eq!(ScenarioSpec::named("no-such-scenario"), None);
+    }
+
+    #[test]
+    fn benign_scenario_reproduces_the_standard_workload() {
+        let benign = ScenarioSpec::benign();
+        assert!(!benign.is_skewed());
+        assert_eq!(
+            benign.corpus_spec(8, Scale::Small, 3),
+            corpus_spec(8, Scale::Small, 3)
+        );
+        assert!(ScenarioSpec::named("zipf-heavy").unwrap().is_skewed());
+        assert!(ScenarioSpec::named("imitation").unwrap().is_skewed());
     }
 
     #[test]

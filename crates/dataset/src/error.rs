@@ -1,0 +1,127 @@
+//! Typed validation errors for workload specifications.
+//!
+//! The generators used to silently clamp out-of-range knobs (ratios outside
+//! `[0, 1]`) or panic deep inside generation (document-count ranges). Both
+//! behaviors hide configuration mistakes until a scenario quietly produces a
+//! different workload than the experimenter asked for, so specs are now
+//! validated up front: [`crate::CorpusSpec::validate`] and
+//! [`crate::ArrivalSpec::validate`] return a [`SpecError`] naming the exact
+//! field and offending value.
+
+use std::fmt;
+
+/// A workload specification field failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// `min_docs_per_user` must be strictly below `max_docs_per_user`
+    /// (the upper bound is exclusive).
+    DocsPerUserRange {
+        /// The configured minimum.
+        min: usize,
+        /// The configured (exclusive) maximum.
+        max: usize,
+    },
+    /// A count field that must be at least one was zero.
+    ZeroCount {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A field that must be strictly positive and finite was not.
+    NonPositive {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability or ratio field left the unit interval `[0, 1]`.
+    UnitInterval {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DocsPerUserRange { min, max } => write!(
+                f,
+                "min_docs_per_user ({min}) must be strictly below max_docs_per_user ({max})"
+            ),
+            SpecError::ZeroCount { field } => write!(f, "{field} must be at least 1"),
+            SpecError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+            SpecError::UnitInterval { field, value } => {
+                write!(f, "{field} must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Validates that `value` is a probability/ratio in `[0, 1]`.
+pub(crate) fn unit_interval(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(SpecError::UnitInterval { field, value })
+    }
+}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn positive(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(SpecError::NonPositive { field, value })
+    }
+}
+
+/// Validates that `value` is at least one.
+pub(crate) fn nonzero(field: &'static str, value: usize) -> Result<(), SpecError> {
+    if value == 0 {
+        Err(SpecError::ZeroCount { field })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = SpecError::DocsPerUserRange { min: 10, max: 10 };
+        assert!(e.to_string().contains("max_docs_per_user"));
+        let e = SpecError::UnitInterval {
+            field: "imitation",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("imitation"));
+        assert!(e.to_string().contains("1.5"));
+        let e = SpecError::NonPositive {
+            field: "tag_zipf_exponent",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("tag_zipf_exponent"));
+        let e = SpecError::ZeroCount { field: "num_tags" };
+        assert!(e.to_string().contains("num_tags"));
+    }
+
+    #[test]
+    fn helpers_accept_and_reject() {
+        assert!(unit_interval("x", 0.0).is_ok());
+        assert!(unit_interval("x", 1.0).is_ok());
+        assert!(unit_interval("x", -0.01).is_err());
+        assert!(unit_interval("x", f64::NAN).is_err());
+        assert!(positive("x", 1e-9).is_ok());
+        assert!(positive("x", 0.0).is_err());
+        assert!(positive("x", f64::INFINITY).is_err());
+        assert!(nonzero("x", 1).is_ok());
+        assert!(nonzero("x", 0).is_err());
+    }
+}

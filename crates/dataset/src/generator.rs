@@ -7,14 +7,51 @@
 //! indexing the documents' words; they must be *learned* from tagged examples.
 
 use crate::corpus::Corpus;
+use crate::error::{self, SpecError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
+/// User interest *communities*: overlapping per-community tag pools with
+/// occasional cross-community exploration.
+///
+/// Santos-Neto et al. measure interest-sharing clusters in real tagging
+/// systems — users group around shared vocabularies, with limited overlap
+/// between groups — and Cattuto et al. find the same community structure
+/// emerging in tag co-occurrence networks. With communities enabled, users
+/// are assigned round-robin to `num_communities` groups; each group owns an
+/// interleaved share of the tag universe (so every community sees both head
+/// and tail tags) extended by `tag_overlap` into its ring neighbor's share,
+/// and a user's interests are drawn from their community's pool except for a
+/// `cross_community_ratio` fraction of globally-sampled draws.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunitySpec {
+    /// Number of interest communities; users are assigned round-robin, so
+    /// membership always covers all users (and all communities, when there
+    /// are at least as many users as communities).
+    pub num_communities: usize,
+    /// Fraction of the ring-neighbor community's tag pool shared into each
+    /// community's pool, in `[0, 1]` (`0.0` = disjoint pools).
+    pub tag_overlap: f64,
+    /// Probability that an interest draw escapes the user's community pool
+    /// and samples the global tag distribution instead, in `[0, 1]`.
+    pub cross_community_ratio: f64,
+}
+
+impl Default for CommunitySpec {
+    fn default() -> Self {
+        Self {
+            num_communities: 4,
+            tag_overlap: 0.25,
+            cross_community_ratio: 0.1,
+        }
+    }
+}
+
 /// Parameters of the synthetic corpus.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CorpusSpec {
     /// Number of distinct tags (topics).
     pub num_tags: usize,
@@ -43,6 +80,24 @@ pub struct CorpusSpec {
     pub exploration_ratio: f64,
     /// Zipf exponent of the global tag-popularity distribution.
     pub tag_zipf_exponent: f64,
+    /// User interest communities (`None` keeps the independent-users model
+    /// and generates bit-identically to earlier versions of this crate).
+    pub communities: Option<CommunitySpec>,
+    /// Re-tagging/imitation strength in `[0, 1]` (`0.0` disables imitation
+    /// and generates bit-identically to earlier versions of this crate).
+    ///
+    /// Golder & Huberman observe that a document's later taggings imitate the
+    /// tag distribution already attached to it, so per-document tag sets
+    /// *stabilize* instead of growing, and that corpus-wide tag popularity
+    /// develops a power law through the same copying dynamic. With imitation
+    /// enabled, each document receives a bounded stream of tagging events:
+    /// every event after the first copies one of the document's earlier
+    /// taggings with probability `imitation` (within-document stabilization),
+    /// and fresh draws imitate the corpus-wide tagging history so far with
+    /// probability `imitation` (preferential attachment) before falling back
+    /// to the interest/exploration draw. Higher imitation therefore produces
+    /// both fewer distinct tags per document and heavier global skew.
+    pub imitation: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -62,6 +117,8 @@ impl Default for CorpusSpec {
             interests_per_user: 6,
             exploration_ratio: 0.35,
             tag_zipf_exponent: 1.0,
+            communities: None,
+            imitation: 0.0,
             seed: 42,
         }
     }
@@ -91,6 +148,35 @@ impl CorpusSpec {
             seed,
             ..Self::default()
         }
+    }
+
+    /// Validates every field, returning a typed error naming the first
+    /// offending field instead of clamping silently or panicking deep inside
+    /// generation.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        error::nonzero("num_tags", self.num_tags)?;
+        error::nonzero("num_users", self.num_users)?;
+        if self.min_docs_per_user >= self.max_docs_per_user {
+            return Err(SpecError::DocsPerUserRange {
+                min: self.min_docs_per_user,
+                max: self.max_docs_per_user,
+            });
+        }
+        error::nonzero("words_per_doc", self.words_per_doc)?;
+        error::nonzero("words_per_tag", self.words_per_tag)?;
+        error::nonzero("background_vocab", self.background_vocab)?;
+        error::nonzero("max_tags_per_doc", self.max_tags_per_doc)?;
+        error::nonzero("interests_per_user", self.interests_per_user)?;
+        error::unit_interval("background_ratio", self.background_ratio)?;
+        error::unit_interval("exploration_ratio", self.exploration_ratio)?;
+        error::unit_interval("imitation", self.imitation)?;
+        error::positive("tag_zipf_exponent", self.tag_zipf_exponent)?;
+        if let Some(c) = &self.communities {
+            error::nonzero("num_communities", c.num_communities)?;
+            error::unit_interval("tag_overlap", c.tag_overlap)?;
+            error::unit_interval("cross_community_ratio", c.cross_community_ratio)?;
+        }
+        Ok(())
     }
 }
 
@@ -136,9 +222,18 @@ pub struct CorpusGenerator {
 }
 
 impl CorpusGenerator {
-    /// Creates a generator for the given spec.
+    /// Creates a generator for the given spec, panicking (with the
+    /// validation error's message) if the spec is invalid. Use
+    /// [`Self::try_new`] to handle invalid specs gracefully.
     pub fn new(spec: CorpusSpec) -> Self {
-        Self { spec }
+        Self::try_new(spec).unwrap_or_else(|e| panic!("invalid CorpusSpec: {e}"))
+    }
+
+    /// Creates a generator for the given spec, rejecting invalid specs with a
+    /// typed [`SpecError`].
+    pub fn try_new(spec: CorpusSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self { spec })
     }
 
     /// The spec in use.
@@ -146,15 +241,44 @@ impl CorpusGenerator {
         &self.spec
     }
 
+    /// The community index of every user (round-robin over the configured
+    /// community count, capped at the user count so no community index is
+    /// unreachable), or `None` when communities are disabled. Deterministic:
+    /// derived from the spec without consuming randomness.
+    pub fn community_assignments(&self) -> Option<Vec<usize>> {
+        let c = self.spec.communities.as_ref()?;
+        let k = c.num_communities.min(self.spec.num_users).max(1);
+        Some((0..self.spec.num_users).map(|u| u % k).collect())
+    }
+
+    /// Each community's tag pool (sorted tag ids), or `None` when communities
+    /// are disabled. Community `c` owns the interleaved share `t % k == c` of
+    /// the tag universe — so every community sees both head and tail tags —
+    /// extended by `tag_overlap` of its ring neighbor's most popular tags.
+    /// The pools jointly cover the whole tag universe.
+    pub fn community_tag_pools(&self) -> Option<Vec<Vec<usize>>> {
+        let c = self.spec.communities.as_ref()?;
+        let k = c.num_communities.min(self.spec.num_users).max(1);
+        let own: Vec<Vec<usize>> = (0..k)
+            .map(|i| (i..self.spec.num_tags).step_by(k).collect())
+            .collect();
+        let pools = (0..k)
+            .map(|i| {
+                let mut pool = own[i].clone();
+                let neighbor = &own[(i + 1) % k];
+                let shared = (c.tag_overlap * neighbor.len() as f64).ceil() as usize;
+                pool.extend_from_slice(&neighbor[..shared.min(neighbor.len())]);
+                pool.sort_unstable();
+                pool.dedup();
+                pool
+            })
+            .collect();
+        Some(pools)
+    }
+
     /// Generates the corpus.
     pub fn generate(&self) -> Corpus {
         let spec = &self.spec;
-        assert!(spec.num_tags > 0, "need at least one tag");
-        assert!(spec.num_users > 0, "need at least one user");
-        assert!(
-            spec.max_docs_per_user > spec.min_docs_per_user,
-            "max_docs_per_user must exceed min_docs_per_user"
-        );
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let mut corpus = Corpus::new();
 
@@ -190,13 +314,55 @@ impl CorpusGenerator {
             .map(|i| 1.0 / ((i + 1) as f64).powf(spec.tag_zipf_exponent))
             .collect();
 
+        // Community structure (None = independent users, the legacy model).
+        // Both paths must consume identical randomness when communities are
+        // disabled so legacy seeds keep generating bit-identical corpora.
+        let assignments = self.community_assignments();
+        let pools = self.community_tag_pools();
+        let pool_weights: Option<Vec<Vec<f64>>> = pools.as_ref().map(|pools| {
+            pools
+                .iter()
+                .map(|pool| pool.iter().map(|&t| tag_weights[t]).collect())
+                .collect()
+        });
+        let cross_ratio = spec
+            .communities
+            .as_ref()
+            .map_or(0.0, |c| c.cross_community_ratio);
+
+        // Corpus-wide tagging history for imitation: a Polya urn seeded with
+        // the Zipf prior (every tag stays reachable, and reinforcement
+        // amplifies the head instead of washing it out toward uniform).
+        let imitating = spec.imitation > 0.0;
+        let mut urn: Vec<f64> = tag_weights.clone();
+
         for user in 0..spec.num_users {
-            // Each user focuses on a few topics, sampled by global popularity.
+            // Each user focuses on a few topics, sampled by global popularity
+            // within their community's tag pool (or the whole universe).
+            let community = assignments.as_ref().map(|a| a[user]);
+            let (pool, pool_w): (&[usize], &[f64]) = match (&pools, &pool_weights, community) {
+                (Some(p), Some(w), Some(c)) => (&p[c], &w[c]),
+                _ => (&[], &[]),
+            };
             let mut interests = BTreeSet::new();
-            let want = spec.interests_per_user.clamp(1, spec.num_tags);
+            let universe = if pool.is_empty() {
+                spec.num_tags
+            } else {
+                pool.len()
+            };
+            let want = spec.interests_per_user.clamp(1, universe);
             let mut guard = 0;
             while interests.len() < want && guard < 10_000 {
-                interests.insert(sample_weighted(&tag_weights, &mut rng));
+                let t = if pool.is_empty() {
+                    sample_weighted(&tag_weights, &mut rng)
+                } else if cross_ratio > 0.0 && rng.gen_bool(cross_ratio) {
+                    // Cross-community exploration: a few interests come from
+                    // the global distribution, not the community pool.
+                    sample_weighted(&tag_weights, &mut rng)
+                } else {
+                    pool[sample_weighted(pool_w, &mut rng)]
+                };
+                interests.insert(t);
                 guard += 1;
             }
             let interests: Vec<usize> = interests.into_iter().collect();
@@ -207,22 +373,50 @@ impl CorpusGenerator {
                 let num_doc_tags = rng.gen_range(1..=spec.max_tags_per_doc.max(1));
                 // Exploration: some documents are about topics outside the
                 // user's usual interests (newly discovered content).
-                let explore = rng.gen_bool(spec.exploration_ratio.clamp(0.0, 1.0));
-                let mut doc_tags = BTreeSet::new();
-                let mut guard = 0;
-                while doc_tags.len() < num_doc_tags && guard < 1_000 {
-                    let t = if explore {
-                        sample_weighted(&tag_weights, &mut rng)
+                let explore = rng.gen_bool(spec.exploration_ratio);
+                let fresh_draw = |rng: &mut StdRng| {
+                    if explore {
+                        sample_weighted(&tag_weights, rng)
                     } else {
-                        interests[sample_weighted(&interest_weights, &mut rng)]
-                    };
-                    doc_tags.insert(t);
-                    guard += 1;
+                        interests[sample_weighted(&interest_weights, rng)]
+                    }
+                };
+                let mut doc_tags = BTreeSet::new();
+                if imitating {
+                    // A bounded stream of tagging events: later events copy
+                    // the document's earlier taggings with probability
+                    // `imitation` (so the distinct set stabilizes — G&H), and
+                    // fresh draws imitate the corpus-wide urn with the same
+                    // probability (preferential attachment) before falling
+                    // back to the interest/exploration draw.
+                    let mut events: Vec<usize> = Vec::new();
+                    for _ in 0..num_doc_tags * 2 + 2 {
+                        let t = if !events.is_empty() && rng.gen_bool(spec.imitation) {
+                            *events.choose(&mut rng).expect("non-empty")
+                        } else if rng.gen_bool(spec.imitation) {
+                            sample_weighted(&urn, &mut rng)
+                        } else {
+                            fresh_draw(&mut rng)
+                        };
+                        events.push(t);
+                        if doc_tags.len() < num_doc_tags || doc_tags.contains(&t) {
+                            doc_tags.insert(t);
+                        }
+                    }
+                    for &t in &doc_tags {
+                        urn[t] += 1.0;
+                    }
+                } else {
+                    let mut guard = 0;
+                    while doc_tags.len() < num_doc_tags && guard < 1_000 {
+                        doc_tags.insert(fresh_draw(&mut rng));
+                        guard += 1;
+                    }
                 }
                 let doc_tag_list: Vec<usize> = doc_tags.iter().copied().collect();
                 let mut words = Vec::with_capacity(spec.words_per_doc);
                 for _ in 0..spec.words_per_doc {
-                    if rng.gen_bool(spec.background_ratio.clamp(0.0, 1.0)) {
+                    if rng.gen_bool(spec.background_ratio) {
                         words.push(background.choose(&mut rng).expect("non-empty").clone());
                     } else {
                         let &t = doc_tag_list.choose(&mut rng).expect("at least one tag");
@@ -385,5 +579,221 @@ mod tests {
             ..CorpusSpec::tiny()
         })
         .generate();
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_field_with_a_typed_error() {
+        use crate::error::SpecError;
+        let base = CorpusSpec::tiny();
+        assert_eq!(base.validate(), Ok(()));
+        let cases: Vec<(CorpusSpec, SpecError)> = vec![
+            (
+                CorpusSpec {
+                    min_docs_per_user: 10,
+                    max_docs_per_user: 10,
+                    ..base.clone()
+                },
+                SpecError::DocsPerUserRange { min: 10, max: 10 },
+            ),
+            (
+                CorpusSpec {
+                    num_tags: 0,
+                    ..base.clone()
+                },
+                SpecError::ZeroCount { field: "num_tags" },
+            ),
+            (
+                CorpusSpec {
+                    tag_zipf_exponent: 0.0,
+                    ..base.clone()
+                },
+                SpecError::NonPositive {
+                    field: "tag_zipf_exponent",
+                    value: 0.0,
+                },
+            ),
+            (
+                CorpusSpec {
+                    imitation: 1.5,
+                    ..base.clone()
+                },
+                SpecError::UnitInterval {
+                    field: "imitation",
+                    value: 1.5,
+                },
+            ),
+            (
+                CorpusSpec {
+                    exploration_ratio: -0.1,
+                    ..base.clone()
+                },
+                SpecError::UnitInterval {
+                    field: "exploration_ratio",
+                    value: -0.1,
+                },
+            ),
+            (
+                CorpusSpec {
+                    communities: Some(CommunitySpec {
+                        num_communities: 0,
+                        ..CommunitySpec::default()
+                    }),
+                    ..base.clone()
+                },
+                SpecError::ZeroCount {
+                    field: "num_communities",
+                },
+            ),
+            (
+                CorpusSpec {
+                    communities: Some(CommunitySpec {
+                        tag_overlap: 2.0,
+                        ..CommunitySpec::default()
+                    }),
+                    ..base.clone()
+                },
+                SpecError::UnitInterval {
+                    field: "tag_overlap",
+                    value: 2.0,
+                },
+            ),
+        ];
+        for (spec, expected) in cases {
+            assert_eq!(spec.validate(), Err(expected.clone()));
+            assert_eq!(CorpusGenerator::try_new(spec).err(), Some(expected));
+        }
+    }
+
+    fn community_spec() -> CorpusSpec {
+        CorpusSpec {
+            communities: Some(CommunitySpec {
+                num_communities: 3,
+                tag_overlap: 0.0,
+                cross_community_ratio: 0.0,
+            }),
+            exploration_ratio: 0.0,
+            ..CorpusSpec::tiny()
+        }
+    }
+
+    #[test]
+    fn community_assignments_cover_all_users_and_pools_cover_all_tags() {
+        let spec = community_spec();
+        let generator = CorpusGenerator::new(spec.clone());
+        let assignments = generator.community_assignments().unwrap();
+        assert_eq!(assignments.len(), spec.num_users);
+        let k = 3;
+        for c in 0..k {
+            assert!(assignments.contains(&c), "community {c} empty");
+        }
+        let pools = generator.community_tag_pools().unwrap();
+        let mut union: BTreeSet<usize> = BTreeSet::new();
+        for pool in &pools {
+            assert!(!pool.is_empty());
+            union.extend(pool.iter().copied());
+        }
+        assert_eq!(union.len(), spec.num_tags, "pools must cover the universe");
+    }
+
+    #[test]
+    fn disjoint_communities_confine_each_users_tags_to_their_pool() {
+        // With no overlap, no cross-community draws and no exploration, every
+        // document's tags must come from its owner's community pool.
+        let generator = CorpusGenerator::new(community_spec());
+        let corpus = generator.generate();
+        let assignments = generator.community_assignments().unwrap();
+        let pools = generator.community_tag_pools().unwrap();
+        for d in corpus.documents() {
+            let pool: BTreeSet<u32> = pools[assignments[d.user]]
+                .iter()
+                .map(|&t| t as u32)
+                .collect();
+            for id in corpus.tag_ids_of(d.id) {
+                assert!(
+                    pool.contains(&id),
+                    "user {} (community {}) tagged outside their pool: tag {id}",
+                    d.user,
+                    assignments[d.user]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tag_overlap_lets_neighboring_communities_share_tags() {
+        let spec = CorpusSpec {
+            communities: Some(CommunitySpec {
+                num_communities: 3,
+                tag_overlap: 0.5,
+                cross_community_ratio: 0.0,
+            }),
+            ..CorpusSpec::tiny()
+        };
+        let pools = CorpusGenerator::new(spec).community_tag_pools().unwrap();
+        for (i, pool) in pools.iter().enumerate() {
+            let neighbor: BTreeSet<usize> = pools[(i + 1) % pools.len()].iter().copied().collect();
+            let shared = pool.iter().filter(|t| neighbor.contains(t)).count();
+            assert!(shared > 0, "community {i} shares nothing with its neighbor");
+        }
+    }
+
+    #[test]
+    fn imitation_stabilizes_per_document_tag_sets() {
+        let base = CorpusSpec {
+            max_tags_per_doc: 4,
+            ..CorpusSpec::tiny()
+        };
+        let plain = CorpusGenerator::new(base.clone()).generate();
+        let imitated = CorpusGenerator::new(CorpusSpec {
+            imitation: 0.9,
+            ..base
+        })
+        .generate();
+        assert!(
+            imitated.mean_tags_per_document() < plain.mean_tags_per_document(),
+            "imitation {} vs plain {}",
+            imitated.mean_tags_per_document(),
+            plain.mean_tags_per_document()
+        );
+        for d in imitated.documents() {
+            assert!(!d.tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn imitation_skews_global_tag_popularity() {
+        // Preferential attachment: the top tag's share of all taggings grows
+        // with imitation strength.
+        let top_share = |imitation: f64| {
+            let corpus = CorpusGenerator::new(CorpusSpec {
+                imitation,
+                ..CorpusSpec::tiny()
+            })
+            .generate();
+            let freq = corpus.tag_frequencies();
+            let total: usize = freq.values().sum();
+            let max = freq.values().copied().max().unwrap_or(0);
+            max as f64 / total.max(1) as f64
+        };
+        assert!(
+            top_share(0.9) > top_share(0.0),
+            "imitation 0.9 share {} vs baseline {}",
+            top_share(0.9),
+            top_share(0.0)
+        );
+    }
+
+    #[test]
+    fn zero_imitation_and_no_communities_reproduce_the_legacy_stream() {
+        // The benign scenario must be bit-identical to the pre-scenario
+        // generator: the new knobs may not consume randomness when disabled.
+        let corpus = CorpusGenerator::new(CorpusSpec::tiny()).generate();
+        let explicit = CorpusGenerator::new(CorpusSpec {
+            communities: None,
+            imitation: 0.0,
+            ..CorpusSpec::tiny()
+        })
+        .generate();
+        assert_eq!(corpus, explicit);
     }
 }

@@ -28,21 +28,24 @@
 
 pub mod arrivals;
 pub mod corpus;
+pub mod error;
 pub mod generator;
 pub mod split;
 pub mod vectorize;
 
 /// Common re-exports.
 pub mod prelude {
-    pub use crate::arrivals::{Arrival, ArrivalSpec, ArrivalTimeline};
+    pub use crate::arrivals::{Arrival, ArrivalSpec, ArrivalTimeline, BurstSpec};
     pub use crate::corpus::{Corpus, Document, DocumentId, UserId};
-    pub use crate::generator::{CorpusGenerator, CorpusSpec};
+    pub use crate::error::SpecError;
+    pub use crate::generator::{CommunitySpec, CorpusGenerator, CorpusSpec};
     pub use crate::split::TrainTestSplit;
     pub use crate::vectorize::VectorizedCorpus;
 }
 
-pub use arrivals::{Arrival, ArrivalSpec, ArrivalTimeline};
+pub use arrivals::{Arrival, ArrivalSpec, ArrivalTimeline, BurstSpec};
 pub use corpus::{Corpus, Document, DocumentId, UserId};
-pub use generator::{CorpusGenerator, CorpusSpec};
+pub use error::SpecError;
+pub use generator::{CommunitySpec, CorpusGenerator, CorpusSpec};
 pub use split::TrainTestSplit;
 pub use vectorize::VectorizedCorpus;

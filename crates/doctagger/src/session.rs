@@ -30,8 +30,8 @@
 use crate::config::{DocTaggerConfig, ProtocolKind};
 use crate::library::TagSource;
 use crate::system::P2PDocTagger;
-use dataset::{ArrivalSpec, ArrivalTimeline, Corpus, DocumentId, TrainTestSplit};
-use ml::MultiLabelMetrics;
+use dataset::{ArrivalSpec, ArrivalTimeline, BurstSpec, Corpus, DocumentId, TrainTestSplit};
+use ml::{GroupedMetrics, MultiLabelMetrics};
 use p2pclassify::ProtocolError;
 use p2psim::churn::ChurnModel;
 use p2psim::{SimConfig, SimTime};
@@ -55,6 +55,9 @@ pub struct SessionConfig {
     /// Interest drift of the arrival generator (see
     /// [`dataset::ArrivalSpec::drift`]).
     pub drift: f64,
+    /// Flash-crowd bursts layered on the arrival generator (see
+    /// [`dataset::BurstSpec`]); `None` keeps the smooth Poisson arrivals.
+    pub bursts: Option<BurstSpec>,
     /// Churn model of the simulated network for the whole session.
     pub churn: ChurnModel,
     /// `true` folds each epoch's manual arrivals in with warm-start
@@ -73,6 +76,7 @@ impl Default for SessionConfig {
             manual_fraction: 0.2,
             refine_fraction: 0.5,
             drift: 0.6,
+            bursts: None,
             churn: ChurnModel::None,
             incremental: true,
             seed: 42,
@@ -129,6 +133,12 @@ pub struct SessionOutcome {
     /// automatic tags, from the library's final tag assignments (so applied
     /// refinements and the no-clobber rule are reflected).
     pub final_metrics: MultiLabelMetrics,
+    /// The same final-state evaluation stratified by owning user (= peer),
+    /// for per-peer and cold-start views.
+    pub final_by_user: GroupedMetrics,
+    /// Number of manual taggings each user contributed over the session,
+    /// indexed by user id — the ranking behind cold-start stratification.
+    pub manual_per_user: Vec<usize>,
     /// Total corrections applied across the session.
     pub total_refinements: usize,
 }
@@ -142,6 +152,30 @@ impl SessionOutcome {
     /// Final micro-F1.
     pub fn final_micro_f1(&self) -> f64 {
         self.final_metrics.micro_f1()
+    }
+
+    /// The `count` peers with the fewest manual taggings (ties broken toward
+    /// lower peer ids) — the peers whose own training data is scarcest, so
+    /// collaborative knowledge matters most for them.
+    pub fn cold_start_peers(&self, count: usize) -> Vec<usize> {
+        let mut ranked: Vec<(usize, usize)> = self
+            .manual_per_user
+            .iter()
+            .enumerate()
+            .map(|(user, &manual)| (manual, user))
+            .collect();
+        ranked.sort_unstable();
+        ranked
+            .into_iter()
+            .take(count)
+            .map(|(_, user)| user)
+            .collect()
+    }
+
+    /// Pooled final-state metrics of the `count` coldest-start peers (the
+    /// peers with the fewest manual taggings over the whole session).
+    pub fn cold_start_metrics(&self, count: usize) -> MultiLabelMetrics {
+        self.final_by_user.merged_over(self.cold_start_peers(count))
     }
 
     /// Total wall-clock seconds spent in the learning phase across epochs —
@@ -191,6 +225,7 @@ impl SessionDriver {
             &ArrivalSpec {
                 horizon_secs,
                 drift: config.drift,
+                bursts: config.bursts.clone(),
                 seed: config.seed ^ 0xA55A,
             },
         );
@@ -373,14 +408,28 @@ impl SessionDriver {
             });
         }
 
-        let final_metrics = self.evaluate_final(&requested_ever);
+        let (final_metrics, final_by_user) = self.evaluate_final(&requested_ever);
         Ok(SessionOutcome {
             protocol: self.system.protocol_name(),
             incremental: self.config.incremental,
             epochs: reports,
             final_metrics,
+            final_by_user,
+            manual_per_user: self.manual_per_user(),
             total_refinements,
         })
+    }
+
+    /// Manual taggings contributed by each user over the whole session.
+    fn manual_per_user(&self) -> Vec<usize> {
+        let corpus = self.system.corpus().expect("ingested");
+        let mut counts = vec![0usize; corpus.num_users()];
+        for d in corpus.documents() {
+            if self.manual_roll[d.id] {
+                counts[d.user] += 1;
+            }
+        }
+        counts
     }
 
     /// The cumulative split for a full retrain: everything manually tagged so
@@ -409,8 +458,8 @@ impl SessionDriver {
 
     /// Final-state evaluation: the library's current tags of every document
     /// that ever requested automatic tagging, against ground truth, over the
-    /// frozen evaluation universe.
-    fn evaluate_final(&self, docs: &BTreeSet<DocumentId>) -> MultiLabelMetrics {
+    /// frozen evaluation universe — flat, and stratified by owning user.
+    fn evaluate_final(&self, docs: &BTreeSet<DocumentId>) -> (MultiLabelMetrics, GroupedMetrics) {
         let corpus = self.system.corpus().expect("ingested");
         let universe: BTreeSet<u32> = self
             .system
@@ -419,6 +468,7 @@ impl SessionDriver {
             .unwrap_or_else(|| (0..corpus.num_tags() as u32).collect());
         let mut predictions = Vec::with_capacity(docs.len());
         let mut truths = Vec::with_capacity(docs.len());
+        let mut owners = Vec::with_capacity(docs.len());
         for &doc in docs {
             let assigned: BTreeSet<u32> = self
                 .system
@@ -429,8 +479,12 @@ impl SessionDriver {
                 .collect();
             predictions.push(assigned);
             truths.push(corpus.tag_ids_of(doc));
+            owners.push(corpus.document(doc).expect("document exists").user);
         }
-        MultiLabelMetrics::evaluate(&predictions, &truths, &universe)
+        (
+            MultiLabelMetrics::evaluate(&predictions, &truths, &universe),
+            GroupedMetrics::evaluate(&predictions, &truths, &universe, &owners),
+        )
     }
 }
 
@@ -569,6 +623,74 @@ mod tests {
                 .count()
                 .max(1) as f64;
         assert!(outcome.final_micro_f1() >= mean_epoch_micro);
+    }
+
+    #[test]
+    fn outcome_stratifies_by_peer_and_ranks_cold_start_peers() {
+        let corpus = session_corpus();
+        let cfg = SessionConfig {
+            epochs: 3,
+            incremental: true,
+            ..SessionConfig::default()
+        };
+        let outcome = run_session(ProtocolKind::pace(), cfg, &corpus).unwrap();
+        assert_eq!(outcome.manual_per_user.len(), corpus.num_users());
+        // Every user seeds with at least their first arrival.
+        assert!(outcome.manual_per_user.iter().all(|&m| m >= 1));
+        // The per-user stratification pools back to the flat evaluation.
+        let all_users = outcome
+            .final_by_user
+            .iter()
+            .map(|(u, _)| u)
+            .collect::<Vec<_>>();
+        let pooled = outcome.final_by_user.merged_over(all_users);
+        assert_eq!(pooled, outcome.final_metrics);
+        // Cold-start peers are ranked by manual-tagging count.
+        let cold = outcome.cold_start_peers(3);
+        assert_eq!(cold.len(), 3);
+        let max_cold = cold
+            .iter()
+            .map(|&u| outcome.manual_per_user[u])
+            .max()
+            .unwrap();
+        let min_rest = (0..corpus.num_users())
+            .filter(|u| !cold.contains(u))
+            .map(|u| outcome.manual_per_user[u])
+            .min()
+            .unwrap();
+        assert!(max_cold <= min_rest);
+        let cold_metrics = outcome.cold_start_metrics(3);
+        assert!(cold_metrics.num_docs > 0);
+        assert!(cold_metrics.num_docs < outcome.final_metrics.num_docs);
+        // Head/tail stratification is available on the final metrics.
+        let split = outcome.final_metrics.head_tail(0.3);
+        assert!(!split.head_tags.is_empty());
+        assert!(split.head_tags.is_disjoint(&split.tail_tags));
+    }
+
+    #[test]
+    fn sessions_replay_flash_crowd_bursts() {
+        let corpus = session_corpus();
+        let cfg = SessionConfig {
+            epochs: 3,
+            bursts: Some(dataset::BurstSpec {
+                num_bursts: 2,
+                width_secs: 120.0,
+                attraction: 0.9,
+            }),
+            incremental: true,
+            ..SessionConfig::default()
+        };
+        let outcome = run_session(ProtocolKind::pace(), cfg, &corpus).unwrap();
+        let handled: usize = outcome
+            .epochs
+            .iter()
+            .map(|e| e.auto_requested + e.new_manual)
+            .sum();
+        // Bursts re-time arrivals but never drop or duplicate them; deferred
+        // auto requests may be re-counted in a later epoch, so handled ≥ len.
+        assert!(handled >= corpus.len());
+        assert!(outcome.final_micro_f1() > 0.2);
     }
 
     #[test]

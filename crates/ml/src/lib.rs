@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::kernel::Kernel;
     pub use crate::kmeans::{KMeans, KMeansConfig};
     pub use crate::lsh::{LshConfig, LshIndex};
-    pub use crate::metrics::{BinaryMetrics, MultiLabelMetrics};
+    pub use crate::metrics::{BinaryMetrics, GroupedMetrics, HeadTailSplit, MultiLabelMetrics};
     pub use crate::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
     pub use crate::svm::{
         BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer,
@@ -68,6 +68,6 @@ pub use batch::{BatchKernelScorer, TagWeightMatrix};
 pub use codec::{ByteReader, CodecError, WeightPrecision};
 pub use data::{MultiLabelDataset, MultiLabelExample, TagId};
 pub use kernel::Kernel;
-pub use metrics::{BinaryMetrics, MultiLabelMetrics};
+pub use metrics::{BinaryMetrics, GroupedMetrics, HeadTailSplit, MultiLabelMetrics};
 pub use multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 pub use svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer, LinearSvm, LinearSvmTrainer};

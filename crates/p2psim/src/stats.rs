@@ -273,6 +273,70 @@ mod tests {
     }
 
     #[test]
+    fn bytes_sent_is_delivered_plus_dropped_across_kinds_and_merges() {
+        // The wire-cost identity `bytes_sent() == bytes + bytes_dropped` must
+        // hold per kind and in the totals, across a mixed traffic pattern and
+        // after merging partial collectors.
+        let mut s = SimStats::new();
+        let kinds = [
+            MessageKind::ModelPropagation,
+            MessageKind::DhtLookup,
+            MessageKind::Other,
+        ];
+        for (i, &kind) in kinds.iter().enumerate() {
+            s.record_delivery(PeerId(0), PeerId(1), kind, 100 + i, SimTime::ZERO);
+            s.record_drop(PeerId(2), kind, 10 * (i + 1));
+            s.record_drop(PeerId(2), kind, 1);
+        }
+        for &kind in &kinds {
+            let k = s.kind(kind);
+            assert_eq!(k.bytes_sent(), k.bytes + k.bytes_dropped);
+            assert_eq!(k.messages, 3);
+            assert_eq!(k.dropped, 2);
+        }
+        assert_eq!(
+            s.total_bytes(),
+            s.total_bytes_delivered() + s.total_bytes_dropped()
+        );
+        // 303 delivered + (10+1 + 20+1 + 30+1) dropped.
+        assert_eq!(s.total_bytes_delivered(), 303);
+        assert_eq!(s.total_bytes_dropped(), 63);
+        assert_eq!(s.total_bytes(), 366);
+        // Per-peer accounting matches: sender paid for drops, receiver only
+        // saw deliveries.
+        assert_eq!(s.bytes_sent_by(PeerId(0)), 303);
+        assert_eq!(s.bytes_sent_by(PeerId(2)), 63);
+        assert_eq!(s.bytes_received_by(PeerId(1)), 303);
+        // The identity survives a merge of disjoint partial collectors.
+        let mut other = SimStats::new();
+        other.record_drop(PeerId(3), MessageKind::ModelPropagation, 500);
+        other.record_delivery(
+            PeerId(3),
+            PeerId(0),
+            MessageKind::DhtLookup,
+            7,
+            SimTime::ZERO,
+        );
+        let (sent_a, del_a, drop_a) = (
+            s.total_bytes(),
+            s.total_bytes_delivered(),
+            s.total_bytes_dropped(),
+        );
+        s.merge(&other);
+        assert_eq!(s.total_bytes(), sent_a + 507);
+        assert_eq!(s.total_bytes_delivered(), del_a + 7);
+        assert_eq!(s.total_bytes_dropped(), drop_a + 500);
+        assert_eq!(
+            s.total_bytes(),
+            s.total_bytes_delivered() + s.total_bytes_dropped()
+        );
+        for &kind in &kinds {
+            let k = s.kind(kind);
+            assert_eq!(k.bytes_sent(), k.bytes + k.bytes_dropped);
+        }
+    }
+
+    #[test]
     fn lookup_hops_average() {
         let mut s = SimStats::new();
         s.record_lookup(3);

@@ -42,7 +42,10 @@ pub use textproc;
 
 /// One-stop imports for the most common workflow.
 pub mod prelude {
-    pub use dataset::{Corpus, CorpusGenerator, CorpusSpec, TrainTestSplit, VectorizedCorpus};
+    pub use dataset::{
+        ArrivalSpec, ArrivalTimeline, BurstSpec, CommunitySpec, Corpus, CorpusGenerator,
+        CorpusSpec, SpecError, TrainTestSplit, VectorizedCorpus,
+    };
     pub use doctagger::{
         AutoTagOutcome, DocTaggerConfig, DocumentLibrary, P2PDocTagger, ProtocolKind,
         SuggestionCloud, TagCloud, TagStore,

@@ -4,6 +4,32 @@
 use p2pdoctagger::prelude::*;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// A tiny corpus shared by the arrival-timeline properties (generation is the
+/// expensive part; the properties vary only the arrival spec).
+fn arrival_corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        CorpusGenerator::new(CorpusSpec {
+            num_users: 6,
+            seed: 99,
+            ..CorpusSpec::tiny()
+        })
+        .generate()
+    })
+}
+
+/// A tiny corpus spec with the adversarial knobs applied.
+fn skewed_spec(imitation: f64, communities: Option<CommunitySpec>, seed: u64) -> CorpusSpec {
+    CorpusSpec {
+        num_users: 6,
+        imitation,
+        communities,
+        seed,
+        ..CorpusSpec::tiny()
+    }
+}
 
 fn sparse_vector_strategy(max_dim: u32, max_nnz: usize) -> impl Strategy<Value = SparseVector> {
     prop::collection::vec((0..max_dim, -10.0f64..10.0), 0..max_nnz)
@@ -235,6 +261,117 @@ proptest! {
             }
         }
         prop_assert!((0.0..=1.0).contains(&tl.availability_at(SimTime::from_secs(1_000))));
+    }
+
+    // ---------- adversarial workload generators ---------------------------------
+
+    #[test]
+    fn bursty_arrivals_stay_sorted_and_inside_the_horizon(
+        num_bursts in 1usize..5,
+        width_secs in 10.0f64..500.0,
+        attraction in 0.05f64..1.0,
+        horizon_secs in 200.0f64..3_000.0,
+        seed in any::<u64>(),
+    ) {
+        let corpus = arrival_corpus();
+        let spec = ArrivalSpec {
+            horizon_secs,
+            bursts: Some(BurstSpec { num_bursts, width_secs, attraction }),
+            seed,
+            ..ArrivalSpec::default()
+        };
+        let timeline = ArrivalTimeline::generate(corpus, &spec);
+        let arrivals = timeline.arrivals();
+        // Exactly one arrival per document, every document covered.
+        prop_assert_eq!(arrivals.len(), corpus.len());
+        let docs: BTreeSet<_> = arrivals.iter().map(|a| a.doc).collect();
+        prop_assert_eq!(docs.len(), corpus.len());
+        // Sorted, and strictly inside [0, horizon).
+        let horizon_micros = (horizon_secs * 1e6) as u64;
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0].time_micros <= w[1].time_micros);
+        }
+        for a in arrivals {
+            prop_assert!(a.time_micros < horizon_micros);
+        }
+    }
+
+    #[test]
+    fn arrival_replay_is_deterministic_for_any_seed(
+        seed in any::<u64>(),
+        num_bursts in 1usize..4,
+    ) {
+        let corpus = arrival_corpus();
+        let spec = ArrivalSpec {
+            bursts: Some(BurstSpec { num_bursts, ..BurstSpec::default() }),
+            seed,
+            ..ArrivalSpec::default()
+        };
+        let a = ArrivalTimeline::generate(corpus, &spec);
+        let b = ArrivalTimeline::generate(corpus, &spec);
+        prop_assert_eq!(a.arrivals(), b.arrivals());
+    }
+
+    #[test]
+    fn imitation_keeps_every_tag_set_valid(
+        imitation in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = skewed_spec(imitation, None, seed);
+        let corpus = CorpusGenerator::new(spec.clone()).generate();
+        for doc in corpus.documents() {
+            // Every document keeps at least one tag, never exceeds the cap,
+            // and every tag stays inside the declared universe.
+            prop_assert!(!doc.tags.is_empty());
+            prop_assert!(doc.tags.len() <= spec.max_tags_per_doc);
+            let ids = corpus.tag_ids_of(doc.id);
+            prop_assert_eq!(ids.len(), doc.tags.len());
+            for &t in &ids {
+                prop_assert!((t as usize) < spec.num_tags);
+            }
+        }
+    }
+
+    #[test]
+    fn community_membership_covers_all_users_and_tags(
+        num_communities in 1usize..9,
+        tag_overlap in 0.0f64..1.0,
+        cross in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = skewed_spec(
+            0.0,
+            Some(CommunitySpec {
+                num_communities,
+                tag_overlap,
+                cross_community_ratio: cross,
+            }),
+            seed,
+        );
+        let gen = CorpusGenerator::new(spec.clone());
+        let members = gen.community_assignments().expect("communities configured");
+        // Every user is assigned to a community in range.
+        prop_assert_eq!(members.len(), spec.num_users);
+        let k = num_communities.min(spec.num_users).max(1);
+        for &c in &members {
+            prop_assert!(c < k);
+        }
+        // Round-robin assignment covers every community.
+        let used: BTreeSet<_> = members.iter().copied().collect();
+        prop_assert_eq!(used.len(), k);
+        // The community pools jointly cover the whole tag universe.
+        let pools = gen.community_tag_pools().expect("communities configured");
+        let covered: BTreeSet<usize> = pools.iter().flatten().copied().collect();
+        prop_assert_eq!(covered.len(), spec.num_tags);
+        // And generation under these knobs still yields a corpus whose tags
+        // stay inside the universe.
+        let corpus = gen.generate();
+        for doc in corpus.documents() {
+            prop_assert!(!doc.tags.is_empty());
+            for &t in &corpus.tag_ids_of(doc.id) {
+                prop_assert!((t as usize) < spec.num_tags);
+            }
+        }
     }
 
     // ---------- learning sanity -------------------------------------------------
