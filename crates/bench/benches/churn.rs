@@ -73,7 +73,7 @@ fn bench_churn(c: &mut Criterion) {
                 };
                 b.iter(|| {
                     net.advance(SimTime::from_secs(500));
-                    let requester = net.online_peers().first().copied().unwrap_or(PeerId(0));
+                    let requester = net.online_peers().next().unwrap_or(PeerId(0));
                     proto.predict(&mut net, requester, &probe).is_ok()
                 })
             },

@@ -1,0 +1,116 @@
+//! Simulator scale benchmark: steady-state allocation rate and memory
+//! growth of the event loop (see [`bench::scale`]).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --features alloc-count --bin scale            # ceiling sweep
+//! cargo run --release -p bench --features alloc-count --bin scale -- --quick # CI smoke (2k peers)
+//! ```
+//!
+//! The full sweep writes `BENCH_scale.json` at the repository root (quick
+//! mode writes `BENCH_scale_quick.json`). Quick mode additionally enforces
+//! the two scale invariants and exits nonzero on regression:
+//!
+//! * steady-state allocs/event at 2k peers must not exceed
+//!   [`bench::scale::ALLOCS_PER_EVENT_CEILING`];
+//! * whole-run peak bytes per peer at 2k peers must not exceed the 500-peer
+//!   figure by more than [`bench::scale::PER_PEER_GROWTH_SLACK`]
+//!   (super-linear peer-memory growth).
+//!
+//! Both invariants need the `alloc-count` feature; without it the bin still
+//! runs the sweep (timings and high-water marks) but skips the assertions
+//! and says so, so a misconfigured CI step cannot silently pass.
+
+use bench::scale::{
+    peak_rss_bytes, steady_state, to_json, ALLOCS_PER_EVENT_CEILING, PER_PEER_GROWTH_SLACK,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = 2010;
+
+    // Ascending sizes: the ceiling sweep ends on the largest network, so the
+    // process VmHWM printed at the end reflects it.
+    let sweep: &[(usize, u64, u64)] = if quick {
+        &[(500, 100_000, 100_000), (2_000, 200_000, 200_000)]
+    } else {
+        &[
+            (1_000, 200_000, 400_000),
+            (2_000, 200_000, 400_000),
+            (5_000, 400_000, 800_000),
+            (10_000, 400_000, 800_000),
+            (20_000, 800_000, 1_600_000),
+            (50_000, 800_000, 1_600_000),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for &(n, warmup, measured) in sweep {
+        eprintln!("scale: {n} peers ({warmup} warm-up + {measured} measured events)...");
+        let row = steady_state(n, warmup, measured, seed);
+        eprintln!(
+            "  {n:>6} peers | {:>9.0} events/s | in-flight hwm {:>6}{}",
+            row.events_per_sec,
+            row.in_flight_high_water,
+            match (row.allocs_per_event(), row.bytes_per_peer()) {
+                (Some(ape), Some(bpp)) => format!(" | {ape:.4} allocs/event | {bpp:.0} bytes/peer"),
+                _ => String::new(),
+            },
+        );
+        rows.push(row);
+    }
+
+    let json = to_json(&rows, seed);
+    let filename = if quick {
+        "BENCH_scale_quick.json"
+    } else {
+        "BENCH_scale.json"
+    };
+    let path = bench::workspace_root().join(filename);
+    std::fs::write(&path, &json).expect("write scale json");
+    println!("{json}");
+    if let Some(rss) = peak_rss_bytes() {
+        eprintln!(
+            "peak RSS after largest network ({} peers): {:.1} MiB",
+            rows.last().map(|r| r.peers).unwrap_or(0),
+            rss as f64 / (1024.0 * 1024.0)
+        );
+    }
+    eprintln!("wrote {}", path.display());
+
+    if quick {
+        let small = &rows[0];
+        let big = rows.last().expect("sweep is non-empty");
+        match (
+            big.allocs_per_event(),
+            small.bytes_per_peer(),
+            big.bytes_per_peer(),
+        ) {
+            (Some(ape), Some(small_bpp), Some(big_bpp)) => {
+                assert!(
+                    ape <= ALLOCS_PER_EVENT_CEILING,
+                    "steady-state allocs/event at {} peers is {ape:.4}, ceiling {ALLOCS_PER_EVENT_CEILING}",
+                    big.peers
+                );
+                assert!(
+                    big_bpp <= small_bpp * PER_PEER_GROWTH_SLACK,
+                    "peer-memory growth is super-linear: {:.1} bytes/peer at {} vs {:.1} at {} (slack {PER_PEER_GROWTH_SLACK})",
+                    big_bpp,
+                    big.peers,
+                    small_bpp,
+                    small.peers
+                );
+                eprintln!(
+                    "quick smoke OK: {ape:.4} allocs/event, {big_bpp:.0} vs {small_bpp:.0} bytes/peer"
+                );
+            }
+            _ => {
+                eprintln!(
+                    "quick smoke ran WITHOUT alloc counting (build with --features alloc-count); \
+                     allocation and memory-growth assertions were skipped"
+                );
+            }
+        }
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p bench --bin session            # n ∈ {50, 200}, 10 epochs
+//! cargo run --release -p bench --bin session            # n ∈ {50, 200} x 10 epochs + 10k x 3
 //! cargo run --release -p bench --bin session -- --quick # n ∈ {10}, 3 epochs (CI smoke)
 //! ```
+//!
+//! Build with `--features alloc-count` to record `peak_bytes` per mode (the
+//! scale acceptance row: 10k-peer peak must grow sub-linearly vs 200 peers).
 //!
 //! Writes `BENCH_session.json` to the repository root (or
 //! `BENCH_session_quick.json` in `--quick` mode so the committed full-scale
@@ -16,21 +19,31 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let seed = 2010;
-    let (peer_counts, epochs): (&[usize], usize) =
-        if quick { (&[10], 3) } else { (&[50, 200], 10) };
+    // (peers, epochs): the 10k scale row replays fewer epochs — the point is
+    // the per-network working set (`peak_bytes`) and that both training modes
+    // still complete at that size, not a long accuracy trajectory.
+    let sweep: &[(usize, usize)] = if quick {
+        &[(10, 3)]
+    } else {
+        &[(50, 10), (200, 10), (10_000, 3)]
+    };
 
     let mut rows = Vec::new();
-    for &n in peer_counts {
+    for &(n, epochs) in sweep {
         eprintln!("replaying {epochs}-epoch session at {n} peers...");
         let row = measure(n, epochs, seed);
         eprintln!(
-            "  {n:>4} peers | train: incremental {:>7.1} epochs/s vs full {:>7.1} epochs/s (x{:.2}) | whole epoch x{:.2} | macro {:.3} vs {:.3}",
+            "  {n:>5} peers | train: incremental {:>7.1} epochs/s vs full {:>7.1} epochs/s (x{:.2}) | whole epoch x{:.2} | macro {:.3} vs {:.3}{}",
             row.incremental.train_epochs_per_sec(),
             row.full.train_epochs_per_sec(),
             row.train_speedup(),
             row.total_speedup(),
             row.incremental.outcome.final_macro_f1(),
             row.full.outcome.final_macro_f1(),
+            row.incremental
+                .peak_bytes
+                .map(|b| format!(" | peak {:.1} MB", b as f64 / 1e6))
+                .unwrap_or_default(),
         );
         rows.push(row);
     }
@@ -76,12 +89,27 @@ fn main() {
         // modes differ: absorbing an epoch's new examples must be at least
         // twice as fast as the from-scratch retrain. (Whole-epoch time is
         // dominated by auto-tagging, which is identical work in both modes.)
-        let at_scale = rows.last().expect("rows measured");
+        // The 200-peer row carries this guard: its 10-epoch timeline gives
+        // the warm-start path enough epochs past the (identical) cold epoch 0
+        // for the ratio to be meaningful.
+        let at_scale = rows
+            .iter()
+            .find(|r| r.peers == 200)
+            .expect("200-peer row measured");
         assert!(
             at_scale.train_speedup() >= 2.0,
             "incremental training epochs not ≥2x faster than full retrain at {} peers: x{:.2}",
             at_scale.peers,
             at_scale.train_speedup()
+        );
+        // The 10k scale row replays few epochs (epoch 0 is an identical cold
+        // train in both modes), so only require the warm path not to lose.
+        let ceiling = rows.last().expect("rows measured");
+        assert!(
+            ceiling.train_speedup() >= 1.0,
+            "incremental training slower than full retrain at {} peers: x{:.2}",
+            ceiling.peers,
+            ceiling.train_speedup()
         );
     }
 }

@@ -12,13 +12,17 @@
 //! JSON is written to `BENCH_throughput_quick.json` so the committed
 //! full-scale numbers are not clobbered by CI.
 
-use bench::throughput::{measure, to_json};
+use bench::throughput::{measure, measure_scale, to_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let seed = 2010;
     let peer_counts: &[usize] = if quick { &[12, 24] } else { &[50, 200] };
+    // Scale rows: batched-only, one column per overlay architecture. The
+    // smallest size replicates the largest full row so sub-linear memory
+    // growth is checkable within one measurement protocol.
+    let scale_counts: &[usize] = if quick { &[24] } else { &[200, 2_000, 10_000] };
 
     let mut rows = Vec::new();
     for &n in peer_counts {
@@ -36,7 +40,25 @@ fn main() {
         rows.push(row);
     }
 
-    let json = to_json(&rows, seed);
+    let mut scale_rows = Vec::new();
+    for &n in scale_counts {
+        eprintln!("measuring overlay scale at {n} peers...");
+        let row = measure_scale(n, seed);
+        for c in &row.columns {
+            eprintln!(
+                "  {n:>5} peers | {:>10} ({:>7}) | train {:>8.1} docs/s | auto-tag {:>8.1} docs/s | {:>6.2} MB total | f1 {:.3}",
+                c.overlay,
+                c.protocol,
+                c.train.docs_per_sec(),
+                c.auto_tag.docs_per_sec(),
+                c.total_bytes as f64 / 1e6,
+                c.micro_f1,
+            );
+        }
+        scale_rows.push(row);
+    }
+
+    let json = to_json(&rows, &scale_rows, seed);
     let filename = if quick {
         "BENCH_throughput_quick.json"
     } else {

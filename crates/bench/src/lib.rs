@@ -13,6 +13,7 @@
 pub mod alloc;
 pub mod experiments;
 pub mod kernels;
+pub mod scale;
 pub mod scenarios;
 pub mod session;
 pub mod throughput;

@@ -1,0 +1,273 @@
+//! Simulator scale harness: steady-state allocation counting and memory
+//! growth of the event loop itself, independent of any ML workload.
+//!
+//! The 10k-peer target of the ROADMAP only holds if the simulator's inner
+//! loop stops allocating once warm: the slab event pool recycles envelope
+//! slots through the `BinaryHeap`, the engine's action buffer shuttles
+//! between callbacks without reallocating, and the online-peer set is a
+//! cached bitset. This module drives a churn-heavy gossip application
+//! through [`p2psim::engine::Engine`] and measures exactly that:
+//!
+//! * **allocs/event in steady state** — after a warm-up phase grows every
+//!   pool to its high-water mark, a measured phase of the *same* traffic
+//!   should allocate (almost) nothing. With the `alloc-count` feature this
+//!   is counted through the global allocator; the `scale` bin's `--quick`
+//!   mode fails CI when the rate exceeds [`ALLOCS_PER_EVENT_CEILING`].
+//! * **peer-memory growth** — engine peak live bytes per peer across
+//!   network sizes. Per-peer state is O(1) words (bitset bits, dense stat
+//!   columns), so bytes/peer must not grow with n; the quick smoke fails
+//!   when the largest network's bytes/peer exceeds the smallest's by more
+//!   than [`PER_PEER_GROWTH_SLACK`] (super-linear total growth).
+//!
+//! The `scale` bin's full mode sweeps the ceiling table (up to 50k peers)
+//! into `BENCH_scale.json`; `EXPERIMENTS.md` records a captured run.
+
+use crate::alloc::{self, AllocStats};
+use p2psim::churn::{ChurnModel, ChurnTimeline};
+use p2psim::engine::{Application, Context, Engine};
+use p2psim::message::MessageKind;
+use p2psim::physical::{PhysicalConfig, PhysicalNetwork};
+use p2psim::time::SimTime;
+use p2psim::PeerId;
+use std::time::Instant;
+
+/// Steady-state allocations per event above which the quick smoke fails.
+/// The warm loop is designed to allocate nothing; the ceiling leaves room
+/// for one-off growth (a heap doubling past the warm-up high-water mark)
+/// without letting a per-event allocation regression through.
+pub const ALLOCS_PER_EVENT_CEILING: f64 = 0.05;
+
+/// Maximum tolerated ratio of bytes/peer between the largest and smallest
+/// network in the growth sweep. 1.25 allows fixed overheads to amortize
+/// unevenly while still failing any O(n²) (or worse) per-peer structure.
+pub const PER_PEER_GROWTH_SLACK: f64 = 1.25;
+
+/// Fixed wire size of one gossip heartbeat (arbitrary, charged to stats).
+const HEARTBEAT_BYTES: usize = 64;
+
+/// A minimal gossip application exercising every engine path: timers,
+/// fan-out sends to deterministic neighbors, message receipt, and churn
+/// (on_start/on_stop). It allocates nothing per event once constructed.
+struct GossipApp {
+    id: usize,
+    num_peers: usize,
+    fanout: usize,
+    interval: SimTime,
+    received: u64,
+    sent: u64,
+}
+
+impl GossipApp {
+    fn new(id: usize, num_peers: usize, fanout: usize, interval: SimTime) -> Self {
+        Self {
+            id,
+            num_peers,
+            fanout,
+            interval,
+            received: 0,
+            sent: 0,
+        }
+    }
+}
+
+impl Application for GossipApp {
+    type Payload = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.set_timer(self.interval, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _timer: u64) {
+        // Deterministic neighbor walk (a fixed stride ring) — no RNG, no
+        // allocation, and every peer's fan-out differs so the delivery
+        // matrix is exercised broadly.
+        for k in 1..=self.fanout {
+            let to = (self.id + k * 31 + 1) % self.num_peers;
+            if to != self.id {
+                ctx.send(
+                    PeerId::from(to),
+                    MessageKind::Other,
+                    HEARTBEAT_BYTES,
+                    self.sent,
+                );
+                self.sent += 1;
+            }
+        }
+        ctx.set_timer(self.interval, 0);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: PeerId, _payload: u64) {
+        self.received += 1;
+    }
+}
+
+/// Builds the gossip engine: `n` peers, churn applied, engine churn-log
+/// strings disabled (the one steady-state allocation source the harness is
+/// meant to keep honest).
+fn build_engine(n: usize, seed: u64) -> Engine<GossipApp> {
+    let interval = SimTime::from_millis(500);
+    let apps = (0..n).map(|i| GossipApp::new(i, n, 4, interval)).collect();
+    let physical = PhysicalNetwork::new(PhysicalConfig {
+        seed,
+        ..PhysicalConfig::default()
+    });
+    let mut engine = Engine::new(apps, physical, seed);
+    engine.set_churn_logging(false);
+    let churn = ChurnModel::Exponential {
+        mean_session_secs: 600.0,
+        mean_offline_secs: 120.0,
+    };
+    let timeline = ChurnTimeline::generate(churn, n, SimTime::from_secs(3_600), seed ^ 0x5CA1E);
+    engine.apply_churn(&timeline);
+    engine
+}
+
+/// Result of one steady-state run at a network size.
+#[derive(Debug, Clone)]
+pub struct SteadyStateRow {
+    /// Number of peers simulated.
+    pub peers: usize,
+    /// Events processed in the warm-up phase.
+    pub warmup_events: u64,
+    /// Events processed in the measured phase.
+    pub measured_events: u64,
+    /// Allocator activity during the measured phase (with `alloc-count`).
+    pub steady_mem: Option<AllocStats>,
+    /// Peak live bytes over build + warm-up + measurement (with
+    /// `alloc-count`) — the engine's whole-run working set.
+    pub peak_bytes: Option<u64>,
+    /// Slab high-water mark: peak simultaneously in-flight events.
+    pub in_flight_high_water: usize,
+    /// Measured-phase events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+impl SteadyStateRow {
+    /// Allocation calls per event in the measured (steady-state) phase.
+    pub fn allocs_per_event(&self) -> Option<f64> {
+        self.steady_mem
+            .map(|m| m.allocs as f64 / self.measured_events.max(1) as f64)
+    }
+
+    /// Peak live bytes per peer (whole run), when counting is compiled in.
+    pub fn bytes_per_peer(&self) -> Option<f64> {
+        self.peak_bytes.map(|b| b as f64 / self.peers.max(1) as f64)
+    }
+}
+
+/// Runs the gossip engine at `n` peers: a warm-up phase of `warmup` events
+/// grows every pool to its high-water mark, then a measured phase of
+/// `measured` events counts steady-state allocator traffic.
+pub fn steady_state(n: usize, warmup: u64, measured: u64, seed: u64) -> SteadyStateRow {
+    alloc::reset();
+    let mut engine = build_engine(n, seed);
+    let horizon = SimTime::from_secs(3_600);
+    let warmup_events = engine.run(horizon, warmup);
+    let build_peak = alloc::snapshot().map(|m| m.peak_bytes);
+    alloc::reset();
+    let t = Instant::now();
+    let measured_events = engine.run(horizon, measured);
+    let secs = t.elapsed().as_secs_f64();
+    let steady_mem = alloc::snapshot();
+    let peak_bytes = match (build_peak, steady_mem) {
+        (Some(b), Some(s)) => Some(b.max(s.peak_bytes)),
+        _ => None,
+    };
+    SteadyStateRow {
+        peers: n,
+        warmup_events,
+        measured_events,
+        steady_mem,
+        peak_bytes,
+        in_flight_high_water: engine.in_flight_high_water_mark(),
+        events_per_sec: measured_events as f64 / secs.max(1e-9),
+    }
+}
+
+/// Renders steady-state rows as the `BENCH_scale.json` document.
+pub fn to_json(rows: &[SteadyStateRow], seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"scale\",\n");
+    out.push_str("  \"workload\": \"gossip fanout=4, exponential churn (600s/120s)\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"alloc_counting\": {},\n", alloc::enabled()));
+    out.push_str(&format!(
+        "  \"allocs_per_event_ceiling\": {ALLOCS_PER_EVENT_CEILING},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mem = match (r.allocs_per_event(), r.peak_bytes, r.bytes_per_peer()) {
+            (Some(ape), Some(peak), Some(bpp)) => format!(
+                ", \"allocs_per_event\": {ape:.4}, \"peak_bytes\": {peak}, \"bytes_per_peer\": {bpp:.1}"
+            ),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"peers\": {}, \"warmup_events\": {}, \"measured_events\": {}, \"in_flight_high_water\": {}, \"events_per_sec\": {:.0}{}}}{}\n",
+            r.peers,
+            r.warmup_events,
+            r.measured_events,
+            r.in_flight_high_water,
+            r.events_per_sec,
+            mem,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), if
+/// readable. Monotone over the process lifetime — meaningful for the last
+/// (largest) row of an ascending ceiling sweep.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches(" kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_runs_and_reports() {
+        let row = steady_state(64, 5_000, 5_000, 7);
+        assert_eq!(row.peers, 64);
+        assert!(row.warmup_events > 0);
+        assert!(row.measured_events > 0);
+        assert!(row.in_flight_high_water > 0);
+        assert!(row.events_per_sec > 0.0);
+        let json = to_json(&[row], 7);
+        crate::scenarios::validate_json(&json).unwrap();
+        assert!(json.contains("\"events_per_sec\""));
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free_when_counted() {
+        if !alloc::enabled() {
+            return;
+        }
+        let row = steady_state(256, 20_000, 20_000, 11);
+        let ape = row.allocs_per_event().unwrap();
+        assert!(
+            ape <= ALLOCS_PER_EVENT_CEILING,
+            "steady-state allocs/event {ape:.4} above ceiling"
+        );
+    }
+
+    #[test]
+    fn gossip_traffic_actually_flows() {
+        let mut engine = build_engine(32, 3);
+        engine.run(SimTime::from_secs(60), 200_000);
+        let delivered: u64 = (0..32usize)
+            .map(|i| engine.app(PeerId::from(i)).received)
+            .sum();
+        assert!(delivered > 0, "no gossip messages delivered");
+    }
+}

@@ -27,11 +27,26 @@ pub const HEAD_FRACTION: f64 = 0.3;
 /// cold-start stratum.
 pub const COLD_START_FRACTION: f64 = 0.25;
 
+/// The overlay architecture a protocol routes over, as a column label: the
+/// flat-DHT ensemble (PACE) rides the Chord ring, the cascade (CEMPaR) a
+/// super-peer hierarchy, the centralized reference a star, and local-only
+/// nothing at all. The overlay-churn regime exists to separate the first two.
+pub fn overlay_of(protocol: &str) -> &'static str {
+    match protocol {
+        "pace" => "chord-dht",
+        "cempar" => "super-peer",
+        "centralized" => "star",
+        _ => "none",
+    }
+}
+
 /// One protocol's stratified quality numbers on one scenario.
 #[derive(Debug, Clone)]
 pub struct ProtocolCell {
     /// Protocol name.
     pub protocol: String,
+    /// Overlay architecture column label (see [`overlay_of`]).
+    pub overlay: &'static str,
     /// Overall micro-averaged F1 over every auto-tag request.
     pub micro_f1: f64,
     /// Overall macro-averaged F1.
@@ -103,6 +118,7 @@ pub fn measure_scenario(
             let split = outcome.final_metrics.head_tail(HEAD_FRACTION);
             let cold = outcome.cold_start_metrics(cold_peers);
             ProtocolCell {
+                overlay: overlay_of(&name),
                 protocol: name,
                 micro_f1: outcome.final_micro_f1(),
                 macro_f1: outcome.final_macro_f1(),
@@ -165,8 +181,9 @@ pub fn to_json(rows: &[ScenarioRow], epochs: usize, seed: u64) -> String {
         out.push_str("      \"protocols\": [\n");
         for (j, c) in r.cells.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"protocol\": \"{}\", \"micro_f1\": {:.4}, \"macro_f1\": {:.4}, \"head_macro_f1\": {:.4}, \"tail_macro_f1\": {:.4}, \"head_tags\": {}, \"tail_tags\": {}, \"cold_start_macro_f1\": {:.4}, \"cold_start_micro_f1\": {:.4}, \"bytes\": {}, \"secs\": {:.3}}}{}\n",
+                "        {{\"protocol\": \"{}\", \"overlay\": \"{}\", \"micro_f1\": {:.4}, \"macro_f1\": {:.4}, \"head_macro_f1\": {:.4}, \"tail_macro_f1\": {:.4}, \"head_tags\": {}, \"tail_tags\": {}, \"cold_start_macro_f1\": {:.4}, \"cold_start_micro_f1\": {:.4}, \"bytes\": {}, \"secs\": {:.3}}}{}\n",
                 c.protocol,
+                c.overlay,
                 c.micro_f1,
                 c.macro_f1,
                 c.head_macro_f1,
@@ -342,6 +359,30 @@ mod tests {
         validate_json(&json).unwrap();
         assert!(json.contains("\"tail_macro_f1\""));
         assert!(json.contains("\"cold_start_macro_f1\""));
+    }
+
+    #[test]
+    fn overlay_churn_regime_labels_overlay_columns() {
+        let scenario = ScenarioSpec::named("overlay-churn").unwrap();
+        assert!(!matches!(
+            scenario.session_config(2, 5).churn,
+            p2psim::churn::ChurnModel::None
+        ));
+        let row = measure_scenario(&scenario, 6, Scale::Small, 2, 5);
+        assert_eq!(row.cell("pace").unwrap().overlay, "chord-dht");
+        assert_eq!(row.cell("cempar").unwrap().overlay, "super-peer");
+        assert_eq!(row.cell("local-only").unwrap().overlay, "none");
+        for cell in &row.cells {
+            assert!(
+                cell.micro_f1 > 0.0,
+                "{} collapsed under churn",
+                cell.protocol
+            );
+        }
+        let json = to_json(&[row], 2, 5);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"overlay\": \"chord-dht\""));
+        assert!(json.contains("\"overlay\": \"super-peer\""));
     }
 
     #[test]

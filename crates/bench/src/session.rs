@@ -15,9 +15,11 @@
 //! The binary writes `BENCH_session.json` at the repository root;
 //! `EXPERIMENTS.md` records a captured run.
 
+use crate::alloc;
 use dataset::{Corpus, CorpusGenerator, CorpusSpec};
 use doctagger::{ProtocolKind, SessionConfig, SessionOutcome};
 use p2psim::churn::ChurnModel;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One mode's timing + quality numbers.
@@ -25,6 +27,11 @@ use std::time::Instant;
 pub struct ModeResult {
     /// Wall-clock seconds for the whole session replay.
     pub secs: f64,
+    /// Peak live heap bytes over the whole replay (driver build + every
+    /// epoch), when the `alloc-count` feature is compiled in. The shared
+    /// corpus is excluded (built before the measurement window), so this is
+    /// the per-network working set the scale claims are about.
+    pub peak_bytes: Option<u64>,
     /// The session outcome (per-epoch trajectory + final metrics).
     pub outcome: SessionOutcome,
 }
@@ -111,26 +118,30 @@ fn session_config(epochs: usize, incremental: bool, seed: u64) -> SessionConfig 
     }
 }
 
-fn run_mode(corpus: &Corpus, epochs: usize, incremental: bool, seed: u64) -> ModeResult {
-    let mut driver = doctagger::SessionDriver::new(
+fn run_mode(corpus: Arc<Corpus>, epochs: usize, incremental: bool, seed: u64) -> ModeResult {
+    alloc::reset();
+    let mut driver = doctagger::SessionDriver::new_shared(
         ProtocolKind::pace(),
         session_config(epochs, incremental, seed),
         corpus,
     );
     let t = Instant::now();
     let outcome = driver.run().expect("session completes");
+    let secs = t.elapsed().as_secs_f64();
     ModeResult {
-        secs: t.elapsed().as_secs_f64(),
+        secs,
+        peak_bytes: alloc::snapshot().map(|m| m.peak_bytes),
         outcome,
     }
 }
 
 /// Runs the session scenario for one network size: both modes replay the
-/// identical timeline; only the training path differs.
+/// identical timeline (sharing one corpus behind an `Arc`); only the
+/// training path differs.
 pub fn measure(num_users: usize, epochs: usize, seed: u64) -> SessionRow {
-    let corpus = CorpusGenerator::new(session_spec(num_users, seed)).generate();
-    let incremental = run_mode(&corpus, epochs, true, seed);
-    let full = run_mode(&corpus, epochs, false, seed);
+    let corpus = Arc::new(CorpusGenerator::new(session_spec(num_users, seed)).generate());
+    let incremental = run_mode(corpus.clone(), epochs, true, seed);
+    let full = run_mode(corpus.clone(), epochs, false, seed);
     SessionRow {
         peers: corpus.num_users(),
         documents: corpus.len(),
@@ -158,8 +169,12 @@ pub fn to_json(rows: &[SessionRow], seed: u64) -> String {
         out.push_str(&format!("      \"documents\": {},\n", r.documents));
         out.push_str(&format!("      \"epochs\": {},\n", r.epochs));
         let mode = |name: &str, m: &ModeResult| {
+            let peak = m
+                .peak_bytes
+                .map(|b| format!(", \"peak_bytes\": {b}"))
+                .unwrap_or_default();
             format!(
-                "      \"{name}\": {{\"secs\": {:.3}, \"epochs_per_sec\": {:.2}, \"train_secs\": {:.3}, \"train_epochs_per_sec\": {:.2}, \"final_micro_f1\": {:.4}, \"final_macro_f1\": {:.4}, \"refinements\": {}}},\n",
+                "      \"{name}\": {{\"secs\": {:.3}, \"epochs_per_sec\": {:.2}, \"train_secs\": {:.3}, \"train_epochs_per_sec\": {:.2}, \"final_micro_f1\": {:.4}, \"final_macro_f1\": {:.4}, \"refinements\": {}{peak}}},\n",
                 m.secs,
                 m.epochs_per_sec(),
                 m.train_secs(),

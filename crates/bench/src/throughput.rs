@@ -119,6 +119,136 @@ pub struct ThroughputRow {
     pub micro_f1: f64,
 }
 
+/// One overlay architecture's end-to-end numbers at scale.
+///
+/// Unlike the scalar-vs-batched [`StagePair`]s of the full rows, scale
+/// columns run the batched engine only: the pre-refactor reference paths
+/// (clone-per-tag one-vs-all, per-classifier scoring) are exactly the code
+/// the scale work retires, and re-running them at 10k peers would dominate
+/// the harness for a comparison the 50/200-peer rows already pin.
+#[derive(Debug, Clone)]
+pub struct OverlayColumn {
+    /// Overlay architecture label: `"chord-dht"` (PACE's flat DHT ensemble)
+    /// or `"super-peer"` (CEMPaR's regional super-peer cascade).
+    pub overlay: &'static str,
+    /// Protocol under test on that overlay.
+    pub protocol: String,
+    /// Full distributed learning phase.
+    pub train: StageRate,
+    /// Auto-tagging the whole held-out test set (batched backend).
+    pub auto_tag: StageRate,
+    /// Total bytes exchanged over the run.
+    pub total_bytes: u64,
+    /// Largest number of bytes received by any single peer (hotspot load).
+    pub hotspot_bytes: u64,
+    /// Mean DHT lookup hops observed (0 for protocols that never route).
+    pub mean_hops: f64,
+    /// Micro-F1 on the held-out test set (sanity: quality holds at scale).
+    pub micro_f1: f64,
+}
+
+/// Scale measurements for one network size: the shared corpus stages plus
+/// one column per overlay architecture.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Number of peers (= users) in the simulated network.
+    pub peers: usize,
+    /// Corpus size in documents.
+    pub documents: usize,
+    /// Distinct tags in the corpus.
+    pub tags: usize,
+    /// Corpus vectorization rate (shared by both overlay columns — the
+    /// chord column's ingest is reported; the corpus itself is `Arc`-shared).
+    pub ingest: StageRate,
+    /// One column per overlay architecture.
+    pub columns: Vec<OverlayColumn>,
+}
+
+/// Runs the scale experiment for one network size: the same tag-heavy
+/// per-peer corpus shape as [`measure`], batched backend only, once per
+/// overlay architecture. The corpus is generated once and `Arc`-shared.
+pub fn measure_scale(num_users: usize, seed: u64) -> ScaleRow {
+    use p2pclassify::CemparConfig;
+    use p2psim::churn::ChurnModel;
+    use p2psim::config::SimConfig;
+    use std::sync::Arc;
+
+    let corpus = Arc::new(CorpusGenerator::new(throughput_spec(num_users, seed)).generate());
+    let split = throughput_split(&corpus, seed);
+    let num_peers = corpus.num_users().max(1);
+    let setups: Vec<(&'static str, ProtocolKind)> = vec![
+        ("chord-dht", pace_with(ScoringBackend::Batched)),
+        (
+            "super-peer",
+            ProtocolKind::Cempar(CemparConfig::for_network(num_peers)),
+        ),
+    ];
+
+    let mut ingest_rate = None;
+    let mut columns = Vec::new();
+    for (overlay, protocol) in setups {
+        let name = protocol.name().to_string();
+        let mut system = P2PDocTagger::new(DocTaggerConfig {
+            protocol,
+            network: Some(SimConfig {
+                num_peers,
+                churn: ChurnModel::None,
+                seed,
+                ..SimConfig::default()
+            }),
+            seed,
+            ..DocTaggerConfig::default()
+        });
+        let t0 = Instant::now();
+        system.ingest_shared(corpus.clone());
+        let ingest_secs = t0.elapsed().as_secs_f64();
+        alloc::reset();
+        let t1 = Instant::now();
+        system.learn(&split).expect("learning succeeds");
+        let train_secs = t1.elapsed().as_secs_f64();
+        let train_mem = alloc::snapshot();
+        alloc::reset();
+        let t2 = Instant::now();
+        let outcome = system.auto_tag_all().expect("tagging succeeds");
+        let auto_secs = t2.elapsed().as_secs_f64();
+        let auto_mem = alloc::snapshot();
+        let stats = system.network_stats();
+        if ingest_rate.is_none() {
+            ingest_rate = Some(StageRate {
+                docs: corpus.len(),
+                secs: ingest_secs,
+                mem: None,
+            });
+        }
+        columns.push(OverlayColumn {
+            overlay,
+            protocol: name,
+            train: StageRate {
+                docs: split.train.len(),
+                secs: train_secs,
+                mem: train_mem,
+            },
+            auto_tag: StageRate {
+                docs: split.test.len(),
+                secs: auto_secs,
+                mem: auto_mem,
+            },
+            total_bytes: stats.total_bytes(),
+            hotspot_bytes: stats.max_bytes_received_by_any_peer(),
+            mean_hops: stats.mean_lookup_hops(),
+            micro_f1: outcome.metrics.micro_f1(),
+        });
+    }
+
+    ScaleRow {
+        peers: num_peers,
+        documents: corpus.len(),
+        tags: corpus.num_tags(),
+        ingest: ingest_rate.expect("at least one overlay column ran"),
+        columns,
+    }
+}
+
 /// The tag-heavy throughput workload for `num_users` peers.
 pub fn throughput_spec(num_users: usize, seed: u64) -> CorpusSpec {
     CorpusSpec {
@@ -367,7 +497,7 @@ pub fn measure(num_users: usize, seed: u64) -> ThroughputRow {
 }
 
 /// Renders the rows as the `BENCH_throughput.json` document.
-pub fn to_json(rows: &[ThroughputRow], seed: u64) -> String {
+pub fn to_json(rows: &[ThroughputRow], scale_rows: &[ScaleRow], seed: u64) -> String {
     let mem_fields = |prefix: &str, mem: &Option<AllocStats>, docs: usize| match mem {
         Some(m) => format!(
             ", \"{prefix}allocs_per_doc\": {:.1}, \"{prefix}peak_bytes\": {}",
@@ -423,6 +553,45 @@ pub fn to_json(rows: &[ThroughputRow], seed: u64) -> String {
             "    }\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"scale_rows\": [\n");
+    for (i, r) in scale_rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"peers\": {},\n", r.peers));
+        out.push_str(&format!("      \"documents\": {},\n", r.documents));
+        out.push_str(&format!("      \"tags\": {},\n", r.tags));
+        out.push_str(&format!(
+            "      \"ingest\": {{\"docs\": {}, \"docs_per_sec\": {:.1}}},\n",
+            r.ingest.docs,
+            r.ingest.docs_per_sec(),
+        ));
+        out.push_str("      \"overlays\": [\n");
+        for (j, c) in r.columns.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"overlay\": \"{}\", \"protocol\": \"{}\", \"micro_f1\": {:.4}, \"total_bytes\": {}, \"hotspot_bytes\": {}, \"mean_hops\": {:.2},\n",
+                c.overlay, c.protocol, c.micro_f1, c.total_bytes, c.hotspot_bytes, c.mean_hops,
+            ));
+            out.push_str(&format!(
+                "         \"train\": {{\"docs\": {}, \"docs_per_sec\": {:.1}{}}},\n",
+                c.train.docs,
+                c.train.docs_per_sec(),
+                mem_fields("", &c.train.mem, c.train.docs),
+            ));
+            out.push_str(&format!(
+                "         \"auto_tag\": {{\"docs\": {}, \"docs_per_sec\": {:.1}{}}}}}{}\n",
+                c.auto_tag.docs,
+                c.auto_tag.docs_per_sec(),
+                mem_fields("", &c.auto_tag.mem, c.auto_tag.docs),
+                if j + 1 < r.columns.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < scale_rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -439,9 +608,31 @@ mod tests {
         assert!(row.auto_tag.docs > 0);
         assert!(row.auto_tag.scalar_secs > 0.0 && row.auto_tag.batched_secs > 0.0);
         assert!(row.micro_f1 > 0.0);
-        let json = to_json(&[row], 42);
+        let json = to_json(&[row], &[], 42);
         assert!(json.contains("\"auto_tag\""));
         assert!(json.contains("\"speedup\""));
+        crate::scenarios::validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn measure_scale_reports_both_overlay_columns() {
+        let row = measure_scale(8, 42);
+        assert_eq!(row.peers, 8);
+        assert_eq!(row.columns.len(), 2);
+        assert_eq!(row.columns[0].overlay, "chord-dht");
+        assert_eq!(row.columns[0].protocol, "pace");
+        assert_eq!(row.columns[1].overlay, "super-peer");
+        assert_eq!(row.columns[1].protocol, "cempar");
+        for c in &row.columns {
+            assert!(c.micro_f1 > 0.0, "{} produced no quality", c.overlay);
+            assert!(c.total_bytes > 0, "{} moved no bytes", c.overlay);
+            assert!(c.train.secs > 0.0 && c.auto_tag.secs > 0.0);
+        }
+        let json = to_json(&[], &[row], 42);
+        crate::scenarios::validate_json(&json).unwrap();
+        assert!(json.contains("\"scale_rows\""));
+        assert!(json.contains("\"chord-dht\""));
+        assert!(json.contains("\"super-peer\""));
     }
 
     #[test]

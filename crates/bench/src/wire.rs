@@ -386,7 +386,10 @@ pub fn measure(num_users: usize, seed: u64) -> WireReport {
     });
 
     // --- End-to-end mode sweep (PACE) --------------------------------------
-    let workload = Workload { corpus, split };
+    let workload = Workload {
+        corpus: std::sync::Arc::new(corpus),
+        split,
+    };
     let modes: Vec<(&'static str, WireConfig)> = vec![
         ("estimated", WireConfig::estimated()),
         ("lossless", WireConfig::default()),

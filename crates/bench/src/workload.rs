@@ -7,6 +7,7 @@ use doctagger::{AutoTagOutcome, DocTaggerConfig, P2PDocTagger, ProtocolKind, Ses
 use p2pclassify::CemparConfig;
 use p2psim::churn::ChurnModel;
 use p2psim::SimConfig;
+use std::sync::Arc;
 
 /// Scale of a generated workload. Experiments default to [`Scale::Demo`];
 /// benches use [`Scale::Small`] to keep iteration times reasonable.
@@ -71,6 +72,10 @@ pub struct ScenarioSpec {
     /// Flash-crowd bursts layered on the arrival timeline (`None` = smooth
     /// Poisson arrivals).
     pub bursts: Option<BurstSpec>,
+    /// Peer churn applied over the session replay (`None` = fully available
+    /// network; the overlay-churn regime turns this on so the routing
+    /// architectures — chord-dht vs super-peer — are separated by it).
+    pub churn: ChurnModel,
 }
 
 impl ScenarioSpec {
@@ -84,6 +89,7 @@ impl ScenarioSpec {
             communities: None,
             imitation: 0.0,
             bursts: None,
+            churn: ChurnModel::None,
         }
     }
 
@@ -138,6 +144,16 @@ impl ScenarioSpec {
                     width_secs: 180.0,
                     attraction: 0.8,
                 }),
+                ..Self::benign()
+            },
+            Self {
+                name: "overlay-churn",
+                description: "exponential churn (600s/120s): chord-dht vs super-peer routing under membership flux",
+                churn: ChurnModel::Exponential {
+                    mean_session_secs: 600.0,
+                    mean_offline_secs: 120.0,
+                },
+                ..Self::benign()
             },
         ]
     }
@@ -164,14 +180,15 @@ impl ScenarioSpec {
         }
     }
 
-    /// The session configuration for this scenario: a churn-free streaming
-    /// replay (churn is varied by its own experiment) with this scenario's
-    /// burst layer on the arrival timeline.
+    /// The session configuration for this scenario: a streaming replay with
+    /// this scenario's burst layer on the arrival timeline and its churn
+    /// model (churn-free except in the overlay-churn regime, where routing
+    /// architecture under membership flux is the variable under test).
     pub fn session_config(&self, epochs: usize, seed: u64) -> SessionConfig {
         SessionConfig {
             epochs,
             bursts: self.bursts.clone(),
-            churn: ChurnModel::None,
+            churn: self.churn,
             incremental: true,
             seed,
             ..SessionConfig::default()
@@ -180,9 +197,12 @@ impl ScenarioSpec {
 }
 
 /// A generated workload: corpus + 20/80 split (or a custom fraction).
+///
+/// The corpus is behind an [`Arc`] so systems can share it without a deep
+/// copy — at 10k peers the raw documents are by far the largest allocation.
 pub struct Workload {
-    /// The generated corpus.
-    pub corpus: Corpus,
+    /// The generated corpus (shared, never cloned per system).
+    pub corpus: Arc<Corpus>,
     /// The train/test split.
     pub split: TrainTestSplit,
 }
@@ -200,7 +220,7 @@ impl Workload {
         seed: u64,
         train_fraction: f64,
     ) -> Self {
-        let corpus = CorpusGenerator::new(corpus_spec(num_users, scale, seed)).generate();
+        let corpus = Arc::new(CorpusGenerator::new(corpus_spec(num_users, scale, seed)).generate());
         let split = TrainTestSplit::stratified_by_user(&corpus, train_fraction, seed ^ 0xABCD);
         Self { corpus, split }
     }
@@ -263,7 +283,7 @@ pub fn run_system(
         seed,
         ..DocTaggerConfig::default()
     });
-    system.ingest(&workload.corpus);
+    system.ingest_shared(workload.corpus.clone());
     system.learn(&workload.split).expect("learning succeeds");
     let train_bytes = system.network_stats().total_bytes();
     let outcome = system.auto_tag_all().expect("auto tagging runs");
@@ -300,11 +320,11 @@ mod tests {
     #[test]
     fn scenario_matrix_names_are_unique_and_resolvable() {
         let matrix = ScenarioSpec::matrix();
-        assert_eq!(matrix.len(), 6);
+        assert_eq!(matrix.len(), 7);
         let mut names: Vec<_> = matrix.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         for s in &matrix {
             assert_eq!(ScenarioSpec::named(s.name).as_ref(), Some(s));
             // Every scenario yields a valid corpus spec at both scales.

@@ -38,6 +38,7 @@ use p2psim::{SimConfig, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Configuration of a streaming session.
 #[derive(Debug, Clone)]
@@ -201,7 +202,15 @@ impl SessionDriver {
     /// Builds a driver for `protocol` over `corpus`: generates the arrival
     /// timeline, rolls the per-document manual/refine decisions, and ingests
     /// the corpus into a network whose churn spans the whole session.
+    ///
+    /// The corpus is deep-copied into the system; sessions at scale should
+    /// hand over an [`Arc`] via [`Self::new_shared`] instead.
     pub fn new(protocol: ProtocolKind, config: SessionConfig, corpus: &Corpus) -> Self {
+        Self::new_shared(protocol, config, Arc::new(corpus.clone()))
+    }
+
+    /// Like [`Self::new`], but shares the corpus instead of copying it.
+    pub fn new_shared(protocol: ProtocolKind, config: SessionConfig, corpus: Arc<Corpus>) -> Self {
         assert!(config.epochs > 0, "need at least one epoch");
         assert!(config.epoch_secs > 0.0, "epochs must have positive length");
         let horizon_secs = config.epochs as f64 * config.epoch_secs;
@@ -219,9 +228,8 @@ impl SessionDriver {
             seed: config.seed,
             ..DocTaggerConfig::default()
         });
-        system.ingest(corpus);
         let arrivals = ArrivalTimeline::generate(
-            corpus,
+            &corpus,
             &ArrivalSpec {
                 horizon_secs,
                 drift: config.drift,
@@ -246,13 +254,15 @@ impl SessionDriver {
                 manual_roll[first] = true;
             }
         }
+        let num_docs = corpus.len();
+        system.ingest_shared(corpus);
         Self {
             system,
             arrivals,
             config,
             manual_roll,
             refine_roll,
-            num_docs: corpus.len(),
+            num_docs,
         }
     }
 

@@ -17,6 +17,7 @@ use ml::{MultiLabelDataset, MultiLabelExample, MultiLabelMetrics};
 use p2pclassify::{P2PTagClassifier, ProtocolError};
 use p2psim::{P2PNetwork, PeerId, SimConfig, SimStats};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Result of an auto-tagging pass over the untagged documents.
 #[derive(Debug, Clone)]
@@ -54,7 +55,7 @@ impl AutoTagOutcome {
 pub struct P2PDocTagger {
     config: DocTaggerConfig,
     protocol: Box<dyn P2PTagClassifier>,
-    corpus: Option<Corpus>,
+    corpus: Option<Arc<Corpus>>,
     vectorized: Option<VectorizedCorpus>,
     network: Option<P2PNetwork>,
     split: Option<TrainTestSplit>,
@@ -104,8 +105,18 @@ impl P2PDocTagger {
     /// Ingests a corpus: runs the preprocessing pipeline over every selected
     /// document and builds the simulated P2P environment (one peer per user
     /// unless an explicit network configuration was provided).
+    ///
+    /// The corpus is deep-copied. Callers that already hold the corpus in an
+    /// [`Arc`] should prefer [`Self::ingest_shared`], which shares it — at
+    /// 10k peers the copy is hundreds of thousands of strings.
     pub fn ingest(&mut self, corpus: &Corpus) {
-        let vectorized = VectorizedCorpus::build_with_weighting(corpus, self.config.weighting);
+        self.ingest_shared(Arc::new(corpus.clone()));
+    }
+
+    /// Ingests a shared corpus without copying the documents (see
+    /// [`Self::ingest`]).
+    pub fn ingest_shared(&mut self, corpus: Arc<Corpus>) {
+        let vectorized = VectorizedCorpus::build_with_weighting(&corpus, self.config.weighting);
         let sim = self.config.network.clone().unwrap_or_else(|| SimConfig {
             num_peers: corpus.num_users().max(1),
             seed: self.config.seed,
@@ -113,7 +124,7 @@ impl P2PDocTagger {
         });
         self.network = Some(P2PNetwork::new(sim));
         self.vectorized = Some(vectorized);
-        self.corpus = Some(corpus.clone());
+        self.corpus = Some(corpus);
         self.library = DocumentLibrary::new();
         self.tag_store = TagStore::new();
         self.refinements = RefinementLog::new();
@@ -486,7 +497,7 @@ impl P2PDocTagger {
 
     /// The ingested corpus, if any.
     pub fn corpus(&self) -> Option<&Corpus> {
-        self.corpus.as_ref()
+        self.corpus.as_deref()
     }
 
     /// Number of tags currently known to the system (including ones introduced

@@ -179,6 +179,35 @@ impl TagWeightMatrix {
         }
     }
 
+    /// Unpacks the matrix back into per-tag dense classifiers.
+    ///
+    /// Every reconstructed weight vector has length `num_features` (the
+    /// packed dimension); stored nonzeros land at their original indices and
+    /// everything else is `0.0`, so decisions — and warm-started retraining,
+    /// which only reads the weights — are identical to the pre-pack model.
+    /// This lets a model registry keep nothing but the CSR matrix at rest
+    /// and materialize the dense form only for the one peer being refit.
+    pub fn to_one_vs_all(&self) -> crate::multilabel::OneVsAllModel<LinearSvm> {
+        let num_features = self.row_ptr.len().saturating_sub(1);
+        let mut weights = vec![vec![0.0f64; num_features]; self.tags.len()];
+        for (j, row) in self.row_ptr.windows(2).enumerate() {
+            for e in row[0] as usize..row[1] as usize {
+                weights[self.entry_slot[e] as usize][j] = self.entry_weight[e];
+            }
+        }
+        let classifiers: std::collections::BTreeMap<TagId, LinearSvm> = self
+            .tags
+            .iter()
+            .zip(weights.into_iter().zip(self.biases.iter()))
+            .map(|(&tag, (w, &bias))| (tag, LinearSvm::from_weights(w, bias)))
+            .collect();
+        crate::multilabel::OneVsAllModel::from_classifiers(
+            classifiers,
+            self.threshold,
+            self.min_tags,
+        )
+    }
+
     /// Raw decision values for every tag (allocating convenience wrapper).
     pub fn decisions(&self, x: &SparseVector) -> Vec<f64> {
         let mut out = Vec::new();
@@ -464,6 +493,33 @@ mod tests {
         ] {
             assert_eq!(matrix.scores(&probe), model.scores(&probe));
             assert_eq!(matrix.predict(&probe), model.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn matrix_round_trips_to_identical_dense_model() {
+        let model = trained_linear();
+        let matrix = model.weight_matrix();
+        let rebuilt = matrix.to_one_vs_all();
+        assert_eq!(rebuilt.num_tags(), model.num_tags());
+        for ((tag_a, a), (tag_b, b)) in model.iter().zip(rebuilt.iter()) {
+            assert_eq!(tag_a, tag_b);
+            assert_eq!(a.bias(), b.bias());
+            // Same values at every index; the reconstructed vector may carry
+            // trailing zeros up to the packed dimension.
+            for j in 0..a.weights().len().max(b.weights().len()) {
+                let wa = a.weights().get(j).copied().unwrap_or(0.0);
+                let wb = b.weights().get(j).copied().unwrap_or(0.0);
+                assert_eq!(wa, wb, "tag {tag_a} weight {j}");
+            }
+        }
+        for probe in [
+            sparse(&[(0, 1.0)]),
+            sparse(&[(1, 0.7), (2, 0.3)]),
+            SparseVector::new(),
+        ] {
+            assert_eq!(rebuilt.scores(&probe), model.scores(&probe));
+            assert_eq!(rebuilt.predict(&probe), model.predict(&probe));
         }
     }
 

@@ -839,7 +839,7 @@ mod tests {
         cempar.train(&mut net, &data).unwrap();
         // Let a lot of time pass so some super-peers churn out.
         net.advance(p2psim::SimTime::from_secs(20_000));
-        let online_peer = net.online_peers().first().copied();
+        let online_peer = net.online_peers().next();
         let Some(peer) = online_peer else { return };
         // Prediction must either succeed (some region reachable) or fail with
         // NoModelReachable — it must never panic or hang.

@@ -494,7 +494,7 @@ mod tests {
             !net.is_online(PeerId(0)),
             "server should be offline under this churn"
         );
-        if let Some(&alive) = net.online_peers().iter().find(|&&p| p != PeerId(0)) {
+        if let Some(alive) = net.online_peers().find(|&p| p != PeerId(0)) {
             let r = c.predict(&mut net, alive, &SparseVector::from_pairs([(0, 1.0)]));
             assert_eq!(r.unwrap_err(), ProtocolError::NoModelReachable);
         }

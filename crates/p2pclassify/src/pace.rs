@@ -32,9 +32,15 @@ use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{LinearSvm, LinearSvmTrainer};
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
 use p2psim::message::MessageKind;
-use p2psim::{P2PNetwork, PeerId};
-use std::collections::{BTreeMap, BTreeSet};
+use p2psim::{P2PNetwork, PeerBitset, PeerId};
+use std::collections::BTreeSet;
 use textproc::SparseVector;
+
+/// Peers trained per parallel fan-out before their models are propagated and
+/// their dense classifiers dropped. Bounds the transient dense-model working
+/// set to `TRAIN_CHUNK × per-model bytes` regardless of network size while
+/// keeping every core busy within a chunk.
+const TRAIN_CHUNK: usize = 512;
 
 /// Configuration of the PACE protocol.
 #[derive(Debug, Clone)]
@@ -119,7 +125,14 @@ impl Default for PaceConfig {
 #[derive(Debug, Clone)]
 struct PaceModel {
     source: PeerId,
-    model: OneVsAllModel<LinearSvm>,
+    /// Dense per-tag classifiers. Present while a model is being assembled
+    /// and propagated (the wire paths encode from it) and kept at rest only
+    /// under the Scalar backend, whose scoring walks per-classifier weights.
+    /// Under the batched backend the registry drops this after storing —
+    /// `matrix` carries the same weights sparsely at a fraction of the
+    /// bytes, which is what keeps 10k-peer ensembles affordable — and
+    /// [`Self::warm_model`] reconstructs the dense form on demand.
+    model: Option<OneVsAllModel<LinearSvm>>,
     /// The per-tag weight vectors of `model` packed into one CSR matrix, so
     /// the batched backend scores the whole tag universe in a single pass.
     matrix: TagWeightMatrix,
@@ -134,7 +147,17 @@ struct PaceModel {
 
 impl PaceModel {
     fn wire_size(&self) -> usize {
-        self.model.wire_size() + 8
+        self.warm_model().wire_size() + 8
+    }
+
+    /// The dense classifiers — borrowed directly when retained, else a
+    /// transient reconstruction out of the CSR matrix (identical weights; see
+    /// [`TagWeightMatrix::to_one_vs_all`]).
+    fn warm_model(&self) -> std::borrow::Cow<'_, OneVsAllModel<LinearSvm>> {
+        match &self.model {
+            Some(m) => std::borrow::Cow::Borrowed(m),
+            None => std::borrow::Cow::Owned(self.matrix.to_one_vs_all()),
+        }
     }
 
     fn centroid_wire_size(&self) -> usize {
@@ -184,7 +207,7 @@ impl PaceModel {
         let centroid_norms_sq = centroids.iter().map(SparseVector::norm_sq).collect();
         Self {
             source,
-            model,
+            model: Some(model),
             matrix,
             centroids,
             centroid_norms_sq,
@@ -194,21 +217,28 @@ impl PaceModel {
 }
 
 /// The PACE protocol instance.
+///
+/// Peer state is arena/SoA-laid-out for scale: the model registry is a dense
+/// slab indexed by peer (not a map of heap nodes), and the "who received
+/// whose model" relation is a bitset matrix — n² *bits*, so 10 000 peers
+/// cost ~12.5 MB where per-peer `BTreeSet`s would cost gigabytes.
 #[derive(Debug, Clone)]
 pub struct Pace {
     config: PaceConfig,
-    /// All propagated models, keyed by source peer.
-    models: BTreeMap<PeerId, PaceModel>,
+    /// All propagated models: a dense slab indexed by source peer
+    /// (`None` = this peer has not contributed a model).
+    models: Vec<Option<PaceModel>>,
     /// LSH index over model centroids → source peer.
     index: LshIndex<PeerId>,
     /// For every peer, the set of source peers whose model it received
-    /// (broadcasts can fail for churned-out receivers).
-    received: Vec<BTreeSet<PeerId>>,
+    /// (broadcasts can fail for churned-out receivers). One bitset row per
+    /// peer — the n×n delivery matrix.
+    received: Vec<PeerBitset>,
     /// Per-peer local data retained for refinement retraining.
     local_data: Vec<MultiLabelDataset>,
     /// Peers whose local data grew while they were offline (or whose refit
     /// was otherwise skipped): retried on the next incremental round.
-    dirty: BTreeSet<PeerId>,
+    dirty: PeerBitset,
     trained: bool,
 }
 
@@ -218,11 +248,11 @@ impl Pace {
         let index = LshIndex::new(config.lsh.clone());
         Self {
             config,
-            models: BTreeMap::new(),
+            models: Vec::new(),
             index,
             received: Vec::new(),
             local_data: Vec::new(),
-            dirty: BTreeSet::new(),
+            dirty: PeerBitset::default(),
             trained: false,
         }
     }
@@ -234,7 +264,12 @@ impl Pace {
 
     /// Number of models in the ensemble.
     pub fn ensemble_size(&self) -> usize {
-        self.models.len()
+        self.models.iter().flatten().count()
+    }
+
+    /// The stored model slab entry for a peer, if it contributed one.
+    fn model_of(&self, peer: PeerId) -> Option<&PaceModel> {
+        self.models.get(peer.index()).and_then(Option::as_ref)
     }
 
     /// Trains one peer's local model + centroids from scratch.
@@ -316,7 +351,7 @@ impl Pace {
         let centroid_norms_sq = centroids.iter().map(SparseVector::norm_sq).collect();
         Some(PaceModel {
             source: peer,
-            model,
+            model: Some(model),
             matrix,
             centroids,
             centroid_norms_sq,
@@ -344,7 +379,10 @@ impl Pace {
             ),
             WireCost::Measured => {
                 let model_frame = wire::encode_pace_model(
-                    &pace_model.model,
+                    pace_model
+                        .model
+                        .as_ref()
+                        .expect("freshly trained models carry their dense form"),
                     pace_model.accuracy,
                     self.config.wire.precision,
                 );
@@ -357,13 +395,20 @@ impl Pace {
                 (model_frame.len(), centroid_frame.len(), decoded)
             }
         };
-        if self.received.len() < net.num_peers() {
-            self.received.resize(net.num_peers(), BTreeSet::new());
+        let n = net.num_peers();
+        if self.received.len() < n {
+            self.received.resize_with(n, || PeerBitset::new(n));
         }
         // A peer always "has" its own model.
         self.received[source.index()].insert(source);
-        let targets: Vec<PeerId> = net.peers().filter(|&p| p != source).collect();
-        for to in targets {
+        // Index walk: no target list is materialized for the O(peers)
+        // broadcast, so the only per-propagation allocations are the wire
+        // frames encoded once above.
+        for i in 0..n {
+            let to = PeerId::from(i);
+            if to == source {
+                continue;
+            }
             let model_ok = net.send(source, to, kind, model_bytes).is_ok();
             let centroid_ok = net
                 .send(source, to, MessageKind::CentroidPropagation, centroid_bytes)
@@ -375,13 +420,24 @@ impl Pace {
         // Replacing a peer's model: its old centroids must leave the index,
         // otherwise incremental re-propagations accumulate stale positions
         // that crowd the candidate set and skew model retrieval.
-        if self.models.contains_key(&source) {
+        if self.models.len() < n {
+            self.models.resize_with(n, || None);
+        }
+        if self.model_of(source).is_some() {
             self.index.retire_matching(|s| *s == source);
         }
         for c in &pace_model.centroids {
             self.index.insert(c.clone(), source);
         }
-        self.models.insert(source, pace_model);
+        let mut pace_model = pace_model;
+        if matches!(self.config.backend, ScoringBackend::Batched) {
+            // At rest the batched backend scores through `matrix` and
+            // warm-starts reconstruct from it, so the dense classifiers are
+            // dead weight — dropping them here is what keeps the registry's
+            // per-peer footprint sparse-sized at 10k peers.
+            pace_model.model = None;
+        }
+        self.models[source.index()] = Some(pace_model);
     }
 
     /// The top-k models available to `peer` for a query, with their distances.
@@ -404,18 +460,18 @@ impl Pace {
             let mut seen = BTreeSet::new();
             let mut out = Vec::new();
             for (source, _dist) in hits {
-                if !available.contains(source) || !seen.insert(*source) {
+                if !available.contains(*source) || !seen.insert(*source) {
                     continue;
                 }
-                if let Some(m) = self.models.get(source) {
+                if let Some(m) = self.model_of(*source) {
                     out.push((m, m.distance_to(x, backend, x_norm_sq)));
                 }
             }
             out
         } else {
             available
-                .iter()
-                .filter_map(|s| self.models.get(s))
+                .ones()
+                .filter_map(|s| self.model_of(s))
                 .map(|m| (m, m.distance_to(x, backend, x_norm_sq)))
                 .collect()
         };
@@ -462,6 +518,8 @@ impl Pace {
                         let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
                         let scores = m
                             .model
+                            .as_ref()
+                            .expect("the Scalar backend retains dense classifiers")
                             .scores(x)
                             .into_iter()
                             .map(|p| TagPrediction {
@@ -513,10 +571,11 @@ impl P2PTagClassifier for Pace {
         net: &mut P2PNetwork,
         peer_data: &PeerDataMap,
     ) -> Result<(), ProtocolError> {
-        self.models.clear();
+        let n = net.num_peers();
+        self.models = (0..n).map(|_| None).collect();
         self.index = LshIndex::new(self.config.lsh.clone());
-        self.received = vec![BTreeSet::new(); net.num_peers()];
-        self.dirty.clear();
+        self.received = (0..n).map(|_| PeerBitset::new(n)).collect();
+        self.dirty = PeerBitset::new(n);
         self.local_data = peer_data.clone();
         self.local_data
             .resize(net.num_peers(), MultiLabelDataset::new());
@@ -531,22 +590,28 @@ impl P2PTagClassifier for Pace {
             .enumerate()
             .map(|(i, data)| (PeerId::from(i), data))
             .collect();
-        let net_ref: &P2PNetwork = net;
-        let models = parallel::par_map(&jobs, |&(peer, data)| {
-            if !net_ref.is_online(peer) {
-                return None;
+        // Training runs in bounded chunks, each propagated (and its dense
+        // classifiers dropped) before the next chunk trains: at 10k peers,
+        // holding every freshly trained dense model at once would dwarf the
+        // sparse registry the chunks feed.
+        for chunk in jobs.chunks(TRAIN_CHUNK) {
+            let net_ref: &P2PNetwork = net;
+            let models = parallel::par_map(chunk, |&(peer, data)| {
+                if !net_ref.is_online(peer) {
+                    return None;
+                }
+                self.train_local(peer, data)
+            });
+            for model in models.into_iter().flatten() {
+                self.propagate(net, model, MessageKind::ModelPropagation);
             }
-            self.train_local(peer, data)
-        });
+        }
         // Offline peers keep their data; the next incremental round folds it
         // in once they are back online.
         for &(peer, data) in &jobs {
-            if !data.is_empty() && !net_ref.is_online(peer) {
+            if !data.is_empty() && !net.is_online(peer) {
                 self.dirty.insert(peer);
             }
-        }
-        for model in models.into_iter().flatten() {
-            self.propagate(net, model, MessageKind::ModelPropagation);
         }
         self.trained = true;
         Ok(())
@@ -623,22 +688,25 @@ impl P2PTagClassifier for Pace {
             self.local_data[i].extend_from(data);
             self.dirty.insert(PeerId::from(i));
         }
-        let touched: Vec<PeerId> = self.dirty.iter().copied().collect();
+        let touched: Vec<PeerId> = self.dirty.ones().collect();
         // Same shape as train(): independent per-peer refits fan out across
-        // cores, the ordered reduction keeps propagation order deterministic.
-        let net_ref: &P2PNetwork = net;
-        let models = parallel::par_map(&touched, |&peer| {
-            if !net_ref.is_online(peer) {
-                return None;
+        // cores in bounded chunks, the ordered reduction keeps propagation
+        // order deterministic.
+        for chunk in touched.chunks(TRAIN_CHUNK) {
+            let net_ref: &P2PNetwork = net;
+            let models = parallel::par_map(chunk, |&peer| {
+                if !net_ref.is_online(peer) {
+                    return None;
+                }
+                let warm = self.model_of(peer).map(|m| m.warm_model());
+                self.train_local_warm(peer, &self.local_data[peer.index()], warm.as_deref())
+            });
+            for model in models.into_iter().flatten() {
+                // Replaces this peer's model in the ensemble and swaps its
+                // centroids in the LSH index.
+                self.dirty.remove(model.source);
+                self.propagate(net, model, MessageKind::ModelPropagation);
             }
-            let warm = self.models.get(&peer).map(|m| &m.model);
-            self.train_local_warm(peer, &self.local_data[peer.index()], warm)
-        });
-        for model in models.into_iter().flatten() {
-            // Replaces this peer's model in the ensemble and swaps its
-            // centroids in the LSH index.
-            self.dirty.remove(&model.source);
-            self.propagate(net, model, MessageKind::ModelPropagation);
         }
         Ok(())
     }
@@ -660,11 +728,11 @@ impl P2PTagClassifier for Pace {
             self.local_data.resize(idx + 1, MultiLabelDataset::new());
         }
         self.local_data[idx].push(example.clone());
-        let warm = self.models.get(&peer).map(|m| &m.model);
-        if let Some(model) = self.train_local_warm(peer, &self.local_data[idx], warm) {
+        let warm = self.model_of(peer).map(|m| m.warm_model());
+        if let Some(model) = self.train_local_warm(peer, &self.local_data[idx], warm.as_deref()) {
             // Re-propagating replaces this peer's model in the ensemble and
             // swaps its centroids in the LSH index.
-            self.dirty.remove(&peer);
+            self.dirty.remove(peer);
             self.propagate(net, model, MessageKind::RefinementUpdate);
         }
         Ok(())
@@ -878,7 +946,7 @@ mod tests {
         pace.train(&mut net, &data).unwrap();
         // Find an offline peer and hand it new documents with a new tag.
         let mut guard = 0;
-        while net.online_peers().len() == 12 && guard < 1_000 {
+        while net.num_online() == 12 && guard < 1_000 {
             net.advance(p2psim::SimTime::from_secs(100));
             guard += 1;
         }

@@ -1,0 +1,236 @@
+//! Dense peer-set bitset.
+//!
+//! Peers are numbered densely from 0 ([`PeerId::index`]), so "a set of peers"
+//! is one bit per peer: 10 000 peers fit in 1.25 kB instead of a
+//! `BTreeSet<PeerId>`'s ~50 heap nodes per thousand members. [`PeerBitset`]
+//! is the SoA building block used for the engine's online set, the network
+//! facade's cached churn view, per-peer delivery matrices (who received whose
+//! model) and the statistics collector's participating-sender set. Membership
+//! tests are O(1), iteration walks words without allocating, and the set-bit
+//! count is cached so `len()` is O(1) too.
+
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity set of peers backed by one bit per peer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerBitset {
+    words: Vec<u64>,
+    capacity: usize,
+    count: usize,
+}
+
+impl PeerBitset {
+    /// Creates an empty set with room for peers `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            count: 0,
+        }
+    }
+
+    /// Creates a set with every peer in `0..capacity` present.
+    pub fn full(capacity: usize) -> Self {
+        let mut set = Self::new(capacity);
+        for i in 0..capacity {
+            set.insert(PeerId::from(i));
+        }
+        set
+    }
+
+    /// Number of peers the set can hold (bits, not set bits).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of peers currently in the set. O(1) — the count is cached.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Grows the capacity to at least `capacity` peers (never shrinks).
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            self.words.resize(capacity.div_ceil(64), 0);
+        }
+    }
+
+    /// Whether `peer` is in the set. Out-of-range peers are absent.
+    #[inline]
+    pub fn contains(&self, peer: PeerId) -> bool {
+        let i = peer.index();
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Inserts `peer`, growing if needed. Returns `true` if it was absent.
+    #[inline]
+    pub fn insert(&mut self, peer: PeerId) -> bool {
+        let i = peer.index();
+        if i >= self.capacity {
+            self.grow(i + 1);
+        }
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & m == 0 {
+            self.words[w] |= m;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `peer`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, peer: PeerId) -> bool {
+        let i = peer.index();
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & m != 0 {
+            self.words[w] &= !m;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sets `peer`'s membership to `present` (grow-on-insert semantics).
+    #[inline]
+    pub fn set(&mut self, peer: PeerId, present: bool) {
+        if present {
+            self.insert(peer);
+        } else {
+            self.remove(peer);
+        }
+    }
+
+    /// Removes every peer. Capacity is retained; nothing is freed.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Iterates the members in ascending peer order without allocating.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<PeerId> for PeerBitset {
+    fn from_iter<I: IntoIterator<Item = PeerId>>(iter: I) -> Self {
+        let mut set = Self::new(0);
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+}
+
+/// Allocation-free iterator over the members of a [`PeerBitset`].
+///
+/// The borrow is on the bitset's *storage*, not on any wrapper handing it
+/// out — [`crate::engine::Context::online_peers`] exploits this to let an
+/// application iterate the online set while it keeps sending messages.
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = PeerId;
+
+    #[inline]
+    fn next(&mut self) -> Option<PeerId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(PeerId::from(self.word_idx * 64 + bit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_and_count() {
+        let mut s = PeerBitset::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(PeerId(3)));
+        assert!(!s.insert(PeerId(3)));
+        assert!(s.insert(PeerId(99)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(PeerId(3)));
+        assert!(!s.contains(PeerId(4)));
+        assert!(s.remove(PeerId(3)));
+        assert!(!s.remove(PeerId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn grows_on_out_of_range_insert() {
+        let mut s = PeerBitset::new(4);
+        assert!(!s.contains(PeerId(1000)));
+        assert!(s.insert(PeerId(1000)));
+        assert!(s.contains(PeerId(1000)));
+        assert!(s.capacity() >= 1001);
+    }
+
+    #[test]
+    fn ones_iterates_in_order_across_words() {
+        let members = [0usize, 1, 63, 64, 65, 127, 128, 300];
+        let s: PeerBitset = members.iter().map(|&i| PeerId::from(i)).collect();
+        let got: Vec<usize> = s.ones().map(|p| p.index()).collect();
+        assert_eq!(got, members);
+        assert_eq!(s.len(), members.len());
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = PeerBitset::full(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.ones().count(), 130);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.ones().count(), 0);
+        assert_eq!(s.capacity(), 130);
+    }
+
+    #[test]
+    fn set_matches_insert_remove() {
+        let mut s = PeerBitset::new(10);
+        s.set(PeerId(2), true);
+        assert!(s.contains(PeerId(2)));
+        s.set(PeerId(2), false);
+        assert!(!s.contains(PeerId(2)));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn empty_bitset_iterates_nothing() {
+        let s = PeerBitset::new(0);
+        assert_eq!(s.ones().count(), 0);
+        assert!(!s.contains(PeerId(0)));
+    }
+}

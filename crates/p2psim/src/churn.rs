@@ -192,12 +192,19 @@ impl ChurnTimeline {
             .collect()
     }
 
+    /// Number of peers online at `time` (no allocation).
+    pub fn num_online_at(&self, time: SimTime) -> usize {
+        (0..self.num_peers())
+            .filter(|&i| self.is_online(PeerId::from(i), time))
+            .count()
+    }
+
     /// Fraction of peers online at `time`.
     pub fn availability_at(&self, time: SimTime) -> f64 {
         if self.num_peers() == 0 {
             return 0.0;
         }
-        self.online_peers(time).len() as f64 / self.num_peers() as f64
+        self.num_online_at(time) as f64 / self.num_peers() as f64
     }
 
     /// Produces the time-ordered stream of join/leave events.

@@ -5,7 +5,20 @@
 //! latency + transmission delay), set timers, and react to churn events. All
 //! traffic is accounted in [`SimStats`], giving the realistic message-level
 //! simulation that P2PDMT inherits from OverSim.
+//!
+//! # Steady-state memory model
+//!
+//! The event loop is allocation-free once warm. Event payloads live in a
+//! free-listed slab (`EventPool`); the priority queue orders small `Copy`
+//! `EventKey`s (time, seq, slot), so pushing and popping never moves a
+//! payload and a popped slot is immediately recycled. `Context` action
+//! buffers are taken from and returned to the engine around every callback,
+//! and the online set is a [`PeerBitset`] that churn events update in place.
+//! After the initial ramp-up (slab, heap and buffers grown to the run's
+//! high-water mark) processing an event performs zero heap allocations —
+//! `bench`'s `scale` harness pins this in CI with the counting allocator.
 
+use crate::bitset::{Ones, PeerBitset};
 use crate::churn::ChurnTimeline;
 use crate::logging::ActivityLog;
 use crate::message::{Envelope, MessageKind};
@@ -65,7 +78,7 @@ pub struct Context<'a, P> {
     now: SimTime,
     actions: Vec<Action<P>>,
     rng: &'a mut StdRng,
-    online: &'a [bool],
+    online: &'a PeerBitset,
 }
 
 impl<'a, P> Context<'a, P> {
@@ -86,17 +99,22 @@ impl<'a, P> Context<'a, P> {
 
     /// Whether a peer is currently online (snapshot at callback time).
     pub fn is_online(&self, peer: PeerId) -> bool {
-        self.online.get(peer.index()).copied().unwrap_or(false)
+        self.online.contains(peer)
     }
 
-    /// All currently online peers.
-    pub fn online_peers(&self) -> Vec<PeerId> {
-        self.online
-            .iter()
-            .enumerate()
-            .filter(|(_, &up)| up)
-            .map(|(i, _)| PeerId::from(i))
-            .collect()
+    /// Number of peers currently online. O(1).
+    pub fn num_online(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Iterates all currently online peers in ascending id order.
+    ///
+    /// The iterator borrows the engine's cached online bitset (lifetime
+    /// `'a`), not the context, so callbacks can keep sending messages while
+    /// iterating. Nothing is allocated — this replaces the `Vec<PeerId>`
+    /// the pre-scale engine rebuilt on every call.
+    pub fn online_peers(&self) -> Ones<'a> {
+        self.online.ones()
     }
 
     /// Sends a message to another peer.
@@ -131,38 +149,89 @@ enum EventKind<P> {
     PeerOffline(PeerId),
 }
 
-struct Event<P> {
+/// The heap entry: event ordering data plus the slab slot holding the
+/// payload. `Copy`, 24 bytes — sifting the `BinaryHeap` never moves an
+/// envelope.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct EventKey {
     time: SimTime,
     seq: u64,
-    kind: EventKind<P>,
+    slot: u32,
 }
 
-impl<P> PartialEq for Event<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<P> Eq for Event<P> {}
-impl<P> PartialOrd for Event<P> {
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P> Ord for Event<P> {
+impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `seq` is unique per event, so ordering ignores the slot: replays
+        // with a recycled (hence differently-numbered) slab are identical.
         (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Free-listed slab of pending event payloads.
+///
+/// `alloc` reuses a free slot when one exists and only grows the backing
+/// `Vec` when the number of in-flight events exceeds the previous high-water
+/// mark; `take` moves the payload out and recycles the slot. A slot is
+/// `None` exactly while it sits on the free list, so a stale key could only
+/// ever observe `None` — `take` panics rather than resurrecting a payload.
+struct EventPool<P> {
+    slots: Vec<Option<EventKind<P>>>,
+    free: Vec<u32>,
+}
+
+impl<P> EventPool<P> {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, kind: EventKind<P>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event pool exceeds u32 slots");
+                self.slots.push(Some(kind));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> EventKind<P> {
+        let kind = self.slots[slot as usize]
+            .take()
+            .expect("event slot taken twice — stale key");
+        self.free.push(slot);
+        kind
+    }
+
+    fn high_water_mark(&self) -> usize {
+        self.slots.len()
     }
 }
 
 /// The discrete-event engine hosting one application instance per peer.
 pub struct Engine<A: Application> {
     apps: Vec<A>,
-    online: Vec<bool>,
+    online: PeerBitset,
     started: Vec<bool>,
-    queue: BinaryHeap<Reverse<Event<A::Payload>>>,
+    queue: BinaryHeap<Reverse<EventKey>>,
+    pool: EventPool<A::Payload>,
+    action_buf: Vec<Action<A::Payload>>,
     physical: PhysicalNetwork,
     stats: SimStats,
     log: ActivityLog,
+    log_churn: bool,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -176,12 +245,15 @@ impl<A: Application> Engine<A> {
         let n = apps.len();
         let mut engine = Self {
             apps,
-            online: vec![true; n],
+            online: PeerBitset::full(n),
             started: vec![false; n],
             queue: BinaryHeap::new(),
+            pool: EventPool::new(),
+            action_buf: Vec::new(),
             physical,
             stats: SimStats::new(),
             log: ActivityLog::default(),
+            log_churn: true,
             now: SimTime::ZERO,
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -218,6 +290,21 @@ impl<A: Application> Engine<A> {
         &self.log
     }
 
+    /// Enables or disables the engine's own join/leave log entries.
+    ///
+    /// Application [`Context::log`] calls are always honored; this gates only
+    /// the two strings the engine itself allocates per churn event — the one
+    /// remaining steady-state allocation source at scale.
+    pub fn set_churn_logging(&mut self, enabled: bool) {
+        self.log_churn = enabled;
+    }
+
+    /// Peak number of simultaneously in-flight events so far (the slab's
+    /// high-water mark — steady state never grows past it).
+    pub fn in_flight_high_water_mark(&self) -> usize {
+        self.pool.high_water_mark()
+    }
+
     /// Immutable access to a peer's application state (for assertions).
     pub fn app(&self, peer: PeerId) -> &A {
         &self.apps[peer.index()]
@@ -225,7 +312,12 @@ impl<A: Application> Engine<A> {
 
     /// Whether the peer is currently online.
     pub fn is_online(&self, peer: PeerId) -> bool {
-        self.online.get(peer.index()).copied().unwrap_or(false)
+        self.online.contains(peer)
+    }
+
+    /// Number of peers currently online. O(1).
+    pub fn num_online(&self) -> usize {
+        self.online.len()
     }
 
     /// Schedules the online/offline events of a churn timeline.
@@ -251,10 +343,11 @@ impl<A: Application> Engine<A> {
 
     fn push_event(&mut self, time: SimTime, kind: EventKind<A::Payload>) {
         self.seq += 1;
-        self.queue.push(Reverse(Event {
+        let slot = self.pool.alloc(kind);
+        self.queue.push(Reverse(EventKey {
             time,
             seq: self.seq,
-            kind,
+            slot,
         }));
     }
 
@@ -264,40 +357,45 @@ impl<A: Application> Engine<A> {
     pub fn run(&mut self, horizon: SimTime, max_events: u64) -> u64 {
         let mut processed = 0;
         while processed < max_events {
-            let Some(Reverse(event)) = self.queue.pop() else {
+            let Some(Reverse(key)) = self.queue.pop() else {
                 break;
             };
-            if event.time > horizon {
-                // Put it back for a later run() call and stop.
-                self.queue.push(Reverse(event));
+            if key.time > horizon {
+                // Put it back for a later run() call and stop. The payload
+                // stays in its slot; only the Copy key moves.
+                self.queue.push(Reverse(key));
                 break;
             }
-            self.now = event.time;
+            self.now = key.time;
             processed += 1;
             self.events_processed += 1;
-            match event.kind {
+            match self.pool.take(key.slot) {
                 EventKind::PeerOnline(p) => {
                     let newly_started = !self.started[p.index()];
-                    self.online[p.index()] = true;
-                    self.log.log(self.now, Some(p), "join", "peer online");
+                    self.online.insert(p);
+                    if self.log_churn {
+                        self.log.log(self.now, Some(p), "join", "peer online");
+                    }
                     if newly_started {
                         self.started[p.index()] = true;
                         self.dispatch(p, |app, ctx| app.on_start(ctx));
                     }
                 }
                 EventKind::PeerOffline(p) => {
-                    self.online[p.index()] = false;
-                    self.log.log(self.now, Some(p), "leave", "peer offline");
+                    self.online.remove(p);
+                    if self.log_churn {
+                        self.log.log(self.now, Some(p), "leave", "peer offline");
+                    }
                     self.dispatch(p, |app, ctx| app.on_stop(ctx));
                 }
                 EventKind::Timer { peer, timer } => {
-                    if self.online[peer.index()] {
+                    if self.online.contains(peer) {
                         self.dispatch(peer, |app, ctx| app.on_timer(ctx, timer));
                     }
                 }
                 EventKind::Deliver(env) => {
                     let latency = self.now.saturating_sub(env.sent_at);
-                    if self.online[env.to.index()] {
+                    if self.online.contains(env.to) {
                         self.stats.record_delivery(
                             env.from,
                             env.to,
@@ -325,16 +423,18 @@ impl<A: Application> Engine<A> {
     where
         F: FnOnce(&mut A, &mut Context<'_, A::Payload>),
     {
+        // The action buffer shuttles between the engine and the context:
+        // taken here, handed back (still with its capacity) after draining.
         let mut ctx = Context {
             self_id: peer,
             now: self.now,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_buf),
             rng: &mut self.rng,
             online: &self.online,
         };
         f(&mut self.apps[peer.index()], &mut ctx);
-        let actions = ctx.actions;
-        for action in actions {
+        let mut actions = ctx.actions;
+        for action in actions.drain(..) {
             match action {
                 Action::Send {
                     to,
@@ -363,6 +463,7 @@ impl<A: Application> Engine<A> {
                 }
             }
         }
+        self.action_buf = actions;
     }
 }
 
@@ -514,5 +615,53 @@ mod tests {
         let mut e = engine(50);
         let processed = e.run(SimTime(u64::MAX), 10);
         assert_eq!(processed, 10);
+    }
+
+    #[test]
+    fn slab_recycles_slots_without_growing() {
+        // One ping-pong pair bouncing a message back and forth keeps exactly
+        // one message in flight: the slab must stay at its ramp-up size no
+        // matter how many events are processed.
+        #[derive(Default)]
+        struct Bouncer {
+            bounces: u64,
+        }
+        impl Application for Bouncer {
+            type Payload = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                if ctx.self_id() == PeerId(0) {
+                    ctx.send(PeerId(1), MessageKind::Other, 8, 0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: PeerId, n: u64) {
+                self.bounces += 1;
+                if n < 500 {
+                    ctx.send(from, MessageKind::Other, 8, n + 1);
+                }
+            }
+        }
+        let apps = (0..2).map(|_| Bouncer::default()).collect();
+        let mut e = Engine::new(apps, PhysicalNetwork::default(), 7);
+        e.run_to_completion();
+        let total = e.app(PeerId(0)).bounces + e.app(PeerId(1)).bounces;
+        assert_eq!(total, 501);
+        // Ramp-up: 2 PeerOnline events + 1 in-flight message. Steady state
+        // recycles those slots for all ~500 subsequent deliveries.
+        assert!(
+            e.in_flight_high_water_mark() <= 3,
+            "slab grew to {} slots for a 1-message-in-flight workload",
+            e.in_flight_high_water_mark()
+        );
+    }
+
+    #[test]
+    fn num_online_tracks_churn() {
+        let mut e = engine(10);
+        e.run_to_completion();
+        assert_eq!(e.num_online(), 10);
+        e.push_event(e.now(), EventKind::PeerOffline(PeerId(4)));
+        e.run_to_completion();
+        assert_eq!(e.num_online(), 9);
+        assert!(!e.is_online(PeerId(4)));
     }
 }

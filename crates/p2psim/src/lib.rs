@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bitset;
 pub mod churn;
 pub mod config;
 pub mod datadist;
@@ -45,6 +46,7 @@ pub mod time;
 
 /// Common re-exports.
 pub mod prelude {
+    pub use crate::bitset::PeerBitset;
     pub use crate::churn::{ChurnEvent, ChurnModel, ChurnTimeline};
     pub use crate::config::{OverlayKind, SimConfig};
     pub use crate::datadist::{ClassDistribution, DataDistributor, SizeDistribution};
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::time::SimTime;
 }
 
+pub use bitset::PeerBitset;
 pub use config::{OverlayKind, SimConfig};
 pub use network::P2PNetwork;
 pub use peer::PeerId;

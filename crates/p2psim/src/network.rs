@@ -9,6 +9,7 @@
 //! Simulated time advances explicitly via [`P2PNetwork::advance`], so a
 //! protocol phase can be placed anywhere on the churn timeline.
 
+use crate::bitset::{Ones, PeerBitset};
 use crate::churn::ChurnTimeline;
 use crate::config::SimConfig;
 use crate::logging::ActivityLog;
@@ -55,6 +56,11 @@ pub struct P2PNetwork {
     overlay: AnyOverlay,
     physical: PhysicalNetwork,
     churn: ChurnTimeline,
+    /// Cached set of peers online at `now`, refreshed whenever time moves
+    /// ([`Self::advance`]). Makes `is_online` an O(1) bit test instead of a
+    /// per-call scan of the churn intervals, and `online_peers` an
+    /// allocation-free iterator.
+    online: PeerBitset,
     stats: SimStats,
     log: ActivityLog,
     now: SimTime,
@@ -75,12 +81,14 @@ impl P2PNetwork {
             config.seed,
         );
         let rng = StdRng::seed_from_u64(config.seed ^ 0xFEED_FACE);
+        let num_peers = config.num_peers;
         let mut net = Self {
             config,
             overlay,
             physical,
             churn,
-            stats: SimStats::new(),
+            online: PeerBitset::new(num_peers),
+            stats: SimStats::with_peers(num_peers),
             log: ActivityLog::default(),
             now: SimTime::ZERO,
             rng,
@@ -120,19 +128,28 @@ impl P2PNetwork {
         &mut self.rng
     }
 
-    /// Whether a peer is currently online.
+    /// Whether a peer is currently online. O(1) against the cached bitset.
     pub fn is_online(&self, peer: PeerId) -> bool {
-        self.churn.is_online(peer, self.now)
+        self.online.contains(peer)
     }
 
-    /// All currently online peers.
-    pub fn online_peers(&self) -> Vec<PeerId> {
-        self.churn.online_peers(self.now)
+    /// Iterates all currently online peers in ascending id order, without
+    /// allocating.
+    pub fn online_peers(&self) -> Ones<'_> {
+        self.online.ones()
+    }
+
+    /// Number of peers currently online. O(1).
+    pub fn num_online(&self) -> usize {
+        self.online.len()
     }
 
     /// Fraction of peers currently online.
     pub fn availability(&self) -> f64 {
-        self.churn.availability_at(self.now)
+        if self.config.num_peers == 0 {
+            return 0.0;
+        }
+        self.online.len() as f64 / self.config.num_peers as f64
     }
 
     /// The overlay (read access, e.g. for super-peer election).
@@ -229,14 +246,15 @@ impl P2PNetwork {
         if !self.is_online(from) {
             return 0;
         }
-        let targets: Vec<PeerId> = self
-            .online_peers()
-            .into_iter()
-            .filter(|&p| p != from)
-            .collect();
+        // Index walk + O(1) bit tests: no target list is materialized even
+        // when 10k peers are online.
         let mut reached = 0;
-        for to in targets {
-            if self.send(from, to, kind, size_bytes).is_ok() {
+        for i in 0..self.config.num_peers {
+            let to = PeerId::from(i);
+            if to != from
+                && self.online.contains(to)
+                && self.send(from, to, kind, size_bytes).is_ok()
+            {
                 reached += 1;
             }
         }
@@ -248,6 +266,7 @@ impl P2PNetwork {
         for i in 0..self.config.num_peers {
             let p = PeerId::from(i);
             let online = self.churn.is_online(p, now);
+            self.online.set(p, online);
             let member = self.overlay.contains(p);
             if online && !member {
                 self.overlay.add_peer(p);
@@ -336,7 +355,8 @@ mod tests {
             Err(DeliveryError::SenderOffline)
         );
         // Overlay membership must match the online set.
-        assert_eq!(net.overlay().len(), net.online_peers().len());
+        assert_eq!(net.overlay().len(), net.num_online());
+        assert_eq!(net.online_peers().count(), net.num_online());
     }
 
     #[test]

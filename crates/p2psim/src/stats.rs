@@ -6,7 +6,16 @@
 //! event engine is recorded here, broken down by traffic category and by peer,
 //! so the experiment harness can report per-peer communication cost exactly as
 //! the CEMPaR/PACE evaluations do.
+//!
+//! Per-peer counters are dense `Vec<u64>` columns indexed by [`PeerId`]
+//! (peers are numbered densely from 0), not maps: recording a delivery is two
+//! array stores instead of two `BTreeMap` probes, which matters when a
+//! broadcast protocol records O(peers²) sends per round at 10k peers. A
+//! [`PeerBitset`] tracks which peers ever *sent* anything, so the
+//! "mean bytes per participating peer" denominator keeps the map-era
+//! semantics (a peer that only received does not dilute the mean).
 
+use crate::bitset::PeerBitset;
 use crate::message::MessageKind;
 use crate::peer::PeerId;
 use crate::time::SimTime;
@@ -40,18 +49,43 @@ impl KindStats {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimStats {
     by_kind: BTreeMap<MessageKind, KindStats>,
-    bytes_sent_by_peer: BTreeMap<PeerId, u64>,
-    bytes_received_by_peer: BTreeMap<PeerId, u64>,
+    /// Bytes sent, indexed by peer (grow-on-demand).
+    bytes_sent_by_peer: Vec<u64>,
+    /// Bytes received, indexed by peer (grow-on-demand).
+    bytes_received_by_peer: Vec<u64>,
+    /// Peers that recorded at least one send (delivered or dropped) — the
+    /// denominator of [`Self::mean_bytes_sent_per_peer`].
+    senders: PeerBitset,
     total_hops: u64,
     lookups: u64,
     latency_sum: SimTime,
     delivered: u64,
 }
 
+#[inline]
+fn bump(column: &mut Vec<u64>, peer: PeerId, bytes: u64) {
+    let i = peer.index();
+    if i >= column.len() {
+        column.resize(i + 1, 0);
+    }
+    column[i] += bytes;
+}
+
 impl SimStats {
     /// Creates an empty statistics collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-sizes the per-peer columns for `num_peers` peers, so recording
+    /// never reallocates mid-run.
+    pub fn with_peers(num_peers: usize) -> Self {
+        Self {
+            bytes_sent_by_peer: vec![0; num_peers],
+            bytes_received_by_peer: vec![0; num_peers],
+            senders: PeerBitset::new(num_peers),
+            ..Self::default()
+        }
     }
 
     /// Records a successfully delivered message.
@@ -66,8 +100,9 @@ impl SimStats {
         let k = self.by_kind.entry(kind).or_default();
         k.messages += 1;
         k.bytes += bytes as u64;
-        *self.bytes_sent_by_peer.entry(from).or_default() += bytes as u64;
-        *self.bytes_received_by_peer.entry(to).or_default() += bytes as u64;
+        bump(&mut self.bytes_sent_by_peer, from, bytes as u64);
+        bump(&mut self.bytes_received_by_peer, to, bytes as u64);
+        self.senders.insert(from);
         self.latency_sum += latency;
         self.delivered += 1;
     }
@@ -80,7 +115,8 @@ impl SimStats {
         k.messages += 1;
         k.bytes_dropped += bytes as u64;
         k.dropped += 1;
-        *self.bytes_sent_by_peer.entry(from).or_default() += bytes as u64;
+        bump(&mut self.bytes_sent_by_peer, from, bytes as u64);
+        self.senders.insert(from);
     }
 
     /// Records the hop count of a DHT lookup.
@@ -141,31 +177,42 @@ impl SimStats {
 
     /// Bytes sent by a given peer.
     pub fn bytes_sent_by(&self, peer: PeerId) -> u64 {
-        self.bytes_sent_by_peer.get(&peer).copied().unwrap_or(0)
+        self.bytes_sent_by_peer
+            .get(peer.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Bytes received by a given peer.
     pub fn bytes_received_by(&self, peer: PeerId) -> u64 {
-        self.bytes_received_by_peer.get(&peer).copied().unwrap_or(0)
+        self.bytes_received_by_peer
+            .get(peer.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of peers that sent at least one message.
+    pub fn num_senders(&self) -> usize {
+        self.senders.len()
     }
 
     /// Average bytes sent per participating peer (0.0 when no peer sent data).
     pub fn mean_bytes_sent_per_peer(&self) -> f64 {
-        if self.bytes_sent_by_peer.is_empty() {
+        if self.senders.is_empty() {
             return 0.0;
         }
-        self.total_bytes() as f64 / self.bytes_sent_by_peer.len() as f64
+        self.total_bytes() as f64 / self.senders.len() as f64
     }
 
     /// Maximum bytes sent by any single peer (the hot-spot load).
     pub fn max_bytes_sent_by_any_peer(&self) -> u64 {
-        self.bytes_sent_by_peer.values().copied().max().unwrap_or(0)
+        self.bytes_sent_by_peer.iter().copied().max().unwrap_or(0)
     }
 
     /// Maximum bytes *received* by any single peer (super-peers concentrate load here).
     pub fn max_bytes_received_by_any_peer(&self) -> u64 {
         self.bytes_received_by_peer
-            .values()
+            .iter()
             .copied()
             .max()
             .unwrap_or(0)
@@ -196,11 +243,18 @@ impl SimStats {
             k.bytes_dropped += ks.bytes_dropped;
             k.dropped += ks.dropped;
         }
-        for (&p, &b) in &other.bytes_sent_by_peer {
-            *self.bytes_sent_by_peer.entry(p).or_default() += b;
+        for (i, &b) in other.bytes_sent_by_peer.iter().enumerate() {
+            if b > 0 {
+                bump(&mut self.bytes_sent_by_peer, PeerId::from(i), b);
+            }
         }
-        for (&p, &b) in &other.bytes_received_by_peer {
-            *self.bytes_received_by_peer.entry(p).or_default() += b;
+        for (i, &b) in other.bytes_received_by_peer.iter().enumerate() {
+            if b > 0 {
+                bump(&mut self.bytes_received_by_peer, PeerId::from(i), b);
+            }
+        }
+        for p in other.senders.ones() {
+            self.senders.insert(p);
         }
         self.total_hops += other.total_hops;
         self.lookups += other.lookups;
@@ -356,6 +410,23 @@ mod tests {
     }
 
     #[test]
+    fn mean_counts_participating_senders_only() {
+        // Receivers that never sent must not dilute the per-peer mean, and
+        // the denominator counts distinct senders, however sparse their ids.
+        let mut s = SimStats::with_peers(1000);
+        s.record_delivery(
+            PeerId(5),
+            PeerId(900),
+            MessageKind::Other,
+            100,
+            SimTime::ZERO,
+        );
+        s.record_drop(PeerId(700), MessageKind::Other, 50);
+        assert_eq!(s.num_senders(), 2);
+        assert!((s.mean_bytes_sent_per_peer() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn merge_combines_counters() {
         let mut a = SimStats::new();
         a.record_delivery(PeerId(0), PeerId(1), MessageKind::Other, 10, SimTime::ZERO);
@@ -369,6 +440,7 @@ mod tests {
         assert_eq!(a.total_bytes_dropped(), 20);
         assert_eq!(a.total_dropped(), 1);
         assert_eq!(a.mean_lookup_hops(), 4.0);
+        assert_eq!(a.num_senders(), 2);
     }
 
     #[test]
