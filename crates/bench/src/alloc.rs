@@ -65,6 +65,9 @@ mod imp {
     // SAFETY: delegates every operation to `System`; the counter updates have
     // no effect on the returned memory.
     unsafe impl GlobalAlloc for CountingAllocator {
+        // SAFETY: forwards `layout` unchanged to `System.alloc`, which
+        // upholds the GlobalAlloc contract; the counters never touch the
+        // returned block.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             let p = System.alloc(layout);
             if !p.is_null() {
@@ -73,11 +76,18 @@ mod imp {
             p
         }
 
+        // SAFETY: the caller passes the same `(ptr, layout)` pair `alloc`
+        // returned (GlobalAlloc contract), and we hand both to
+        // `System.dealloc` unchanged — counting happens after the free and
+        // only reads `layout.size()`.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout);
             on_dealloc(layout.size() as u64);
         }
 
+        // SAFETY: delegates to `System.realloc` with the caller's
+        // `(ptr, layout, new_size)` untouched; counters are updated only
+        // when the reallocation succeeded, from sizes alone.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             let p = System.realloc(ptr, layout, new_size);
             if !p.is_null() {

@@ -64,6 +64,7 @@ pub mod suggest;
 pub mod system;
 pub mod tagcloud;
 pub mod tagstore;
+pub mod timing;
 
 /// Common re-exports.
 pub mod prelude {

@@ -322,7 +322,7 @@ impl SessionDriver {
             }
 
             // Learning: warm-start incremental, or full retrain reference.
-            let learn_t = std::time::Instant::now();
+            let learn_t = crate::timing::Stopwatch::start();
             cumulative_manual.extend(&new_manual);
             if !learned {
                 if !new_manual.is_empty() {
@@ -340,10 +340,10 @@ impl SessionDriver {
                 self.system
                     .learn(&self.cumulative_split(&cumulative_manual))?;
             }
-            let learn_secs = learn_t.elapsed().as_secs_f64();
+            let learn_secs = learn_t.elapsed_secs();
 
             // Apply corrections scheduled from earlier epochs.
-            let refine_t = std::time::Instant::now();
+            let refine_t = crate::timing::Stopwatch::start();
             let mut refined = 0usize;
             if learned {
                 let due = std::mem::take(&mut pending_refine);
@@ -364,12 +364,12 @@ impl SessionDriver {
                     }
                 }
             }
-            let refine_secs = refine_t.elapsed().as_secs_f64();
+            let refine_secs = refine_t.elapsed_secs();
             total_refinements += refined;
 
             // Auto-tagging: this epoch's requests plus any deferred from
             // before the first learn.
-            let auto_t = std::time::Instant::now();
+            let auto_t = crate::timing::Stopwatch::start();
             let mut requests = std::mem::take(&mut deferred_auto);
             requests.extend(new_auto);
             let (auto_requested, outcome) = if learned && !requests.is_empty() {
@@ -393,7 +393,7 @@ impl SessionDriver {
                 deferred_auto = requests;
                 (0, None)
             };
-            let auto_secs = auto_t.elapsed().as_secs_f64();
+            let auto_secs = auto_t.elapsed_secs();
 
             let availability = self
                 .system

@@ -160,7 +160,10 @@ pub fn size_gini(assignment: &[Vec<usize>]) -> f64 {
 /// overall label distribution. 1.0 ≈ peers see the global mix (IID), values
 /// near 0.0 mean each peer only holds a few labels (non-IID).
 pub fn label_entropy_ratio(assignment: &[Vec<usize>], labels: &[u64]) -> f64 {
-    fn entropy(counts: &std::collections::HashMap<u64, usize>) -> f64 {
+    // BTreeMap, not HashMap: the probability terms accumulate in ascending
+    // label order, so the ratio is bit-identical across runs and platforms
+    // (float addition is not associative; hash order would leak into it).
+    fn entropy(counts: &std::collections::BTreeMap<u64, usize>) -> f64 {
         let total: usize = counts.values().sum();
         if total == 0 {
             return 0.0;
@@ -173,7 +176,7 @@ pub fn label_entropy_ratio(assignment: &[Vec<usize>], labels: &[u64]) -> f64 {
             })
             .sum()
     }
-    let mut global = std::collections::HashMap::new();
+    let mut global = std::collections::BTreeMap::new();
     for &l in labels {
         *global.entry(l).or_insert(0) += 1;
     }
@@ -187,7 +190,7 @@ pub fn label_entropy_ratio(assignment: &[Vec<usize>], labels: &[u64]) -> f64 {
         if peer_items.is_empty() {
             continue;
         }
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for &i in peer_items {
             *counts.entry(labels[i]).or_insert(0) += 1;
         }

@@ -57,6 +57,19 @@ impl CsrMatrix {
         let mut indices = Vec::new();
         let mut values = Vec::new();
         for row in rows {
+            // Mirror of the row invariant the unsafe kernels rely on:
+            // stored indices strictly increase within a row (SparseVector
+            // construction guarantees it; cheap to re-check here, where a
+            // violation would otherwise surface as silent wrong sums).
+            debug_assert!(
+                row.indices().windows(2).all(|w| w[0] < w[1]),
+                "CSR source row indices must be strictly increasing"
+            );
+            debug_assert_eq!(
+                row.indices().len(),
+                row.values().len(),
+                "CSR source row indices/values must be parallel"
+            );
             indices.extend_from_slice(row.indices());
             values.extend_from_slice(row.values());
             indptr.push(indices.len());
@@ -147,9 +160,13 @@ impl CsrMatrix {
             self.dim
         );
         let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        debug_assert!(lo <= hi && hi <= self.values.len());
         let mut sum = 0.0;
-        // SAFETY: `lo..hi` is a valid entry range by construction, and every
-        // stored index is < self.dim <= w.len() (checked above).
+        // SAFETY: `lo..hi` is a valid entry range by construction (`indptr`
+        // is built monotonically with final value `indices.len() ==
+        // values.len()`), and every stored index is < self.dim <= w.len()
+        // (`dim` is the max stored index + 1, re-derived from the entries at
+        // construction; the assert above checks `w`).
         unsafe {
             for k in lo..hi {
                 sum += self.values.get_unchecked(k)
@@ -174,7 +191,12 @@ impl CsrMatrix {
             self.dim
         );
         let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
-        // SAFETY: as in `row_dot_dense`.
+        debug_assert!(lo <= hi && hi <= self.values.len());
+        // SAFETY: same invariant as `row_dot_dense`: `lo..hi` indexes valid
+        // entries of the parallel `indices`/`values` arrays, and each stored
+        // index `j` satisfies `j < self.dim <= w.len()` (construction
+        // derives `dim` from the stored entries; the assert above checks
+        // `w`), so `get_unchecked_mut(j)` stays in bounds.
         unsafe {
             for k in lo..hi {
                 let j = *self.indices.get_unchecked(k) as usize;

@@ -174,7 +174,10 @@ impl PreprocessPipeline {
         let counts = self
             .vocabulary
             .count_tokens(terms.iter().map(String::as_str));
-        let mut v = SparseVector::from_pairs(counts.iter().map(|(&id, &tf)| {
+        // `counts` is a BTreeMap: ascending unique ids, so the sorted
+        // constructor applies and the weight loop runs in deterministic
+        // order by construction.
+        let mut v = SparseVector::from_sorted_pairs(counts.iter().map(|(&id, &tf)| {
             let tf = tf as f64;
             let w = match self.weighting {
                 Weighting::Tf => tf,
@@ -226,6 +229,39 @@ mod tests {
         "Support vector machines learn classification models from training documents.",
         "Tagging documents with collaborative tags eases document retrieval.",
     ];
+
+    #[test]
+    fn transform_matches_unsorted_reference_and_is_deterministic() {
+        // Regression for the BTreeMap conversion of the vocabulary count
+        // maps: the sorted construction path must produce exactly the
+        // vector the sort-and-merge `from_pairs` reference builds, and
+        // repeated transforms must be bit-identical (hash order used to be
+        // the only thing standing between this and nondeterminism).
+        let mut p = PreprocessPipeline::new();
+        p.fit(DOCS);
+        for doc in DOCS {
+            let v = p.transform(doc);
+            let counts = p
+                .vocabulary
+                .count_tokens(p.terms(doc).iter().map(String::as_str));
+            let mut reference = SparseVector::from_pairs(counts.iter().map(|(&id, &tf)| {
+                let tf = tf as f64;
+                (id, tf * p.vocabulary.idf(id))
+            }));
+            reference.l2_normalize();
+            assert_eq!(v, reference);
+            let again = p.transform(doc);
+            assert_eq!(v.indices(), again.indices());
+            assert!(v
+                .values()
+                .iter()
+                .zip(again.values())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            // Indices come out strictly ascending (the BTreeMap guarantee
+            // the sorted constructor relies on).
+            assert!(v.indices().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
 
     #[test]
     fn fit_transform_produces_nonempty_vectors() {

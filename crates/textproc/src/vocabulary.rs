@@ -7,7 +7,7 @@
 //! dictionary or feature hashing).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Bidirectional word ↔ id mapping with document-frequency statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -94,12 +94,14 @@ impl Vocabulary {
 
     /// Observes one document's tokens: updates ids and document frequencies.
     ///
-    /// Returns the per-document term counts keyed by word id.
-    pub fn observe_document<'a, I>(&mut self, tokens: I) -> HashMap<u32, u32>
+    /// Returns the per-document term counts keyed by word id, in ascending
+    /// id order (a `BTreeMap`, so every consumer iterates deterministically
+    /// — hash order must never reach an accumulation).
+    pub fn observe_document<'a, I>(&mut self, tokens: I) -> BTreeMap<u32, u32>
     where
         I: IntoIterator<Item = &'a str>,
     {
-        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for tok in tokens {
             if let Some(id) = self.get_or_insert(tok) {
                 *counts.entry(id).or_insert(0) += 1;
@@ -114,11 +116,13 @@ impl Vocabulary {
 
     /// Converts tokens of an already-fitted document into term counts without
     /// touching document frequencies (used at transform/prediction time).
-    pub fn count_tokens<'a, I>(&self, tokens: I) -> HashMap<u32, u32>
+    /// Counts come back in ascending id order, like
+    /// [`Self::observe_document`].
+    pub fn count_tokens<'a, I>(&self, tokens: I) -> BTreeMap<u32, u32>
     where
         I: IntoIterator<Item = &'a str>,
     {
-        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for tok in tokens {
             if let Some(id) = self.id_of(tok) {
                 *counts.entry(id).or_insert(0) += 1;

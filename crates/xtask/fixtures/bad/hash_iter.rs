@@ -1,0 +1,37 @@
+// Fixture: order-sensitive iteration over hash collections. Every
+// iteration form below must be caught (method calls and for loops, on
+// locals, params and fields).
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    models: HashMap<u64, f64>,
+}
+
+impl Registry {
+    fn total(&self) -> f64 {
+        // Float accumulation in hash order: nondeterministic bits.
+        self.models.values().sum()
+    }
+}
+
+fn entropy(counts: &HashMap<u64, usize>) -> f64 {
+    let mut h = 0.0;
+    for (_, &c) in counts.iter() {
+        h -= (c as f64) * (c as f64).ln();
+    }
+    h
+}
+
+fn collect_ids(live: HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in &live {
+        out.push(*id);
+    }
+    out
+}
+
+fn drain_all() -> Vec<(u64, f64)> {
+    let mut m = HashMap::new();
+    m.insert(1u64, 2.0f64);
+    m.drain().collect()
+}

@@ -1,0 +1,10 @@
+// Fixture: unsafe without a SAFETY comment naming the proved invariant.
+
+fn read_first(values: &[f64]) -> f64 {
+    // This comment is not a SAFETY comment, so it does not count.
+    unsafe { *values.get_unchecked(0) }
+}
+
+unsafe fn totally_undocumented(p: *const u8) -> u8 {
+    *p
+}

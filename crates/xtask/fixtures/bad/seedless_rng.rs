@@ -1,0 +1,9 @@
+// Fixture: RNG constructions that draw from entropy sources instead of an
+// explicit seed. Replay determinism dies here.
+
+fn seedless() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _also_bad = StdRng::from_entropy();
+    let _os = OsRng;
+    rand::random::<f64>()
+}

@@ -1,0 +1,12 @@
+// Fixture: ad-hoc concurrency outside vendor/parallel. Scheduling order
+// would leak into results.
+
+fn fan_out(items: Vec<u64>) -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    for item in items {
+        let tx = tx.clone();
+        std::thread::spawn(move || tx.send(item * 2).unwrap());
+    }
+    drop(tx);
+    rx.iter().sum()
+}

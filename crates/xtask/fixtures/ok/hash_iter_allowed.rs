@@ -1,0 +1,21 @@
+// Fixture: hash iteration behind a justified allow, plus the compliant
+// BTreeMap form. Both must lint clean.
+use std::collections::{BTreeMap, HashMap};
+
+fn count_total(counts: &HashMap<u64, usize>) -> usize {
+    // lint: allow(hash-iter, reason = "integer sum, commutative and order-insensitive")
+    counts.values().sum()
+}
+
+// Note: ident tracking is per-file, so this BTreeMap must not reuse the
+// name `counts` the HashMap above is tracked under.
+fn entropy(sorted: &BTreeMap<u64, usize>) -> f64 {
+    let total: usize = sorted.values().sum();
+    sorted
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}

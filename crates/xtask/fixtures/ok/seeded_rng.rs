@@ -1,0 +1,6 @@
+// Fixture: explicitly seeded RNG construction is the compliant form.
+
+fn deterministic(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    rng.next_f64()
+}

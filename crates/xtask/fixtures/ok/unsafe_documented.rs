@@ -1,0 +1,13 @@
+// Fixture: unsafe with a SAFETY comment naming the proved invariant.
+
+fn read_first(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    // SAFETY: the assert above proves index 0 is in bounds.
+    unsafe { *values.get_unchecked(0) }
+}
+
+struct Wrapper;
+
+// SAFETY: Wrapper holds no data; the trait has no invariant to violate.
+#[allow(dead_code)]
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,7 @@
+// Fixture: a wall-clock read annotated with a justified allow lints clean.
+
+fn measure() -> f64 {
+    // lint: allow(wall-clock, reason = "one-off diagnostic print, never feeds sim state")
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

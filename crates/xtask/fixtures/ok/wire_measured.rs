@@ -1,0 +1,10 @@
+// Fixture: sends that charge measured frame lengths (or estimator output)
+// lint clean under the wire-discipline rule, even inside p2pclassify.
+
+fn propagate(net: &mut Network, from: PeerId, to: PeerId, model: &Model) {
+    let frame = encode_model(model);
+    net.send(from, to, MessageKind::ModelPropagation, frame.len() as u64)
+        .ok();
+    let estimate = model.wire_size();
+    let _ = net.send(from, to, MessageKind::CentroidPropagation, estimate);
+}

@@ -1,0 +1,356 @@
+//! A minimal Rust source scanner for the lint pass.
+//!
+//! The rules in [`crate::lint`] are token-level, so the only parsing this
+//! crate needs is the part that keeps token matching honest: separating
+//! **code** from **comments and literals**. [`scan`] produces
+//!
+//! * a *code view* — the source with every comment, string/char literal body
+//!   and doc comment blanked to spaces, one output character per input
+//!   character so line and column structure survive exactly;
+//! * the list of comment lines (line number + text), which is where the
+//!   `// SAFETY:` audit and the `// lint: allow(...)` escape hatch live.
+//!
+//! The scanner understands line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//! byte strings (`b"…"`, `br#"…"#`), char/byte-char literals and
+//! lifetimes. It does not need to be a full lexer: anything it cannot
+//! classify it passes through as code, which at worst produces a diagnostic
+//! a human reviews (and can `allow` with a reason) — never a silently
+//! skipped file.
+
+/// One scanned source file: the blanked code view plus its comments.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Source lines with comments and literal bodies blanked to spaces.
+    pub code_lines: Vec<String>,
+    /// `(1-based line, comment text)` — one entry per comment *line* (a
+    /// multi-line block comment contributes one entry per line it spans),
+    /// text includes the `//` / `/*` markers.
+    pub comments: Vec<(usize, String)>,
+}
+
+impl ScannedFile {
+    /// All comment texts recorded for `line`.
+    pub fn comments_on(&self, line: usize) -> impl Iterator<Item = &str> + '_ {
+        self.comments
+            .iter()
+            .filter(move |(l, _)| *l == line)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Whether the code view of `line` (1-based) contains any code.
+    pub fn line_has_code(&self, line: usize) -> bool {
+        self.code_lines
+            .get(line - 1)
+            .is_some_and(|l| !l.trim().is_empty())
+    }
+}
+
+/// Scans `source` into a [`ScannedFile`]. Never fails: unterminated
+/// literals or comments simply run to end of file, blanked.
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(source.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a literal/comment character into the code view as a blank,
+    // preserving newlines so the view stays line-aligned.
+    macro_rules! blank {
+        ($c:expr) => {
+            if $c == '\n' {
+                code.push('\n');
+                line += 1;
+            } else {
+                code.push(' ');
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                let start = line;
+                let mut text = String::new();
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+                comments.push((start, text));
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1usize;
+                let mut text = String::from("/*");
+                blank!('/');
+                blank!('*');
+                i += 2;
+                while i < n && depth > 0 {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        text.push_str("/*");
+                        blank!('/');
+                        blank!('*');
+                        i += 2;
+                    } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        text.push_str("*/");
+                        blank!('*');
+                        blank!('/');
+                        i += 2;
+                    } else if c == '\n' {
+                        comments.push((line, std::mem::take(&mut text)));
+                        blank!('\n');
+                        i += 1;
+                    } else {
+                        text.push(c);
+                        blank!(c);
+                        i += 1;
+                    }
+                }
+                if !text.is_empty() {
+                    comments.push((line, text));
+                }
+            }
+            '"' => i = consume_string(&chars, i, &mut code, &mut line),
+            'r' | 'b' if !prev_is_ident(&code) => {
+                // Possible raw string r"…" / r#"…"#, byte string b"…",
+                // byte-raw br#"…"#, or byte char b'…'.
+                let mut j = i;
+                if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while chars.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                let is_raw = j > i || c == 'r';
+                if chars.get(k) == Some(&'"') && (is_raw || hashes == 0) {
+                    // Emit the prefix (r/b/#) as blanks, then the body.
+                    for &p in chars.iter().take(k + 1).skip(i) {
+                        blank!(p);
+                    }
+                    i = k + 1;
+                    if is_raw {
+                        i = consume_raw_body(&chars, i, hashes, &mut code, &mut line);
+                    } else {
+                        // b"…": re-enter the escaped-string consumer from
+                        // just after the opening quote.
+                        i = consume_string_body(&chars, i, &mut code, &mut line);
+                    }
+                } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                    blank!('b');
+                    i += 1;
+                    i = consume_char_or_lifetime(&chars, i, &mut code, &mut line);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => i = consume_char_or_lifetime(&chars, i, &mut code, &mut line),
+            '\n' => {
+                code.push('\n');
+                line += 1;
+                i += 1;
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    ScannedFile {
+        code_lines: code.lines().map(str::to_string).collect(),
+        comments,
+    }
+}
+
+/// Whether the last code-view character continues an identifier (so an
+/// `r`/`b` here is the tail of a name like `attr`, not a literal prefix).
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Consumes a `"…"` literal starting at the opening quote; returns the index
+/// just past the closing quote. Everything is blanked.
+fn consume_string(chars: &[char], mut i: usize, code: &mut String, line: &mut usize) -> usize {
+    // Opening quote.
+    code.push(' ');
+    i += 1;
+    consume_string_body(chars, i, code, line)
+}
+
+fn consume_string_body(chars: &[char], mut i: usize, code: &mut String, line: &mut usize) -> usize {
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\\' && i + 1 < chars.len() {
+            for _ in 0..2 {
+                if chars[i] == '\n' {
+                    code.push('\n');
+                    *line += 1;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        } else if c == '"' {
+            code.push(' ');
+            return i + 1;
+        } else {
+            if c == '\n' {
+                code.push('\n');
+                *line += 1;
+            } else {
+                code.push(' ');
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body (after the opening quote) terminated by
+/// `"` + `hashes` hash marks.
+fn consume_raw_body(
+    chars: &[char],
+    mut i: usize,
+    hashes: usize,
+    code: &mut String,
+    line: &mut usize,
+) -> usize {
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for h in 0..hashes {
+                if chars.get(i + 1 + h) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=hashes {
+                    code.push(' ');
+                    i += 1;
+                }
+                return i;
+            }
+        }
+        if chars[i] == '\n' {
+            code.push('\n');
+            *line += 1;
+        } else {
+            code.push(' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// At a `'`: consumes a char literal (blanked) or passes a lifetime through
+/// as code. Returns the index after whatever was consumed.
+fn consume_char_or_lifetime(
+    chars: &[char],
+    i: usize,
+    code: &mut String,
+    line: &mut usize,
+) -> usize {
+    let is_char_literal = match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    };
+    if !is_char_literal {
+        // A lifetime: emit the quote and let the identifier follow as code.
+        code.push('\'');
+        return i + 1;
+    }
+    // Blank the whole literal, scanning to the closing quote (escapes like
+    // '\u{1F600}' span several chars).
+    let mut j = i + 1;
+    code.push(' ');
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '\\' && j + 1 < chars.len() {
+            code.push(' ');
+            code.push(' ');
+            j += 2;
+            continue;
+        }
+        if c == '\n' {
+            code.push('\n');
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        code.push(' ');
+        j += 1;
+        if c == '\'' {
+            break;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1;\n";
+        let f = scan(src);
+        assert!(!f.code_lines[0].contains("HashMap"));
+        assert!(f.code_lines[0].contains("let x ="));
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].1.contains("HashMap here"));
+        assert_eq!(f.comments[0].0, 1);
+        assert_eq!(f.code_lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let src = "a /* one\n /* two */ still\n */ b\n";
+        let f = scan(src);
+        assert_eq!(f.code_lines[0].trim(), "a");
+        assert_eq!(f.code_lines[1].trim(), "");
+        assert_eq!(f.code_lines[2].trim(), "b");
+        // One comment entry per spanned line.
+        assert_eq!(f.comments.iter().filter(|(l, _)| *l == 1).count(), 1);
+        assert_eq!(f.comments.iter().filter(|(l, _)| *l == 2).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let s = r#\"unsafe // not code\"#; let c = '\\n'; let l: &'a str = q;\n";
+        let f = scan(src);
+        assert!(!f.code_lines[0].contains("unsafe"));
+        assert!(f.comments.is_empty());
+        assert!(f.code_lines[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn byte_strings_and_lifetimes() {
+        let src = "f(b\"Instant::now\", b'x'); struct A<'long>(&'long u8);\n";
+        let f = scan(src);
+        assert!(!f.code_lines[0].contains("Instant"));
+        assert!(f.code_lines[0].contains("struct A<'long>"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "one\ntwo /* x\ny */ three\nfour\n";
+        let f = scan(src);
+        assert_eq!(f.code_lines.len(), 4);
+        assert_eq!(f.code_lines[3], "four");
+    }
+}

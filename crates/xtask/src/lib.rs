@@ -1,0 +1,14 @@
+//! Workspace tooling: the invariant lint (`xtask lint`) and the
+//! `vendor/parallel` scheduler-permutation stress driver
+//! (`xtask stress-parallel`).
+//!
+//! The library half exists so the lint engine is testable: the fixture
+//! corpus under `crates/xtask/fixtures/` and the tier-1
+//! `tests/workspace_clean.rs` both drive [`lint::lint_source`] /
+//! [`lint::run`] directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod lint;

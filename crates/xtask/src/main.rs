@@ -1,0 +1,146 @@
+//! `cargo run -p xtask -- <command>`: workspace invariant tooling.
+//!
+//! Commands:
+//!
+//! * `lint [--root PATH] [--unsafe-report] [--rules]` — run the static
+//!   invariant checker over the workspace; exit nonzero on any violation.
+//! * `stress-parallel [--quick]` — drive the `vendor/parallel`
+//!   scheduler-permutation stress suite (adversarial chunk orderings ×
+//!   worker counts, asserting bit-identical outputs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lint;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> workspace root. Compile-time anchored, so the binary
+    // works from any invocation directory.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("stress-parallel") => cmd_stress(&args[1..]),
+        _ => {
+            eprintln!("usage: xtask <lint [--root PATH] [--unsafe-report] [--rules] | stress-parallel [--quick]>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = workspace_root();
+    let mut unsafe_report = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => {
+                        eprintln!("--root needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--unsafe-report" => unsafe_report = true,
+            "--rules" => {
+                for rule in lint::RULES {
+                    println!("{:<16} {}", rule.id, rule.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let report = match lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint failed to read sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let (documented, total) = report.unsafe_coverage();
+    if unsafe_report || documented < total {
+        println!("\nunsafe inventory:");
+        for site in &report.unsafe_sites {
+            let status = if site.documented { "ok " } else { "MISSING" };
+            println!(
+                "  [{status}] {}:{} {}",
+                site.file,
+                site.line,
+                if site.summary.is_empty() {
+                    "(no SAFETY comment)"
+                } else {
+                    &site.summary
+                }
+            );
+        }
+    }
+    let pct = if total == 0 {
+        100.0
+    } else {
+        100.0 * documented as f64 / total as f64
+    };
+    println!(
+        "scanned {} files; unsafe inventory: {total} site(s), {documented} documented ({pct:.1}%)",
+        report.files_scanned
+    );
+    if report.diagnostics.is_empty() {
+        println!("lint clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("error: {} violation(s)", report.diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the `vendor/parallel` scheduler-permutation stress suite in its own
+/// process (`cargo test -p parallel --test stress`). `--quick` keeps the
+/// default problem sizes; the full mode enlarges them via
+/// `P2PDT_STRESS_FULL=1`.
+fn cmd_stress(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(bad) = args.iter().find(|a| *a != "--quick") {
+        eprintln!("unknown stress-parallel option `{bad}`");
+        return ExitCode::FAILURE;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.current_dir(workspace_root()).args([
+        "test",
+        "-p",
+        "parallel",
+        "--test",
+        "stress",
+        "--release",
+    ]);
+    if !quick {
+        cmd.env("P2PDT_STRESS_FULL", "1");
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("failed to run cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Tier-1 gate: `xtask lint` must be clean on the workspace, and every
+//! `unsafe` site must be documented. This is the test that turns the
+//! determinism/safety/wire invariants from review lore into CI failures.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = xtask::lint::run(&workspace_root()).expect("lint walks the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}): wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn unsafe_inventory_is_fully_documented() {
+    let report = xtask::lint::run(&workspace_root()).expect("lint walks the workspace");
+    let (documented, total) = report.unsafe_coverage();
+    // The workspace currently has unsafe code (the CSR row kernels and the
+    // counting allocator); if that ever drops to zero this assert should be
+    // relaxed, not deleted.
+    assert!(total >= 1, "expected at least one unsafe site");
+    assert_eq!(
+        documented,
+        total,
+        "undocumented unsafe sites:\n{}",
+        report
+            .unsafe_sites
+            .iter()
+            .filter(|s| !s.documented)
+            .map(|s| format!("  {}:{}", s.file, s.line))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

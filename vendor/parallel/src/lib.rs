@@ -23,6 +23,13 @@
 //! `Fn + Sync` bounds enforce this) and must not share RNGs — seed one RNG
 //! per item instead.
 //!
+//! The contract is a *tested* property, not just a design note: the
+//! [`schedule`] module lets the stress suite
+//! (`vendor/parallel/tests/stress.rs`, run via
+//! `cargo run -p xtask -- stress-parallel`) replay every primitive under
+//! adversarial index permutations and forced worker counts and assert
+//! bit-identical outputs against the sequential reference.
+//!
 //! # Deliberate gaps versus `rayon`
 //!
 //! * no work-stealing deques — load balancing is a single atomic index
@@ -43,6 +50,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod schedule;
+
+pub use schedule::Schedule;
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -59,12 +70,17 @@ thread_local! {
 pub const THREADS_ENV: &str = "P2PDT_THREADS";
 
 /// Number of worker threads a parallel call may use for `n_items` items:
-/// `min(available cores, n_items)`, overridable via [`THREADS_ENV`].
+/// `min(available cores, n_items)`, overridable via [`THREADS_ENV`] and —
+/// with higher precedence, for the stress suite — via
+/// [`schedule::set_thread_override`].
 pub fn effective_threads(n_items: usize) -> usize {
-    let cores = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    let cores = schedule::thread_override()
+        .or_else(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -91,6 +107,11 @@ where
         // inline (nested parallelism would oversubscribe the machine).
         return items.iter().map(f).collect();
     }
+    // Visitation order: `None` (the production default) means workers
+    // consume indices in natural order straight off the counter; the stress
+    // suite installs permutations here to prove the output does not depend
+    // on which worker sees which index when.
+    let order = schedule::current().order(items.len());
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
@@ -100,10 +121,11 @@ where
                 IN_WORKER.with(|flag| flag.set(true));
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= items.len() {
                         break;
                     }
+                    let i = order.as_ref().map_or(slot, |o| o[slot]);
                     local.push((i, f(&items[i])));
                 }
                 local

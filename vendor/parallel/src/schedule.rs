@@ -1,0 +1,239 @@
+//! Adversarial index scheduling for the determinism stress suite.
+//!
+//! [`crate::par_map`]'s contract is that the caller-visible output never
+//! depends on *which* worker computes *which* index in *what* order. A
+//! normal run only explores the interleavings the OS scheduler happens to
+//! produce — a vanishingly small corner of the possible orderings, and a
+//! different corner on every machine. This module turns the claim into a
+//! testable property: a [`Schedule`] is a **bijective permutation** of the
+//! index space that the worker loop consumes instead of the natural
+//! `0..n` order, and [`set_thread_override`] pins the worker count. The
+//! stress suite (`vendor/parallel/tests/stress.rs`, driven by
+//! `cargo run -p xtask -- stress-parallel`) re-runs every workload under
+//! many (schedule × worker-count) combinations and asserts bit-identical
+//! outputs against the sequential reference.
+//!
+//! Both hooks are process-global, so tests that mutate them must run from
+//! a single `#[test]` entry point (the stress suite is one test function
+//! for exactly this reason). Production code never touches them: the
+//! default is [`Schedule::Identity`] unless the [`SCHEDULE_ENV`]
+//! environment variable selects another schedule at process start
+//! (`identity`, `reverse`, `stride:K`, `shuffle:SEED`), which makes it
+//! possible to smoke an arbitrary binary under an adversarial order
+//! without recompiling.
+//!
+//! Permutations are generated from explicit integer seeds with a local
+//! splitmix64 — no RNG crate, no entropy source, same order on every
+//! platform.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable selecting the process-default [`Schedule`]:
+/// `identity`, `reverse`, `stride:K`, or `shuffle:SEED`. Unset or
+/// unparsable values mean [`Schedule::Identity`]. Read once, at the first
+/// parallel call.
+pub const SCHEDULE_ENV: &str = "P2PDT_SCHEDULE";
+
+/// The order in which a parallel call's workers consume input indices.
+///
+/// Every variant is a bijection over `0..n`, so each index is still
+/// processed exactly once; only the *visitation order* (and therefore the
+/// worker→index assignment under work stealing) changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Natural `0, 1, 2, …` order — the production default.
+    Identity,
+    /// `n-1, n-2, …, 0`: every item meets a maximally different prefix of
+    /// completed work.
+    Reverse,
+    /// Column-major over a virtual `K`-column matrix: `0, K, 2K, …, 1,
+    /// K+1, …` — adjacent inputs land on different workers, which is the
+    /// adversarial case for any accidental reliance on chunk locality.
+    Stride(
+        /// Number of interleaved streams (clamped to at least 1).
+        usize,
+    ),
+    /// Seeded Fisher–Yates shuffle (splitmix64): a reproducible
+    /// arbitrary permutation; different seeds explore different orders.
+    Shuffle(
+        /// Shuffle seed — same seed, same permutation, on every platform.
+        u64,
+    ),
+}
+
+impl Schedule {
+    /// Parses the [`SCHEDULE_ENV`] syntax: `identity`, `reverse`,
+    /// `stride:K`, `shuffle:SEED`.
+    pub fn parse(s: &str) -> Option<Schedule> {
+        let s = s.trim();
+        match s {
+            "identity" => return Some(Schedule::Identity),
+            "reverse" => return Some(Schedule::Reverse),
+            _ => {}
+        }
+        if let Some(k) = s.strip_prefix("stride:") {
+            return k.trim().parse::<usize>().ok().map(Schedule::Stride);
+        }
+        if let Some(seed) = s.strip_prefix("shuffle:") {
+            return seed.trim().parse::<u64>().ok().map(Schedule::Shuffle);
+        }
+        None
+    }
+
+    /// The visitation order for `n` items: `None` means "natural order"
+    /// (no permutation array is allocated on the production path), `Some(p)`
+    /// is a permutation of `0..n` — slot `s` of the shared counter maps to
+    /// input index `p[s]`.
+    pub fn order(self, n: usize) -> Option<Vec<usize>> {
+        match self {
+            Schedule::Identity => None,
+            Schedule::Reverse => Some((0..n).rev().collect()),
+            Schedule::Stride(k) => {
+                let k = k.max(1);
+                let mut p: Vec<usize> = (0..n).collect();
+                // Column-major visit of the virtual n/k × k layout: stable
+                // sort by (column, row) is a bijection for every k, including
+                // k = 1 (identity) and k >= n (also identity).
+                p.sort_by_key(|&i| (i % k, i / k));
+                Some(p)
+            }
+            Schedule::Shuffle(seed) => {
+                let mut p: Vec<usize> = (0..n).collect();
+                let mut state = seed;
+                for i in (1..n).rev() {
+                    let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                    p.swap(i, j);
+                }
+                Some(p)
+            }
+        }
+    }
+}
+
+/// splitmix64 step — the standard 64-bit mixer, used here only to derive
+/// reproducible permutations from explicit seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Explicitly-set schedule, overriding the environment default.
+static OVERRIDE: Mutex<Option<Schedule>> = Mutex::new(None);
+
+/// Worker-count override; `0` means "no override".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The schedule parsed from [`SCHEDULE_ENV`] at first use.
+fn env_default() -> Schedule {
+    static ENV: OnceLock<Schedule> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var(SCHEDULE_ENV)
+            .ok()
+            .and_then(|v| Schedule::parse(&v))
+            .unwrap_or(Schedule::Identity)
+    })
+}
+
+/// Installs `s` as the schedule every subsequent parallel call uses.
+/// Process-global — intended for single-threaded test drivers only.
+pub fn set_schedule(s: Schedule) {
+    *OVERRIDE.lock().expect("schedule lock poisoned") = Some(s);
+}
+
+/// The schedule in effect: the last [`set_schedule`] value, else the
+/// [`SCHEDULE_ENV`] default, else [`Schedule::Identity`].
+pub fn current() -> Schedule {
+    OVERRIDE
+        .lock()
+        .expect("schedule lock poisoned")
+        .unwrap_or_else(env_default)
+}
+
+/// Forces the worker count of subsequent parallel calls (`None` or
+/// `Some(0)` restores the normal cores/[`crate::THREADS_ENV`] logic).
+/// Process-global — intended for single-threaded test drivers only.
+pub fn set_thread_override(n: Option<usize>) {
+    THREADS.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The active worker-count override, if any.
+pub(crate) fn thread_override() -> Option<usize> {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(p: &[usize], n: usize) {
+        assert_eq!(p.len(), n);
+        let mut seen = vec![false; n];
+        for &i in p {
+            assert!(i < n, "index {i} out of range {n}");
+            assert!(!seen[i], "index {i} visited twice");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn every_schedule_is_a_bijection() {
+        let schedules = [
+            Schedule::Identity,
+            Schedule::Reverse,
+            Schedule::Stride(0),
+            Schedule::Stride(1),
+            Schedule::Stride(3),
+            Schedule::Stride(7),
+            Schedule::Stride(1000),
+            Schedule::Shuffle(0),
+            Schedule::Shuffle(42),
+            Schedule::Shuffle(u64::MAX),
+        ];
+        for s in schedules {
+            for n in [0usize, 1, 2, 3, 17, 64, 257] {
+                match s.order(n) {
+                    None => assert_eq!(s, Schedule::Identity),
+                    Some(p) => assert_bijection(&p, n),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_and_stride_orders_are_exactly_as_documented() {
+        assert_eq!(Schedule::Reverse.order(4), Some(vec![3, 2, 1, 0]));
+        // 2-column layout of 0..6: columns are {0,2,4} and {1,3,5}.
+        assert_eq!(Schedule::Stride(2).order(6), Some(vec![0, 2, 4, 1, 3, 5]));
+        // k >= n degenerates to identity (each item is its own column).
+        assert_eq!(Schedule::Stride(9).order(3), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_seed_sensitive() {
+        let a = Schedule::Shuffle(7).order(100).unwrap();
+        let b = Schedule::Shuffle(7).order(100).unwrap();
+        let c = Schedule::Shuffle(8).order(100).unwrap();
+        assert_eq!(a, b, "same seed must give the same permutation");
+        assert_ne!(a, c, "different seeds should give different permutations");
+        // Pin a few positions so a silent splitmix64 change is caught.
+        assert_bijection(&a, 100);
+    }
+
+    #[test]
+    fn parse_accepts_the_env_syntax() {
+        assert_eq!(Schedule::parse("identity"), Some(Schedule::Identity));
+        assert_eq!(Schedule::parse(" reverse "), Some(Schedule::Reverse));
+        assert_eq!(Schedule::parse("stride:4"), Some(Schedule::Stride(4)));
+        assert_eq!(Schedule::parse("shuffle:99"), Some(Schedule::Shuffle(99)));
+        assert_eq!(Schedule::parse("stride:x"), None);
+        assert_eq!(Schedule::parse("bogus"), None);
+        assert_eq!(Schedule::parse(""), None);
+    }
+}

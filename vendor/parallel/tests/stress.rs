@@ -1,0 +1,149 @@
+//! Scheduler-permutation stress: the index-deterministic-reduction claim
+//! under adversarial orderings.
+//!
+//! `par_map`/`par_chunks`/`par_fold` promise output bit-identical to their
+//! sequential equivalents regardless of thread scheduling. An ordinary test
+//! run only sees whatever interleavings the OS happens to produce, so this
+//! suite forces the issue: every workload is replayed under every
+//! combination of adversarial [`Schedule`] (reverse, interleaving strides,
+//! seeded shuffles) and pinned worker count, and every output is compared
+//! **bit for bit** against a sequential reference computed once up front.
+//!
+//! The schedule/thread hooks are process-global, so the whole suite is one
+//! `#[test]` function — two tests mutating the hooks concurrently would
+//! race each other, not the code under test.
+//!
+//! Sizes are kept small for the CI quick pass (`cargo run -p xtask --
+//! stress-parallel --quick`); setting `P2PDT_STRESS_FULL` (the default for
+//! `stress-parallel` without `--quick`) enlarges the inputs and the
+//! worker-count grid.
+
+use parallel::schedule::{self, Schedule};
+use parallel::{par_chunks, par_fold, par_map};
+
+/// A numerically non-trivial per-item kernel with value-dependent cost, so
+/// work stealing under permutation actually desynchronizes the workers.
+fn heavy(x: &f64) -> f64 {
+    let iters = 4 + ((x.to_bits() >> 17) % 48) as usize;
+    let mut a = *x;
+    for _ in 0..iters {
+        a = (a.sin() * 1.7 + a.cos()).mul_add(0.9, 0.01);
+    }
+    a
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str, s: Schedule, w: usize) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{what} length under {s:?} × {w} workers"
+    );
+    for (i, (g, e)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            e.to_bits(),
+            "{what}[{i}] diverged under {s:?} × {w} workers: {g} != {e}"
+        );
+    }
+}
+
+#[test]
+fn outputs_are_bit_identical_under_adversarial_schedules() {
+    let full = std::env::var("P2PDT_STRESS_FULL").is_ok();
+    let n: usize = if full { 6144 } else { 768 };
+
+    // Inputs deliberately include negatives, tiny offsets and irregular
+    // magnitudes — anything that would expose a reassociated float sum.
+    let floats: Vec<f64> = (0..n)
+        .map(|i| (i as f64) * 0.37 - (n as f64) / 3.0 + 1e-9)
+        .collect();
+    let ints: Vec<u64> = (0..n as u64).collect();
+
+    // Sequential references, computed once, no parallel machinery involved.
+    let ref_map: Vec<f64> = floats.iter().map(heavy).collect();
+    let ref_strings: Vec<String> = ints.iter().map(|&i| format!("item-{i:04x}")).collect();
+    let ref_sum: f64 = floats.iter().map(heavy).fold(0.0f64, |a, b| a + b);
+    let ref_chunks: Vec<f64> = floats
+        .chunks(7)
+        .enumerate()
+        .map(|(idx, c)| c.iter().fold(0.0f64, |a, &b| a + b) * (idx + 1) as f64)
+        .collect();
+    let ref_nested: Vec<Vec<f64>> = floats
+        .chunks(32)
+        .map(|c| c.iter().map(heavy).collect())
+        .collect();
+    let nested_inputs: Vec<&[f64]> = floats.chunks(32).collect();
+
+    // ≥ 8 adversarial (non-identity) orderings, per the acceptance bar.
+    let schedules = [
+        Schedule::Reverse,
+        Schedule::Stride(2),
+        Schedule::Stride(3),
+        Schedule::Stride(5),
+        Schedule::Stride(64),
+        Schedule::Shuffle(1),
+        Schedule::Shuffle(42),
+        Schedule::Shuffle(0xDEC0DE),
+        Schedule::Shuffle(987_654_321),
+    ];
+    let workers: &[usize] = if full {
+        &[1, 2, 3, 4, 8, 16]
+    } else {
+        &[2, 3, 8]
+    };
+
+    let mut combos = 0usize;
+    for &s in &schedules {
+        for &w in workers {
+            schedule::set_schedule(s);
+            schedule::set_thread_override(Some(w));
+
+            let got_map = par_map(&floats, heavy);
+            assert_bits_eq(&got_map, &ref_map, "par_map", s, w);
+
+            let got_strings = par_map(&ints, |&i| format!("item-{i:04x}"));
+            assert_eq!(
+                got_strings, ref_strings,
+                "string par_map reordered under {s:?} × {w} workers"
+            );
+
+            let got_sum = par_fold(&floats, heavy, 0.0f64, |a, b| a + b);
+            assert_eq!(
+                got_sum.to_bits(),
+                ref_sum.to_bits(),
+                "par_fold sum diverged under {s:?} × {w} workers: {got_sum} != {ref_sum}"
+            );
+
+            let got_chunks = par_chunks(&floats, 7, |idx, c| {
+                c.iter().fold(0.0f64, |a, &b| a + b) * (idx + 1) as f64
+            });
+            assert_bits_eq(&got_chunks, &ref_chunks, "par_chunks", s, w);
+
+            // Nested call: the inner par_map must run inline in the worker
+            // and still honor input order, permutation or not.
+            let got_nested = par_map(&nested_inputs, |c| par_map(c, heavy));
+            assert_eq!(got_nested.len(), ref_nested.len());
+            for (g, e) in got_nested.iter().zip(&ref_nested) {
+                assert_bits_eq(g, e, "nested par_map", s, w);
+            }
+
+            combos += 1;
+        }
+    }
+    assert!(
+        combos >= 8,
+        "stress must cover at least 8 adversarial orderings, ran {combos}"
+    );
+
+    // Leave the process-global hooks the way production code expects them.
+    schedule::set_schedule(Schedule::Identity);
+    schedule::set_thread_override(None);
+    let sanity = par_map(&floats, heavy);
+    assert_bits_eq(
+        &sanity,
+        &ref_map,
+        "post-reset par_map",
+        Schedule::Identity,
+        0,
+    );
+}
