@@ -1,0 +1,118 @@
+//! Chaos regime grid: four protocols × deterministic fault regimes.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin chaos            # full grid (6 regimes)
+//! cargo run --release -p bench --bin chaos -- --quick # baseline + loss-10 (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_chaos.json` to the repository root (or
+//! `BENCH_chaos_quick.json` in `--quick` mode so the committed full-scale
+//! numbers are not clobbered by CI), then asserts the robustness orderings
+//! the fault layer is designed to guard: the document validates as JSON, no
+//! protocol panics or collapses under any regime, fault counters are really
+//! nonzero in the faulty regimes, and collaborative tagging keeps its edge
+//! over isolated per-peer learning at 10–20 % loss.
+
+use bench::chaos::{measure_regime, standard_regimes, to_json, ChaosRow};
+use bench::scenarios::validate_json;
+use bench::workload::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(2010);
+    let all = standard_regimes();
+    let (regimes, num_users, scale, epochs) = if quick {
+        let picks: Vec<_> = all
+            .into_iter()
+            .filter(|r| r.name == "baseline" || r.name == "loss-10")
+            .collect();
+        (picks, 10, Scale::Small, 3)
+    } else {
+        (all, 16, Scale::Demo, 5)
+    };
+
+    let mut rows = Vec::new();
+    for regime in &regimes {
+        eprintln!("replaying regime '{}'...", regime.name);
+        let row = measure_regime(regime, num_users, scale, epochs, seed);
+        for c in &row.cells {
+            eprintln!(
+                "  {:<12} | micro {:.3} macro {:.3} | failed {:>4} | drop {:>5} corrupt {:>4} rtx {:>5} resync {:>3} | {:>9} B | {:>6.2}s",
+                c.protocol,
+                c.micro_f1,
+                c.macro_f1,
+                c.auto_failed,
+                c.faults.total_fault_drops(),
+                c.faults.corrupted,
+                c.faults.retransmits,
+                c.faults.resyncs,
+                c.bytes,
+                c.secs,
+            );
+        }
+        rows.push(row);
+    }
+
+    let json = to_json(&rows, epochs, seed);
+    let filename = if quick {
+        "BENCH_chaos_quick.json"
+    } else {
+        "BENCH_chaos.json"
+    };
+    let root = bench::workspace_root();
+    let path = root.join(filename);
+    std::fs::write(&path, &json).expect("write chaos json");
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+
+    // The document must be machine-readable.
+    validate_json(&json).unwrap_or_else(|e| panic!("{filename} is not valid JSON: {e}"));
+
+    let cell = |row: &ChaosRow, protocol: &str| {
+        row.cell(protocol)
+            .unwrap_or_else(|| panic!("{} missing from regime {}", protocol, row.regime.name))
+            .clone()
+    };
+    for row in &rows {
+        for c in &row.cells {
+            // No regime may collapse any protocol outright (a panic would
+            // have aborted the run already; this guards silent collapse).
+            assert!(
+                c.macro_f1 > 0.1,
+                "{} macro-F1 collapsed to {:.3} under regime '{}'",
+                c.protocol,
+                c.macro_f1,
+                row.regime.name
+            );
+        }
+        if row.regime.loss > 0.0 {
+            // The plan was really active: the network dropped or damaged
+            // frames for the protocols that communicate.
+            let pace = cell(row, "pace");
+            assert!(
+                pace.faults.total_fault_drops() + pace.faults.corrupted > 0,
+                "no fault activity under regime '{}'",
+                row.regime.name
+            );
+            // The paper's claim under fire: collaborative tagging (the best
+            // of the two P2P protocols) must not fall behind isolated
+            // per-peer learning just because the network is lossy.
+            let collaborative = pace.macro_f1.max(cell(row, "cempar").macro_f1);
+            let local = cell(row, "local-only").macro_f1;
+            assert!(
+                collaborative >= local,
+                "collaborative macro-F1 {:.3} below local-only {:.3} under regime '{}'",
+                collaborative,
+                local,
+                row.regime.name
+            );
+        }
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alloc;
+pub mod chaos;
 pub mod experiments;
 pub mod kernels;
 pub mod scale;

@@ -3,7 +3,7 @@
 
 use p2pclassify::{
     Cempar, CemparConfig, Centralized, CentralizedConfig, LocalOnly, LocalOnlyConfig,
-    P2PTagClassifier, Pace, PaceConfig,
+    P2PTagClassifier, Pace, PaceConfig, ReliabilityConfig,
 };
 use p2psim::SimConfig;
 use textproc::Weighting;
@@ -41,6 +41,20 @@ impl ProtocolKind {
     /// Local-only baseline with default parameters.
     pub fn local_only() -> Self {
         ProtocolKind::LocalOnly(LocalOnlyConfig::default())
+    }
+
+    /// Returns the same protocol with the reliable-delivery layer set: `Some`
+    /// turns on sequence-numbered ack/retransmit sends, `None` restores the
+    /// fire-and-forget default. Local-only never sends, so the setting is
+    /// carried for uniformity but has no effect there.
+    pub fn with_reliability(mut self, reliability: Option<ReliabilityConfig>) -> Self {
+        match &mut self {
+            ProtocolKind::Cempar(c) => c.wire.reliability = reliability,
+            ProtocolKind::Pace(c) => c.wire.reliability = reliability,
+            ProtocolKind::Centralized(c) => c.wire.reliability = reliability,
+            ProtocolKind::LocalOnly(c) => c.wire.reliability = reliability,
+        }
+        self
     }
 
     /// Short name for tables and logs.

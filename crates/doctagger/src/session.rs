@@ -61,6 +61,11 @@ pub struct SessionConfig {
     pub bursts: Option<BurstSpec>,
     /// Churn model of the simulated network for the whole session.
     pub churn: ChurnModel,
+    /// Deterministic fault plan injected into the simulated network (loss,
+    /// corruption, partitions, crash-restarts). The default plan is fully
+    /// disabled and draws no randomness, so fault-free sessions stay
+    /// bit-identical to a build without the fault layer.
+    pub faults: p2psim::faults::FaultPlan,
     /// `true` folds each epoch's manual arrivals in with warm-start
     /// incremental training; `false` retrains from scratch on the cumulative
     /// manual set every epoch (the accuracy reference).
@@ -79,6 +84,7 @@ impl Default for SessionConfig {
             drift: 0.6,
             bursts: None,
             churn: ChurnModel::None,
+            faults: p2psim::faults::FaultPlan::default(),
             incremental: true,
             seed: 42,
         }
@@ -217,6 +223,7 @@ impl SessionDriver {
         let sim = SimConfig {
             num_peers: corpus.num_users().max(1),
             churn: config.churn,
+            faults: config.faults.clone(),
             // One epoch of slack so the last boundary is inside the horizon.
             horizon_secs: (horizon_secs + config.epoch_secs).ceil() as u64,
             seed: config.seed,

@@ -443,9 +443,39 @@ impl P2PDocTagger {
 
     /// Advances simulated time (churn takes effect), e.g. between the learning
     /// phase and a later tagging phase.
+    ///
+    /// Fault events scheduled inside the window are executed and recovered
+    /// here: a crash-restarted peer has its in-memory protocol state wiped
+    /// (the data a real process would lose) and then runs digest-based
+    /// anti-entropy against the overlay; when a partition heals, the peers on
+    /// the minority side of the cut re-sync what they missed. With no fault
+    /// plan configured both drain queues stay empty and this is exactly the
+    /// old `net.advance(dt)`.
     pub fn advance_time(&mut self, dt: p2psim::SimTime) {
-        if let Some(net) = self.network.as_mut() {
-            net.advance(dt);
+        let Some(net) = self.network.as_mut() else {
+            return;
+        };
+        net.advance(dt);
+        for peer in net.drain_crash_restarts() {
+            self.protocol.on_crash_restart(net, peer);
+            self.protocol.resync(net, peer);
+        }
+        for window in net.drain_healed_partitions() {
+            let (mut cut, mut rest) = (Vec::new(), Vec::new());
+            for peer in net.peers() {
+                if window.scope.side(peer) {
+                    cut.push(peer);
+                } else {
+                    rest.push(peer);
+                }
+            }
+            // The smaller side missed the majority's traffic.
+            let minority = if cut.len() <= rest.len() { cut } else { rest };
+            for peer in minority {
+                if net.is_online(peer) {
+                    self.protocol.resync(net, peer);
+                }
+            }
         }
     }
 
@@ -480,6 +510,14 @@ impl P2PDocTagger {
     /// The current tag cloud (the "Tag Cloud" navigation component).
     pub fn tag_cloud(&self) -> TagCloud {
         TagCloud::from_library(&self.library)
+    }
+
+    /// The plugged protocol's reliable-link counters: sends, losses,
+    /// retransmissions, corrupted frames rejected, give-ups, re-syncs. All
+    /// zero for local-only (it never sends) and for protocols that have not
+    /// communicated yet.
+    pub fn protocol_link_stats(&self) -> p2pclassify::LinkStats {
+        self.protocol.link_stats()
     }
 
     /// Communication statistics accumulated so far (empty before ingestion).

@@ -26,6 +26,7 @@ use crate::error::ProtocolError;
 use crate::protocol::{
     combine_weighted_scores, P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend,
 };
+use crate::reliable::{LinkStats, ReliableLink, SendOutcome};
 use crate::wire::{self, WireConfig, WireCost};
 use ml::batch::BatchKernelScorer;
 use ml::cascade::{CascadeConfig, CascadeSvm};
@@ -33,6 +34,7 @@ use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
 use ml::svm::{BinaryClassifier, KernelSvm, KernelSvmTrainer};
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
 use p2psim::message::MessageKind;
+use p2psim::network::DeliveryError;
 use p2psim::overlay::SuperPeerDirectory;
 use p2psim::{P2PNetwork, PeerId};
 use std::collections::BTreeMap;
@@ -153,6 +155,10 @@ pub struct Cempar {
     /// incremental round. An empty entry marks a peer that has *never*
     /// trained (its whole local collection is outstanding).
     pending: BTreeMap<PeerId, MultiLabelDataset>,
+    /// The send path: passthrough by default, ack/retransmit when
+    /// [`WireConfig::reliability`] is set. Also the ledger of every send
+    /// outcome (losses, retransmits, re-syncs).
+    link: ReliableLink,
     trained: bool,
 }
 
@@ -160,12 +166,14 @@ impl Cempar {
     /// Creates an untrained CEMPaR instance.
     pub fn new(config: CemparConfig) -> Self {
         let directory = SuperPeerDirectory::new(config.regions);
+        let link = ReliableLink::new(config.wire.reliability);
         Self {
             config,
             directory,
             regions: Vec::new(),
             local_data: Vec::new(),
             pending: BTreeMap::new(),
+            link,
             trained: false,
         }
     }
@@ -297,16 +305,22 @@ impl Cempar {
         let region = self.region_of_peer(peer);
         let anchor = self.directory.anchor_key(region);
         let (super_peer, _hops) = net.dht_lookup(peer, anchor)?;
-        let (model_bytes, model) = match self.config.wire.cost {
-            WireCost::Estimated => (model.wire_size(), model),
+        let model = match self.config.wire.cost {
+            WireCost::Estimated => {
+                self.link
+                    .send_sized(net, peer, super_peer, kind, model.wire_size())?;
+                model
+            }
             WireCost::Measured => {
                 let frame = wire::encode_kernel_model(&model, self.config.wire.precision);
-                let decoded = wire::decode_kernel_model(&frame)
-                    .expect("self-encoded kernel model frame decodes");
-                (frame.len(), decoded)
+                let delivered = self.link.send_frame(net, peer, super_peer, kind, &frame)?;
+                // The super-peer records what it decodes off the delivered
+                // bytes; a frame damaged beyond decoding was never
+                // contributed (the sender's pending queue retries it).
+                wire::decode_kernel_model(&delivered)
+                    .map_err(|_| ProtocolError::Delivery(DeliveryError::Lost))?
             }
         };
-        net.send(peer, super_peer, kind, model_bytes)?;
         let state = self.regions[region].get_or_insert_with(|| RegionState {
             super_peer,
             contributed: BTreeMap::new(),
@@ -556,13 +570,24 @@ impl P2PTagClassifier for Cempar {
                     (frame.len(), decoded)
                 }
             };
-            let _ = net.send(
-                state.super_peer,
-                peer,
-                MessageKind::PredictionResponse,
-                response_size,
-            );
-            votes.push((state.weight(), scores));
+            // A region whose response never reaches the requester contributes
+            // no vote (previously a lost response still voted). Query-path
+            // sends cannot route through the reliable link (`scores` is
+            // `&self`); their losses are visible in the network's fault
+            // counters, and fault-free runs never take the error arm — both
+            // endpoints were online a moment ago and nothing advances time
+            // mid-query.
+            if net
+                .send(
+                    state.super_peer,
+                    peer,
+                    MessageKind::PredictionResponse,
+                    response_size,
+                )
+                .is_ok()
+            {
+                votes.push((state.weight(), scores));
+            }
         }
         if votes.is_empty() {
             return Err(ProtocolError::NoModelReachable);
@@ -643,6 +668,78 @@ impl P2PTagClassifier for Cempar {
                 Err(e)
             }
         }
+    }
+
+    fn on_crash_restart(&mut self, _net: &mut P2PNetwork, peer: PeerId) {
+        // A crashed super-peer loses its in-memory region state: every
+        // contributed model and the cascaded regional models. Its
+        // contributors are re-marked pending so the next incremental round
+        // rebuilds the region from their durable local data. A regular
+        // peer's restart wipes nothing the protocol tracks for it — its
+        // contribution lives at the super-peer and its local data is durable.
+        for state in self.regions.iter_mut().flatten() {
+            if state.super_peer != peer {
+                continue;
+            }
+            for &contributor in state.contributed.keys() {
+                self.pending.entry(contributor).or_default();
+            }
+            state.contributed.clear();
+            state.regional.clear();
+            state.scorer = BatchKernelScorer::default();
+        }
+    }
+
+    fn resync(&mut self, net: &mut P2PNetwork, peer: PeerId) -> usize {
+        if !self.trained || !net.is_online(peer) {
+            return 0;
+        }
+        let region = self.region_of_peer(peer);
+        let Some(state) = self.regions.get(region).and_then(Option::as_ref) else {
+            return 0;
+        };
+        let super_peer = state.super_peer;
+        let contributed = state.contributed.contains_key(&peer);
+        let has_data = self
+            .local_data
+            .get(peer.index())
+            .is_some_and(|d| !d.is_empty());
+        if peer == super_peer || !has_data || contributed {
+            return 0;
+        }
+        // Digest exchange: the rejoining peer advertises its contribution;
+        // the super-peer's (implicit) reply reveals it is missing, so the
+        // peer queues a re-contribution — the model re-propagation itself is
+        // trained and charged on the next incremental round.
+        let digest = wire::encode_digest(&[(peer.0, 0)]);
+        let arrived = match self.config.wire.cost {
+            WireCost::Measured => self.link.deliver_frame(
+                net,
+                peer,
+                super_peer,
+                MessageKind::AntiEntropy,
+                &digest,
+                |b| wire::decode_digest(b).is_ok(),
+            ),
+            WireCost::Estimated => self.link.deliver_sized(
+                net,
+                peer,
+                super_peer,
+                MessageKind::AntiEntropy,
+                digest.len(),
+            ),
+        };
+        if arrived != SendOutcome::Arrived {
+            return 0;
+        }
+        self.pending.entry(peer).or_default();
+        self.link.note_resync();
+        net.note_resync();
+        1
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        *self.link.stats()
     }
 }
 

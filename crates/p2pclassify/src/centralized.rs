@@ -10,6 +10,7 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
+use crate::reliable::{LinkStats, ReliableLink};
 use crate::wire::{self, WireConfig, WireCost};
 use ml::batch::TagWeightMatrix;
 use ml::multilabel::{OneVsAllModel, OneVsAllTrainer, TagPrediction};
@@ -76,18 +77,28 @@ pub struct Centralized {
     /// Per-peer examples that could not reach the server yet (sender or
     /// server offline): retried on the next incremental round.
     pending: Vec<MultiLabelDataset>,
+    /// Each peer's durable record of what it successfully uploaded — the
+    /// recovery source when the server crash-restarts and loses its pool.
+    uploaded: Vec<MultiLabelDataset>,
+    /// The send path: passthrough by default, ack/retransmit when
+    /// [`WireConfig::reliability`] is set. Also the ledger of every send
+    /// outcome (losses, retransmits, re-syncs).
+    link: ReliableLink,
     trained: bool,
 }
 
 impl Centralized {
     /// Creates an untrained centralized baseline.
     pub fn new(config: CentralizedConfig) -> Self {
+        let link = ReliableLink::new(config.wire.reliability);
         Self {
             config,
             model: None,
             matrix: None,
             pooled: MultiLabelDataset::new(),
             pending: Vec::new(),
+            uploaded: Vec::new(),
+            link,
             trained: false,
         }
     }
@@ -122,19 +133,32 @@ impl Centralized {
         self.matrix = self.model.as_ref().map(OneVsAllModel::weight_matrix);
     }
 
-    /// The wire cost of uploading `data` to the server and, under the
-    /// measured wire, the decoded copy the server actually pools (datasets
-    /// carry no model weights, so the round-trip is always lossless — but it
-    /// still goes through real bytes, which is what keeps the TrainingData
-    /// rows of the E3 table measured rather than estimated).
-    fn encode_upload(&self, data: &MultiLabelDataset) -> (usize, Option<MultiLabelDataset>) {
+    /// Ships `data` from `from` to the server over the reliable link and
+    /// returns the dataset the server actually pools — under the measured
+    /// wire that is the copy decoded off the wire, so the TrainingData rows
+    /// of the E3 table stay measured rather than estimated. `None` means the
+    /// upload never landed (server unreachable, frame lost, or the frame was
+    /// damaged in transit and rejected by strict decode).
+    fn upload(
+        &mut self,
+        net: &mut P2PNetwork,
+        from: PeerId,
+        kind: MessageKind,
+        data: &MultiLabelDataset,
+    ) -> Option<MultiLabelDataset> {
+        let server = self.config.server;
         match self.config.wire.cost {
-            WireCost::Estimated => (data.wire_size(), None),
+            WireCost::Estimated => self
+                .link
+                .send_sized(net, from, server, kind, data.wire_size())
+                .ok()
+                .map(|_| data.clone()),
             WireCost::Measured => {
                 let frame = wire::encode_dataset(data);
-                let decoded =
-                    wire::decode_dataset(&frame).expect("self-encoded dataset frame decodes");
-                (frame.len(), Some(decoded))
+                let delivered = self.link.send_frame(net, from, server, kind, &frame).ok()?;
+                // A corrupted frame that fails strict decode never reaches
+                // the pool: the upload counts as lost and is retried later.
+                wire::decode_dataset(&delivered).ok()
             }
         }
     }
@@ -181,7 +205,9 @@ impl P2PTagClassifier for Centralized {
         peer_data: &PeerDataMap,
     ) -> Result<(), ProtocolError> {
         self.pooled = MultiLabelDataset::new();
-        self.pending = vec![MultiLabelDataset::new(); net.num_peers().max(peer_data.len())];
+        let n = net.num_peers().max(peer_data.len());
+        self.pending = vec![MultiLabelDataset::new(); n];
+        self.uploaded = vec![MultiLabelDataset::new(); n];
         let server = self.config.server;
         for (i, data) in peer_data.iter().enumerate() {
             let peer = PeerId::from(i);
@@ -189,6 +215,9 @@ impl P2PTagClassifier for Centralized {
                 continue;
             }
             if peer == server {
+                // Pooled locally — still recorded in the ledger so a server
+                // crash-restart can recover its own share without a send.
+                self.uploaded[i].extend_from(data);
                 self.pooled.extend_from(data);
                 continue;
             }
@@ -199,12 +228,14 @@ impl P2PTagClassifier for Centralized {
                 continue;
             }
             // The raw document vectors travel to the server.
-            let (upload_bytes, decoded) = self.encode_upload(data);
-            match net.send(peer, server, MessageKind::TrainingData, upload_bytes) {
-                Ok(_) => self.pooled.extend_from(decoded.as_ref().unwrap_or(data)),
-                Err(_) => {
-                    // Server unreachable: the upload is retried on the next
-                    // incremental round.
+            match self.upload(net, peer, MessageKind::TrainingData, data) {
+                Some(landed) => {
+                    self.uploaded[i].extend_from(&landed);
+                    self.pooled.extend_from(&landed);
+                }
+                None => {
+                    // Server unreachable or frame lost: the upload is
+                    // retried on the next incremental round.
                     self.pending[i].extend_from(data);
                 }
             }
@@ -276,7 +307,14 @@ impl P2PTagClassifier for Centralized {
                 (frame.len(), decoded)
             }
         };
-        let _ = net.send(server, peer, MessageKind::PredictionResponse, response_size);
+        // The response frame can be lost under an active fault plan, in which
+        // case the requester really has no scores (query-path sends run under
+        // `&self` and cannot route through the reliable link; the loss shows
+        // up in the network fault counters instead). Fault-free runs never
+        // take the error arm: the requester was checked online above and no
+        // simulated time passes mid-query.
+        net.send(server, peer, MessageKind::PredictionResponse, response_size)
+            .map_err(|_| ProtocolError::NoModelReachable)?;
         Ok(scores)
     }
 
@@ -309,6 +347,10 @@ impl P2PTagClassifier for Centralized {
                 MultiLabelDataset::new(),
             );
         }
+        if self.uploaded.len() < self.pending.len() {
+            self.uploaded
+                .resize(self.pending.len(), MultiLabelDataset::new());
+        }
         for (i, data) in new_data.iter().enumerate() {
             if !data.is_empty() {
                 self.pending[i].extend_from(data);
@@ -320,26 +362,26 @@ impl P2PTagClassifier for Centralized {
                 continue;
             }
             let peer = PeerId::from(i);
-            if peer != server {
+            let landed = if peer == server {
+                std::mem::take(&mut self.pending[i])
+            } else {
                 if !net.is_online(peer) {
                     continue;
                 }
                 // Only the outstanding document vectors travel, not the whole
                 // collection; failures stay queued for the next round.
-                let (upload_bytes, decoded) = self.encode_upload(&self.pending[i]);
-                if net
-                    .send(peer, server, MessageKind::TrainingData, upload_bytes)
-                    .is_err()
-                {
-                    continue;
-                }
-                if let Some(decoded) = decoded {
+                let batch = std::mem::take(&mut self.pending[i]);
+                match self.upload(net, peer, MessageKind::TrainingData, &batch) {
                     // The server pools what it decoded off the wire.
-                    self.pending[i] = decoded;
+                    Some(landed) => landed,
+                    None => {
+                        self.pending[i] = batch;
+                        continue;
+                    }
                 }
-            }
-            let batch = std::mem::take(&mut self.pending[i]);
-            self.pooled.extend_from(&batch);
+            };
+            self.uploaded[i].extend_from(&landed);
+            self.pooled.extend_from(&landed);
             changed = true;
         }
         if changed {
@@ -363,24 +405,104 @@ impl P2PTagClassifier for Centralized {
         let server = self.config.server;
         let mut received = example.clone();
         if peer != server {
-            let (bytes, decoded) = match self.config.wire.cost {
-                WireCost::Estimated => (example.wire_size(), None),
+            received = match self.config.wire.cost {
+                WireCost::Estimated => {
+                    self.link
+                        .send_sized(
+                            net,
+                            peer,
+                            server,
+                            MessageKind::RefinementUpdate,
+                            example.wire_size(),
+                        )
+                        .map_err(|_| ProtocolError::NoModelReachable)?;
+                    example.clone()
+                }
                 WireCost::Measured => {
                     let frame = wire::encode_example(example);
-                    let decoded = wire::decode_example(&frame)
-                        .expect("self-encoded refinement frame decodes");
-                    (frame.len(), Some(decoded))
+                    let delivered = self
+                        .link
+                        .send_frame(net, peer, server, MessageKind::RefinementUpdate, &frame)
+                        .map_err(|_| ProtocolError::NoModelReachable)?;
+                    // Strict decode: a frame damaged in transit is a lost
+                    // refinement, never a garbage example in the pool.
+                    wire::decode_example(&delivered).map_err(|_| ProtocolError::NoModelReachable)?
                 }
             };
-            net.send(peer, server, MessageKind::RefinementUpdate, bytes)
-                .map_err(|_| ProtocolError::NoModelReachable)?;
-            if let Some(decoded) = decoded {
-                received = decoded;
-            }
         }
+        let idx = peer.index();
+        if self.uploaded.len() <= idx {
+            self.uploaded.resize(idx + 1, MultiLabelDataset::new());
+        }
+        self.uploaded[idx].push(received.clone());
         self.pooled.push(received);
         self.retrain_warm();
         Ok(())
+    }
+
+    fn on_crash_restart(&mut self, _net: &mut P2PNetwork, peer: PeerId) {
+        // Only the server holds protocol state: a crash wipes the pooled
+        // dataset and the global model (the catastrophic single point of
+        // failure the paper warns about in §1). Contributors keep their
+        // durable `uploaded` ledgers, which is what `resync` rebuilds from.
+        if peer == self.config.server {
+            self.pooled = MultiLabelDataset::new();
+            self.model = None;
+            self.matrix = None;
+        }
+    }
+
+    fn resync(&mut self, net: &mut P2PNetwork, peer: PeerId) -> usize {
+        let server = self.config.server;
+        if !self.trained || peer != server || !self.pooled.is_empty() || !net.is_online(server) {
+            return 0;
+        }
+        // Anti-entropy after a server crash-restart: every contributor
+        // re-ships its previously acknowledged share from the durable
+        // ledger. Contributors that are offline (or whose re-upload is lost
+        // again) fall back to the pending queue and retry on the next
+        // incremental round.
+        let mut repaired = 0;
+        for i in 0..self.uploaded.len() {
+            if self.uploaded[i].is_empty() {
+                continue;
+            }
+            let contributor = PeerId::from(i);
+            let landed = if contributor == server {
+                // The server's own share never left the machine.
+                Some(self.uploaded[i].clone())
+            } else if net.is_online(contributor) {
+                let batch = self.uploaded[i].clone();
+                self.upload(net, contributor, MessageKind::AntiEntropy, &batch)
+            } else {
+                None
+            };
+            match landed {
+                Some(batch) => {
+                    self.pooled.extend_from(&batch);
+                    if contributor != server {
+                        self.link.note_resync();
+                        net.note_resync();
+                    }
+                    repaired += 1;
+                }
+                None => {
+                    let batch = std::mem::take(&mut self.uploaded[i]);
+                    if self.pending.len() <= i {
+                        self.pending.resize(i + 1, MultiLabelDataset::new());
+                    }
+                    self.pending[i].extend_from(&batch);
+                }
+            }
+        }
+        if repaired > 0 {
+            self.retrain();
+        }
+        repaired
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        *self.link.stats()
     }
 }
 

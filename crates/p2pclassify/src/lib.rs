@@ -35,6 +35,7 @@ pub mod error;
 pub mod local;
 pub mod pace;
 pub mod protocol;
+pub mod reliable;
 pub mod wire;
 
 /// Common re-exports.
@@ -45,7 +46,8 @@ pub mod prelude {
     pub use crate::local::{LocalOnly, LocalOnlyConfig};
     pub use crate::pace::{Pace, PaceConfig};
     pub use crate::protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
-    pub use crate::wire::{WireConfig, WireCost};
+    pub use crate::reliable::{LinkStats, ReliableLink};
+    pub use crate::wire::{ReliabilityConfig, WireConfig, WireCost};
 }
 
 pub use cempar::{Cempar, CemparConfig};
@@ -54,4 +56,5 @@ pub use error::ProtocolError;
 pub use local::{LocalOnly, LocalOnlyConfig};
 pub use pace::{Pace, PaceConfig};
 pub use protocol::{P2PTagClassifier, PeerDataMap, ScoringBackend, TrainingBackend};
-pub use wire::{WireConfig, WireCost};
+pub use reliable::{LinkStats, ReliableLink};
+pub use wire::{ReliabilityConfig, WireConfig, WireCost};

@@ -266,6 +266,16 @@ impl P2PTagClassifier for LocalOnly {
         self.train_peer(peer);
         Ok(())
     }
+
+    fn on_crash_restart(&mut self, _net: &mut P2PNetwork, peer: PeerId) {
+        // A crash wipes the in-memory model; the manually tagged documents
+        // are on disk, so the peer refits from its own local data — the one
+        // recovery that needs no network at all.
+        let idx = peer.index();
+        if self.trained && idx < self.local_data.len() {
+            self.models[idx] = self.trained_model(&self.local_data[idx]);
+        }
+    }
 }
 
 #[cfg(test)]

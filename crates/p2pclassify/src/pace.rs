@@ -24,6 +24,7 @@ use crate::protocol::{
     combine_confidence_votes, ConfidenceVoteAccumulator, P2PTagClassifier, PeerDataMap,
     ScoringBackend, TrainingBackend,
 };
+use crate::reliable::{LinkStats, ReliableLink, SendOutcome};
 use crate::wire::{self, WireConfig, WireCost};
 use ml::batch::TagWeightMatrix;
 use ml::kmeans::{KMeans, KMeansConfig};
@@ -239,6 +240,13 @@ pub struct Pace {
     /// Peers whose local data grew while they were offline (or whose refit
     /// was otherwise skipped): retried on the next incremental round.
     dirty: PeerBitset,
+    /// Per-source model version, bumped on every (re-)propagation — the
+    /// currency of the anti-entropy digests.
+    versions: Vec<u64>,
+    /// The send path: passthrough by default, ack/retransmit when
+    /// [`WireConfig::reliability`] is set. Also the ledger of every send
+    /// outcome (losses, retransmits, re-syncs).
+    link: ReliableLink,
     trained: bool,
 }
 
@@ -246,6 +254,7 @@ impl Pace {
     /// Creates an untrained PACE instance.
     pub fn new(config: PaceConfig) -> Self {
         let index = LshIndex::new(config.lsh.clone());
+        let link = ReliableLink::new(config.wire.reliability);
         Self {
             config,
             models: Vec::new(),
@@ -253,6 +262,8 @@ impl Pace {
             received: Vec::new(),
             local_data: Vec::new(),
             dirty: PeerBitset::default(),
+            versions: Vec::new(),
+            link,
             trained: false,
         }
     }
@@ -371,8 +382,9 @@ impl Pace {
     /// and the in-memory model is installed untouched.
     fn propagate(&mut self, net: &mut P2PNetwork, pace_model: PaceModel, kind: MessageKind) {
         let source = pace_model.source;
-        let (model_bytes, centroid_bytes, pace_model) = match self.config.wire.cost {
+        let (frames, model_bytes, centroid_bytes, pace_model) = match self.config.wire.cost {
             WireCost::Estimated => (
+                None,
                 pace_model.wire_size(),
                 pace_model.centroid_wire_size(),
                 pace_model,
@@ -392,29 +404,73 @@ impl Pace {
                 let centroids = wire::decode_centroids(&centroid_frame)
                     .expect("self-encoded centroid frame decodes");
                 let decoded = PaceModel::assemble(source, model, centroids, accuracy);
-                (model_frame.len(), centroid_frame.len(), decoded)
+                let (model_len, centroid_len) = (model_frame.len(), centroid_frame.len());
+                (
+                    Some((model_frame, centroid_frame)),
+                    model_len,
+                    centroid_len,
+                    decoded,
+                )
             }
         };
         let n = net.num_peers();
         if self.received.len() < n {
             self.received.resize_with(n, || PeerBitset::new(n));
         }
+        if self.versions.len() < n {
+            self.versions.resize(n, 0);
+        }
+        self.versions[source.index()] += 1;
         // A peer always "has" its own model.
         self.received[source.index()].insert(source);
         // Index walk: no target list is materialized for the O(peers)
         // broadcast, so the only per-propagation allocations are the wire
-        // frames encoded once above.
+        // frames encoded once above. Every send routes through the link, so
+        // no outcome is silently discarded.
         for i in 0..n {
             let to = PeerId::from(i);
             if to == source {
                 continue;
             }
-            let model_ok = net.send(source, to, kind, model_bytes).is_ok();
-            let centroid_ok = net
-                .send(source, to, MessageKind::CentroidPropagation, centroid_bytes)
-                .is_ok();
-            if model_ok && centroid_ok {
-                self.received[to.index()].insert(source);
+            let (model_out, centroid_out) = match &frames {
+                Some((model_frame, centroid_frame)) => (
+                    self.link
+                        .deliver_frame(net, source, to, kind, model_frame, |b| {
+                            wire::decode_pace_model(b).is_ok()
+                        }),
+                    self.link.deliver_frame(
+                        net,
+                        source,
+                        to,
+                        MessageKind::CentroidPropagation,
+                        centroid_frame,
+                        |b| wire::decode_centroids(b).is_ok(),
+                    ),
+                ),
+                None => (
+                    self.link.deliver_sized(net, source, to, kind, model_bytes),
+                    self.link.deliver_sized(
+                        net,
+                        source,
+                        to,
+                        MessageKind::CentroidPropagation,
+                        centroid_bytes,
+                    ),
+                ),
+            };
+            match (model_out, centroid_out) {
+                (SendOutcome::Arrived, SendOutcome::Arrived) => {
+                    self.received[to.index()].insert(source);
+                }
+                // A fault drop means the receiver provably missed *this*
+                // version while its old slab entry is gone: clear the bit so
+                // anti-entropy can repair the gap. Offline failures keep the
+                // pre-fault semantics (bit untouched), so fault-free runs
+                // behave bit-identically to the pre-reliability send path.
+                (SendOutcome::FaultLost, _) | (_, SendOutcome::FaultLost) => {
+                    self.received[to.index()].remove(source);
+                }
+                _ => {}
             }
         }
         // Replacing a peer's model: its old centroids must leave the index,
@@ -576,6 +632,7 @@ impl P2PTagClassifier for Pace {
         self.index = LshIndex::new(self.config.lsh.clone());
         self.received = (0..n).map(|_| PeerBitset::new(n)).collect();
         self.dirty = PeerBitset::new(n);
+        self.versions = vec![0; n];
         self.local_data = peer_data.clone();
         self.local_data
             .resize(net.num_peers(), MultiLabelDataset::new());
@@ -736,6 +793,135 @@ impl P2PTagClassifier for Pace {
             self.propagate(net, model, MessageKind::RefinementUpdate);
         }
         Ok(())
+    }
+
+    fn on_crash_restart(&mut self, _net: &mut P2PNetwork, peer: PeerId) {
+        // A restart wipes what the peer had fetched over the wire: its row of
+        // the delivery matrix empties, so every remote model must be repaired
+        // by anti-entropy. Its durable local data survives, and with it its
+        // own model (re-derivable locally without touching the network).
+        let has_own = self.model_of(peer).is_some();
+        if let Some(row) = self.received.get_mut(peer.index()) {
+            row.clear();
+            if has_own {
+                row.insert(peer);
+            }
+        }
+    }
+
+    fn resync(&mut self, net: &mut P2PNetwork, peer: PeerId) -> usize {
+        if !self.trained || !net.is_online(peer) || peer.index() >= self.received.len() {
+            return 0;
+        }
+        // Deterministic anti-entropy partner: the lowest-indexed online peer
+        // (other than the rejoiner) that holds any models.
+        let partner = (0..net.num_peers()).map(PeerId::from).find(|&p| {
+            p != peer
+                && net.is_online(p)
+                && self
+                    .received
+                    .get(p.index())
+                    .is_some_and(|row| !row.is_empty())
+        });
+        let Some(partner) = partner else { return 0 };
+        // The rejoining peer advertises its holdings as a (source, version)
+        // digest; the partner replies with the models the peer lacks.
+        let digest: Vec<(u64, u64)> = self.received[peer.index()]
+            .ones()
+            .map(|s| (s.0, self.versions.get(s.index()).copied().unwrap_or(0)))
+            .collect();
+        let digest_frame = wire::encode_digest(&digest);
+        let digest_out = match self.config.wire.cost {
+            WireCost::Measured => self.link.deliver_frame(
+                net,
+                peer,
+                partner,
+                MessageKind::AntiEntropy,
+                &digest_frame,
+                |b| wire::decode_digest(b).is_ok(),
+            ),
+            WireCost::Estimated => self.link.deliver_sized(
+                net,
+                peer,
+                partner,
+                MessageKind::AntiEntropy,
+                digest_frame.len(),
+            ),
+        };
+        if digest_out != SendOutcome::Arrived {
+            return 0;
+        }
+        let missing: Vec<PeerId> = self.received[partner.index()]
+            .ones()
+            .filter(|&s| !self.received[peer.index()].contains(s))
+            .collect();
+        let mut repaired = 0;
+        for source in missing {
+            // Encode the partner's copy before touching the link (the model
+            // borrow must end before the mutable send).
+            let payload = self.model_of(source).map(|m| match self.config.wire.cost {
+                WireCost::Measured => {
+                    let model_frame = wire::encode_pace_model(
+                        &m.warm_model(),
+                        m.accuracy,
+                        self.config.wire.precision,
+                    );
+                    let centroid_frame = wire::encode_centroids(&m.centroids);
+                    (Some((model_frame, centroid_frame)), 0, 0)
+                }
+                WireCost::Estimated => (None, m.wire_size(), m.centroid_wire_size()),
+            });
+            let Some((frames, model_bytes, centroid_bytes)) = payload else {
+                continue;
+            };
+            let (model_out, centroid_out) = match &frames {
+                Some((model_frame, centroid_frame)) => (
+                    self.link.deliver_frame(
+                        net,
+                        partner,
+                        peer,
+                        MessageKind::AntiEntropy,
+                        model_frame,
+                        |b| wire::decode_pace_model(b).is_ok(),
+                    ),
+                    self.link.deliver_frame(
+                        net,
+                        partner,
+                        peer,
+                        MessageKind::AntiEntropy,
+                        centroid_frame,
+                        |b| wire::decode_centroids(b).is_ok(),
+                    ),
+                ),
+                None => (
+                    self.link.deliver_sized(
+                        net,
+                        partner,
+                        peer,
+                        MessageKind::AntiEntropy,
+                        model_bytes,
+                    ),
+                    self.link.deliver_sized(
+                        net,
+                        partner,
+                        peer,
+                        MessageKind::AntiEntropy,
+                        centroid_bytes,
+                    ),
+                ),
+            };
+            if model_out == SendOutcome::Arrived && centroid_out == SendOutcome::Arrived {
+                self.received[peer.index()].insert(source);
+                self.link.note_resync();
+                net.note_resync();
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        *self.link.stats()
     }
 }
 

@@ -1,6 +1,7 @@
 //! The common interface of all P2P tagging classifiers.
 
 use crate::error::ProtocolError;
+use crate::reliable::LinkStats;
 use ml::multilabel::TagPrediction;
 use ml::{MultiLabelDataset, MultiLabelExample, TagId};
 use p2psim::{P2PNetwork, PeerId};
@@ -138,6 +139,28 @@ pub trait P2PTagClassifier {
         peer: PeerId,
         example: &MultiLabelExample,
     ) -> Result<(), ProtocolError>;
+
+    /// Wipes the in-memory protocol state a crash-restarted `peer` would lose
+    /// (received remote models, pooled uploads, pending buffers). Its durable
+    /// local training data survives — a restart is not amnesia about what the
+    /// user tagged, only about what the protocol had fetched over the wire.
+    /// The default is a no-op for protocols that keep no remote state.
+    fn on_crash_restart(&mut self, _net: &mut P2PNetwork, _peer: PeerId) {}
+
+    /// Anti-entropy repair after a crash restart or partition heal: `peer`
+    /// exchanges digests with a partner and re-fetches whatever it is missing
+    /// or holds stale. Returns the number of payloads re-shipped, all charged
+    /// through the network as [`p2psim::message::MessageKind::AntiEntropy`]
+    /// traffic. The default no-op suits protocols with no remote state.
+    fn resync(&mut self, _net: &mut P2PNetwork, _peer: PeerId) -> usize {
+        0
+    }
+
+    /// The protocol's send-path counters: losses, retransmits, recoveries,
+    /// re-syncs. Protocols that never send (local-only) report all zeros.
+    fn link_stats(&self) -> LinkStats {
+        LinkStats::default()
+    }
 }
 
 /// The `min_tags` fallback shared by [`select_tags`] and

@@ -52,6 +52,13 @@ pub enum PayloadKind {
     Query = 6,
     /// A scored tag list sent back to a requester.
     Scores = 7,
+    /// A sequence-numbered, checksummed wrapper around another frame
+    /// (reliability layer).
+    Reliable = 8,
+    /// An acknowledgement of a [`PayloadKind::Reliable`] frame.
+    Ack = 9,
+    /// An anti-entropy digest: the `(source, version)` pairs a peer holds.
+    Digest = 10,
 }
 
 impl PayloadKind {
@@ -64,6 +71,9 @@ impl PayloadKind {
             5 => PayloadKind::Refinement,
             6 => PayloadKind::Query,
             7 => PayloadKind::Scores,
+            8 => PayloadKind::Reliable,
+            9 => PayloadKind::Ack,
+            10 => PayloadKind::Digest,
             _ => return None,
         })
     }
@@ -89,6 +99,8 @@ pub enum WireError {
     },
     /// Bytes were left over after the payload was fully decoded.
     TrailingBytes,
+    /// A reliable frame's body failed its FNV-1a checksum (bit corruption).
+    ChecksumMismatch,
 }
 
 impl From<CodecError> for WireError {
@@ -108,6 +120,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "expected {expected:?} frame, got {got:?}")
             }
             WireError::TrailingBytes => f.write_str("trailing bytes after payload"),
+            WireError::ChecksumMismatch => f.write_str("reliable frame checksum mismatch"),
         }
     }
 }
@@ -145,6 +158,13 @@ pub struct WireConfig {
     /// Maximum mean per-tag training-accuracy drop a pruned model may incur
     /// before propagation falls back to the unpruned model.
     pub prune_guard: f64,
+    /// When set, model propagation runs through the reliable-delivery layer
+    /// ([`crate::reliable::ReliableLink`]): sequence-numbered checksummed
+    /// frames, ack/timeout retransmission with exponential backoff, every
+    /// attempt charged in measured wire bytes. `None` (the default) keeps the
+    /// exact pre-reliability send behaviour — no wrapper bytes, no acks — so
+    /// fault-free runs stay bit-identical.
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl Default for WireConfig {
@@ -154,6 +174,30 @@ impl Default for WireConfig {
             precision: WeightPrecision::F64,
             prune_top_k: None,
             prune_guard: 0.02,
+            reliability: None,
+        }
+    }
+}
+
+/// Retry policy of the reliable-delivery layer.
+///
+/// Retransmits are charged in **measured wire bytes**: every attempt re-sends
+/// the full wrapped frame and every ack is a real (lossy) reverse message, so
+/// the E3 communication tables reflect the true cost of reliability under
+/// loss. Backoff is accounted as virtual latency, never wall-clock sleeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Total send attempts (first try + retransmits) before giving up.
+    pub max_attempts: u32,
+    /// Base retransmit timeout; attempt `n` backs off to `base * 2^n`.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_ms: 250,
         }
     }
 }
@@ -320,6 +364,114 @@ pub fn decode_scores(bytes: &[u8]) -> Result<Vec<TagPrediction>, WireError> {
     finish(r, scores)
 }
 
+/// FNV-1a 64-bit hash — the reliable wrapper's corruption check. Strict
+/// decoding alone cannot catch bit flips inside float bodies (most 8-byte
+/// patterns are valid `f64`s), so the wrapper carries an explicit checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The checksum covers the sequence number too: a frame whose seq was
+/// corrupted in flight must be dropped, not acked under the wrong number.
+fn reliable_checksum(seq: u64, inner: &[u8]) -> u64 {
+    fnv1a64_update(fnv1a64(&seq.to_le_bytes()), inner)
+}
+
+/// Wraps an inner frame in a sequence-numbered, checksummed reliable frame.
+pub fn encode_reliable(seq: u64, inner: &[u8]) -> Vec<u8> {
+    let mut buf = frame(PayloadKind::Reliable);
+    codec::put_varint(&mut buf, seq);
+    buf.extend_from_slice(&reliable_checksum(seq, inner).to_le_bytes());
+    codec::put_varint(&mut buf, inner.len() as u64);
+    buf.extend_from_slice(inner);
+    buf
+}
+
+/// Unwraps a reliable frame to `(seq, inner frame bytes)`.
+///
+/// Fails with [`WireError::ChecksumMismatch`] when the body does not hash to
+/// the carried checksum — the receiver must treat the frame as never
+/// delivered (drop, no ack) rather than decode garbage.
+pub fn decode_reliable(bytes: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
+    let mut r = open(bytes, PayloadKind::Reliable)?;
+    let seq = r.read_varint()?;
+    let checksum = u64::from_le_bytes(
+        r.read_bytes(8)
+            .map_err(WireError::from)?
+            .try_into()
+            .expect("read_bytes(8) returns 8 bytes"),
+    );
+    let len = r.read_varint()? as usize;
+    if len != r.remaining() {
+        // Also rejects absurd length prefixes: len can never exceed the
+        // remaining physical bytes, so no allocation is sized by the prefix
+        // beyond what was actually received.
+        return Err(WireError::Codec(CodecError::Invalid(
+            "reliable body length mismatch",
+        )));
+    }
+    let inner = r.read_bytes(len).map_err(WireError::from)?.to_vec();
+    if reliable_checksum(seq, &inner) != checksum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    finish(r, (seq, inner))
+}
+
+/// Encodes an acknowledgement of reliable frame `seq`.
+pub fn encode_ack(seq: u64) -> Vec<u8> {
+    let mut buf = frame(PayloadKind::Ack);
+    codec::put_varint(&mut buf, seq);
+    buf
+}
+
+/// Decodes an acknowledgement frame to its sequence number.
+pub fn decode_ack(bytes: &[u8]) -> Result<u64, WireError> {
+    let mut r = open(bytes, PayloadKind::Ack)?;
+    let seq = r.read_varint()?;
+    finish(r, seq)
+}
+
+/// Encodes an anti-entropy digest: the `(source, version)` pairs of the
+/// models a peer currently holds. Exchanged after a crash restart or
+/// partition heal so only stale entries are re-shipped.
+pub fn encode_digest(entries: &[(u64, u64)]) -> Vec<u8> {
+    let mut buf = frame(PayloadKind::Digest);
+    codec::put_varint(&mut buf, entries.len() as u64);
+    for &(source, version) in entries {
+        codec::put_varint(&mut buf, source);
+        codec::put_varint(&mut buf, version);
+    }
+    buf
+}
+
+/// Decodes an anti-entropy digest frame.
+pub fn decode_digest(bytes: &[u8]) -> Result<Vec<(u64, u64)>, WireError> {
+    let mut r = open(bytes, PayloadKind::Digest)?;
+    let n = r.read_varint()? as usize;
+    // Each entry is at least two 1-byte varints: a count that couldn't fit in
+    // the remaining bytes is corrupt, and must not size an allocation.
+    if n > r.remaining() / 2 + 1 {
+        return Err(WireError::Codec(CodecError::Invalid(
+            "digest count exceeds frame",
+        )));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let source = r.read_varint()?;
+        let version = r.read_varint()?;
+        entries.push((source, version));
+    }
+    finish(r, entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,8 +578,46 @@ mod tests {
         let cfg = WireConfig::default();
         assert_eq!(cfg.cost, WireCost::Measured);
         assert!(cfg.is_lossless());
+        assert!(cfg.reliability.is_none());
         assert!(!WireConfig::measured(WeightPrecision::Q8, None).is_lossless());
         assert!(!WireConfig::measured(WeightPrecision::F64, Some(8)).is_lossless());
         assert_eq!(WireConfig::estimated().cost, WireCost::Estimated);
+    }
+
+    #[test]
+    fn reliable_wrapper_roundtrips_and_catches_corruption() {
+        let q = SparseVector::from_pairs([(3, 0.25), (8, -1.5)]);
+        let inner = encode_query(&q);
+        let wrapped = encode_reliable(42, &inner);
+        let (seq, body) = decode_reliable(&wrapped).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(body, inner);
+        assert_eq!(decode_query(&body).unwrap(), q);
+
+        // Flip one bit anywhere in the body: the checksum must catch it even
+        // when the flipped byte still decodes structurally (float payloads).
+        for byte in 0..wrapped.len() {
+            for bit in 0..8 {
+                let mut corrupt = wrapped.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(decode_reliable(&corrupt).is_err(), "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn ack_and_digest_frames_roundtrip() {
+        assert_eq!(decode_ack(&encode_ack(0)).unwrap(), 0);
+        assert_eq!(decode_ack(&encode_ack(u64::MAX)).unwrap(), u64::MAX);
+        let entries = vec![(0, 3), (17, 1), (u64::MAX, 0)];
+        assert_eq!(decode_digest(&encode_digest(&entries)).unwrap(), entries);
+        assert_eq!(decode_digest(&encode_digest(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn digest_count_cannot_size_an_absurd_allocation() {
+        let mut buf = vec![MAGIC, VERSION, PayloadKind::Digest as u8];
+        codec::put_varint(&mut buf, u64::MAX); // claims ~1.8e19 entries
+        assert!(decode_digest(&buf).is_err());
     }
 }

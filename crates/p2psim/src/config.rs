@@ -5,6 +5,7 @@
 //! P2P overlay network, … frequency and timings of evaluations" (§2).
 
 use crate::churn::ChurnModel;
+use crate::faults::FaultPlan;
 use crate::overlay::UnstructuredOverlay;
 use crate::overlay::{AnyOverlay, ChordOverlay};
 use crate::physical::PhysicalConfig;
@@ -41,6 +42,9 @@ pub struct SimConfig {
     pub horizon_secs: u64,
     /// Master RNG seed.
     pub seed: u64,
+    /// Fault-injection scenario. The default plan is fully disabled and
+    /// RNG-neutral: it changes nothing about a run.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -53,6 +57,7 @@ impl Default for SimConfig {
             churn: ChurnModel::None,
             horizon_secs: 3_600,
             seed: 2010,
+            faults: FaultPlan::default(),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod churn;
 pub mod config;
 pub mod datadist;
 pub mod engine;
+pub mod faults;
 pub mod logging;
 pub mod message;
 pub mod network;
@@ -51,9 +52,13 @@ pub mod prelude {
     pub use crate::config::{OverlayKind, SimConfig};
     pub use crate::datadist::{ClassDistribution, DataDistributor, SizeDistribution};
     pub use crate::engine::{Application, Context, Engine};
+    pub use crate::faults::{
+        BurstLoss, CorruptionFaults, CrashSchedule, FaultPlan, FaultState, LatencyFaults,
+        PartitionScope, PartitionWindow,
+    };
     pub use crate::logging::{ActivityLog, LogEntry};
     pub use crate::message::{Envelope, MessageKind};
-    pub use crate::network::{DeliveryError, P2PNetwork};
+    pub use crate::network::{DeliveryError, FrameDelivery, P2PNetwork};
     pub use crate::overlay::{ChordOverlay, Overlay, SuperPeerDirectory, UnstructuredOverlay};
     pub use crate::peer::PeerId;
     pub use crate::physical::PhysicalNetwork;
@@ -63,6 +68,7 @@ pub mod prelude {
 
 pub use bitset::PeerBitset;
 pub use config::{OverlayKind, SimConfig};
+pub use faults::{FaultPlan, FaultState, PartitionScope, PartitionWindow};
 pub use network::P2PNetwork;
 pub use peer::PeerId;
 pub use stats::SimStats;

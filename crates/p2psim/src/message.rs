@@ -26,6 +26,11 @@ pub enum MessageKind {
     PredictionResponse,
     /// Tag-refinement updates propagated after user corrections.
     RefinementUpdate,
+    /// Reliability-layer acknowledgements for sequence-numbered sends.
+    Ack,
+    /// Anti-entropy digests and re-sync payloads exchanged after a crash
+    /// restart or partition heal.
+    AntiEntropy,
     /// Anything else (tests, custom applications).
     Other,
 }
@@ -42,6 +47,8 @@ impl MessageKind {
             MessageKind::PredictionQuery => "prediction-query",
             MessageKind::PredictionResponse => "prediction-response",
             MessageKind::RefinementUpdate => "refinement-update",
+            MessageKind::Ack => "ack",
+            MessageKind::AntiEntropy => "anti-entropy",
             MessageKind::Other => "other",
         }
     }
@@ -57,6 +64,8 @@ impl MessageKind {
             MessageKind::PredictionQuery,
             MessageKind::PredictionResponse,
             MessageKind::RefinementUpdate,
+            MessageKind::Ack,
+            MessageKind::AntiEntropy,
             MessageKind::Other,
         ]
     }

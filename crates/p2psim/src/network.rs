@@ -12,6 +12,7 @@
 use crate::bitset::{Ones, PeerBitset};
 use crate::churn::ChurnTimeline;
 use crate::config::SimConfig;
+use crate::faults::{FaultDrop, FaultState, PartitionWindow, SendFault};
 use crate::logging::ActivityLog;
 use crate::message::MessageKind;
 use crate::overlay::{AnyOverlay, Overlay, SuperPeerDirectory};
@@ -32,6 +33,11 @@ pub enum DeliveryError {
     ReceiverOffline,
     /// The overlay could not route the key (failed flooding search, empty ring).
     NoRoute,
+    /// The fault layer dropped the message (random or burst loss).
+    Lost,
+    /// The fault layer dropped the message: an active partition window
+    /// severs the sender from the receiver.
+    Partitioned,
 }
 
 impl std::fmt::Display for DeliveryError {
@@ -40,6 +46,8 @@ impl std::fmt::Display for DeliveryError {
             DeliveryError::SenderOffline => "sender offline",
             DeliveryError::ReceiverOffline => "receiver offline",
             DeliveryError::NoRoute => "no route to key owner",
+            DeliveryError::Lost => "message lost in transit",
+            DeliveryError::Partitioned => "network partition between peers",
         };
         f.write_str(s)
     }
@@ -49,6 +57,17 @@ impl std::error::Error for DeliveryError {}
 
 /// Size in bytes charged for one DHT routing hop (header-sized control message).
 const LOOKUP_HOP_BYTES: usize = 64;
+
+/// Outcome of a successful byte-frame send ([`P2PNetwork::send_frame`]).
+#[derive(Debug, Clone)]
+pub struct FrameDelivery {
+    /// One-way delivery latency (including any fault-injected spike/jitter).
+    pub latency: SimTime,
+    /// `Some(bytes)` when the fault layer damaged the frame in transit —
+    /// these are the bytes the receiver sees. `None` means the frame arrived
+    /// intact (the clean path copies nothing).
+    pub corrupted: Option<Vec<u8>>,
+}
 
 /// The round-based simulated P2P network.
 pub struct P2PNetwork {
@@ -65,6 +84,14 @@ pub struct P2PNetwork {
     log: ActivityLog,
     now: SimTime,
     rng: StdRng,
+    /// Executes the configured fault plan from its own seeded RNG stream
+    /// (RNG-neutral when the plan is disabled).
+    faults: FaultState,
+    /// Peers crashed since the last [`Self::drain_crash_restarts`] call.
+    crashed: Vec<PeerId>,
+    /// Partition windows healed since the last
+    /// [`Self::drain_healed_partitions`] call.
+    healed: Vec<PartitionWindow>,
 }
 
 impl P2PNetwork {
@@ -81,6 +108,7 @@ impl P2PNetwork {
             config.seed,
         );
         let rng = StdRng::seed_from_u64(config.seed ^ 0xFEED_FACE);
+        let faults = FaultState::new(config.faults.clone(), config.seed);
         let num_peers = config.num_peers;
         let mut net = Self {
             config,
@@ -92,6 +120,9 @@ impl P2PNetwork {
             log: ActivityLog::default(),
             now: SimTime::ZERO,
             rng,
+            faults,
+            crashed: Vec::new(),
+            healed: Vec::new(),
         };
         net.sync_overlay_membership();
         net
@@ -117,10 +148,56 @@ impl P2PNetwork {
         self.now
     }
 
-    /// Advances simulated time and updates overlay membership to reflect churn.
+    /// Advances simulated time and updates overlay membership to reflect
+    /// churn. Crash-restart events and partition heals scheduled inside the
+    /// window are executed here and buffered for
+    /// [`Self::drain_crash_restarts`] / [`Self::drain_healed_partitions`].
     pub fn advance(&mut self, dt: SimTime) {
-        self.now += dt;
+        let from = self.now;
+        let to = self.now + dt;
+        let mut crashed = Vec::new();
+        self.faults
+            .crashes_between(from, to, self.config.num_peers, &mut crashed);
+        self.healed.extend(self.faults.healed_between(from, to));
+        self.now = to;
         self.sync_overlay_membership();
+        for p in crashed {
+            // A crash of a peer that churn already has offline is a no-op:
+            // there is no in-memory state to lose.
+            if self.online.contains(p) {
+                self.stats.faults.crashes += 1;
+                self.log.log(to, Some(p), "crash", "peer crash-restarted");
+                self.crashed.push(p);
+            }
+        }
+    }
+
+    /// Peers that crash-restarted since the last call, in event order. A
+    /// crashed peer stays online but loses its in-memory protocol state —
+    /// the protocol layer is expected to wipe and recover it.
+    pub fn drain_crash_restarts(&mut self) -> Vec<PeerId> {
+        std::mem::take(&mut self.crashed)
+    }
+
+    /// Partition windows whose heal time passed since the last call. The
+    /// protocol layer can run anti-entropy for the peers that were cut off.
+    pub fn drain_healed_partitions(&mut self) -> Vec<PartitionWindow> {
+        std::mem::take(&mut self.healed)
+    }
+
+    /// Records a reliability-layer retransmission attempt (for stats).
+    pub fn note_retransmit(&mut self) {
+        self.stats.faults.retransmits += 1;
+    }
+
+    /// Records a reliable send that succeeded after at least one failure.
+    pub fn note_recovered(&mut self) {
+        self.stats.faults.recovered += 1;
+    }
+
+    /// Records a completed anti-entropy resync exchange.
+    pub fn note_resync(&mut self) {
+        self.stats.faults.resyncs += 1;
     }
 
     /// Deterministic RNG tied to this network's seed.
@@ -189,6 +266,50 @@ impl P2PNetwork {
         kind: MessageKind,
         size_bytes: usize,
     ) -> Result<SimTime, DeliveryError> {
+        let extra = self.admit(from, to, kind, size_bytes)?;
+        let latency = self.physical.delivery_delay(from, to, size_bytes) + extra;
+        self.stats
+            .record_delivery(from, to, kind, size_bytes, latency);
+        Ok(latency)
+    }
+
+    /// Sends an encoded byte frame from `from` to `to`, charging its exact
+    /// length. Unlike [`Self::send`] (which moves only a size), the fault
+    /// layer can damage the frame in transit: the returned
+    /// [`FrameDelivery::corrupted`] carries the bytes the receiver actually
+    /// sees (`None` = intact, and nothing was copied). Frame bytes are
+    /// charged in full even when the delivered frame was truncated — the
+    /// sender paid to put them on the wire.
+    pub fn send_frame(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: MessageKind,
+        frame: &[u8],
+    ) -> Result<FrameDelivery, DeliveryError> {
+        let extra = self.admit(from, to, kind, frame.len())?;
+        let latency = self.physical.delivery_delay(from, to, frame.len()) + extra;
+        self.stats
+            .record_delivery(from, to, kind, frame.len(), latency);
+        let corrupted = self.faults.corrupt_frame(frame).map(|(bytes, _)| {
+            self.stats.faults.corrupted += 1;
+            bytes
+        });
+        Ok(FrameDelivery { latency, corrupted })
+    }
+
+    /// Shared admission path of [`Self::send`] / [`Self::send_frame`]:
+    /// online checks, then the fault layer's verdict. Fault drops are
+    /// charged like churn drops (the bytes were put on the wire) and
+    /// counted in [`crate::stats::FaultStats`]. Returns the extra
+    /// fault-injected latency to add to the physical delay.
+    fn admit(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: MessageKind,
+        size_bytes: usize,
+    ) -> Result<SimTime, DeliveryError> {
         if !self.is_online(from) {
             return Err(DeliveryError::SenderOffline);
         }
@@ -196,10 +317,34 @@ impl P2PNetwork {
             self.stats.record_drop(from, kind, size_bytes);
             return Err(DeliveryError::ReceiverOffline);
         }
-        let latency = self.physical.delivery_delay(from, to, size_bytes);
-        self.stats
-            .record_delivery(from, to, kind, size_bytes, latency);
-        Ok(latency)
+        match self.faults.on_send(self.now, from, to) {
+            SendFault::Deliver {
+                extra_latency,
+                spiked,
+            } => {
+                if spiked {
+                    self.stats.faults.latency_spikes += 1;
+                }
+                Ok(extra_latency)
+            }
+            SendFault::Drop(drop) => {
+                self.stats.record_drop(from, kind, size_bytes);
+                match drop {
+                    FaultDrop::Loss { burst: true } => {
+                        self.stats.faults.burst_lost += 1;
+                        Err(DeliveryError::Lost)
+                    }
+                    FaultDrop::Loss { burst: false } => {
+                        self.stats.faults.lost += 1;
+                        Err(DeliveryError::Lost)
+                    }
+                    FaultDrop::Partitioned => {
+                        self.stats.faults.partition_drops += 1;
+                        Err(DeliveryError::Partitioned)
+                    }
+                }
+            }
+        }
     }
 
     /// Routes `key` through the overlay starting at `from`, charging one small

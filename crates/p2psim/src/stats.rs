@@ -45,6 +45,50 @@ impl KindStats {
     }
 }
 
+/// Counters for the fault-injection layer and the reliability machinery
+/// built on top of it. All zero when no [`crate::faults::FaultPlan`] is
+/// active and no reliable sends retransmit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages dropped by random (non-burst) loss.
+    pub lost: u64,
+    /// Messages dropped while the burst channel was in its bad state.
+    pub burst_lost: u64,
+    /// Messages dropped by an active partition window.
+    pub partition_drops: u64,
+    /// Byte frames damaged in transit (bit flips or truncation).
+    pub corrupted: u64,
+    /// Deliveries delayed by a latency spike.
+    pub latency_spikes: u64,
+    /// Crash-restart events executed.
+    pub crashes: u64,
+    /// Reliable-send retransmission attempts (beyond each first attempt).
+    pub retransmits: u64,
+    /// Reliable sends that succeeded after at least one failed attempt.
+    pub recovered: u64,
+    /// Anti-entropy resync exchanges completed.
+    pub resyncs: u64,
+}
+
+impl FaultStats {
+    /// Total messages the fault layer removed from the network.
+    pub fn total_fault_drops(&self) -> u64 {
+        self.lost + self.burst_lost + self.partition_drops
+    }
+
+    fn merge(&mut self, other: &FaultStats) {
+        self.lost += other.lost;
+        self.burst_lost += other.burst_lost;
+        self.partition_drops += other.partition_drops;
+        self.corrupted += other.corrupted;
+        self.latency_spikes += other.latency_spikes;
+        self.crashes += other.crashes;
+        self.retransmits += other.retransmits;
+        self.recovered += other.recovered;
+        self.resyncs += other.resyncs;
+    }
+}
+
 /// Aggregated statistics of one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimStats {
@@ -60,6 +104,8 @@ pub struct SimStats {
     lookups: u64,
     latency_sum: SimTime,
     delivered: u64,
+    /// Fault-injection and recovery counters.
+    pub faults: FaultStats,
 }
 
 #[inline]
@@ -260,6 +306,7 @@ impl SimStats {
         self.lookups += other.lookups;
         self.latency_sum += other.latency_sum;
         self.delivered += other.delivered;
+        self.faults.merge(&other.faults);
     }
 }
 

@@ -191,6 +191,164 @@ fn churned_2k_peer_run_never_resurrects_payloads() {
     assert_no_stale_payloads(&trace, &sent);
 }
 
+/// Folds bytes into a running FNV-1a fingerprint. The chaos replay test
+/// hashes every observable send outcome instead of storing ~50k trace rows.
+fn fnv_fold(fp: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *fp ^= u64::from(b);
+        *fp = fp.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// One fault-injected 2k-peer run over the round-based facade: churn, 15%
+/// loss + Gilbert–Elliott bursts, latency spikes/jitter, frame corruption,
+/// a mid-run ring partition and crash-restart events — every fault axis at
+/// once. Returns a fingerprint of every observable outcome (send results,
+/// latencies, corrupted frame bytes, crash/heal drains) plus the full stats
+/// debug dump.
+fn run_chaos_once(seed: u64) -> (u64, String) {
+    use p2psim::faults::{FaultPlan, PartitionScope, PartitionWindow};
+    use p2psim::network::P2PNetwork;
+    use p2psim::SimConfig;
+
+    let num_peers = PEERS;
+    let config = SimConfig {
+        num_peers,
+        churn: ChurnModel::Exponential {
+            mean_session_secs: 600.0,
+            mean_offline_secs: 120.0,
+        },
+        horizon_secs: 3_600,
+        seed,
+        faults: FaultPlan::chaos(
+            0.15,
+            Some(PartitionWindow {
+                start_secs: 600,
+                end_secs: 1_200,
+                scope: PartitionScope::Ring {
+                    pivot_key: u64::MAX / 2,
+                },
+            }),
+            true,
+        ),
+        ..SimConfig::default()
+    };
+    let mut net = P2PNetwork::new(config);
+    let mut fp: u64 = 0xCBF2_9CE4_8422_2325;
+    let frame: Vec<u8> = (0..96u8).map(|b| b.wrapping_mul(37) ^ 0xA5).collect();
+    for round in 0..12u64 {
+        net.advance(SimTime::from_secs(300));
+        for peer in net.drain_crash_restarts() {
+            fnv_fold(&mut fp, b"crash");
+            fnv_fold(&mut fp, &(peer.index() as u64).to_le_bytes());
+        }
+        for window in net.drain_healed_partitions() {
+            fnv_fold(&mut fp, b"heal");
+            fnv_fold(&mut fp, format!("{window:?}").as_bytes());
+        }
+        for i in 0..num_peers {
+            let from = PeerId::from(i);
+            let to = PeerId::from((i + 997) % num_peers);
+            match net.send(from, to, MessageKind::Other, 64) {
+                Ok(latency) => fnv_fold(&mut fp, format!("s{round} {latency:?}").as_bytes()),
+                Err(e) => fnv_fold(&mut fp, format!("se{round} {e:?}").as_bytes()),
+            }
+            // Every 8th peer also exercises the byte-frame (corruption) path.
+            if i % 8 == 0 {
+                match net.send_frame(from, to, MessageKind::Other, &frame) {
+                    Ok(d) => {
+                        fnv_fold(&mut fp, format!("f{round} {:?}", d.latency).as_bytes());
+                        if let Some(bytes) = &d.corrupted {
+                            fnv_fold(&mut fp, bytes);
+                        }
+                    }
+                    Err(e) => fnv_fold(&mut fp, format!("fe{round} {e:?}").as_bytes()),
+                }
+            }
+        }
+    }
+    (fp, format!("{:?}", net.stats()))
+}
+
+#[test]
+fn chaos_2k_peer_replay_is_bit_identical() {
+    let (fp_a, stats_a) = run_chaos_once(2010);
+    let (fp_b, stats_b) = run_chaos_once(2010);
+    assert_eq!(
+        fp_a, fp_b,
+        "fault-injected replay diverged in observable outcomes"
+    );
+    assert_eq!(
+        stats_a, stats_b,
+        "fault-injected replay produced different SimStats"
+    );
+    // A different seed must actually produce a different fault stream —
+    // otherwise the fingerprint is insensitive and the test proves nothing.
+    let (fp_c, _) = run_chaos_once(2011);
+    assert_ne!(fp_a, fp_c, "fingerprint is not seed-sensitive");
+    // Every fault axis fired during the run.
+    for (axis, needle) in [
+        ("random loss", "lost"),
+        ("partition drops", "partition_drops"),
+        ("corruption", "corrupted"),
+        ("latency spikes", "latency_spikes"),
+        ("crash restarts", "crashes"),
+    ] {
+        assert!(
+            stats_a.contains(needle),
+            "stats dump lost its {axis} counter ({needle})"
+        );
+    }
+}
+
+#[test]
+fn chaos_run_exercises_every_fault_axis() {
+    use p2psim::faults::{FaultPlan, PartitionScope, PartitionWindow};
+    use p2psim::network::P2PNetwork;
+    use p2psim::SimConfig;
+
+    let config = SimConfig {
+        num_peers: 400,
+        churn: ChurnModel::None,
+        horizon_secs: 3_600,
+        seed: 7,
+        faults: FaultPlan::chaos(
+            0.2,
+            Some(PartitionWindow {
+                start_secs: 600,
+                end_secs: 1_200,
+                scope: PartitionScope::Index { pivot: 200 },
+            }),
+            true,
+        ),
+        ..SimConfig::default()
+    };
+    let mut net = P2PNetwork::new(config);
+    let frame = [0x5Au8; 256];
+    let mut restarts = 0usize;
+    let mut heals = 0usize;
+    for _ in 0..12 {
+        net.advance(SimTime::from_secs(300));
+        restarts += net.drain_crash_restarts().len();
+        heals += net.drain_healed_partitions().len();
+        for i in 0..400usize {
+            let from = PeerId::from(i);
+            let to = PeerId::from((i + 199) % 400);
+            let _ = net.send(from, to, MessageKind::Other, 64).is_ok();
+            let _ = net.send_frame(from, to, MessageKind::Other, &frame).is_ok();
+        }
+    }
+    let faults = &net.stats().faults;
+    assert!(faults.lost > 0, "no random loss: {faults:?}");
+    assert!(faults.burst_lost > 0, "no burst loss: {faults:?}");
+    assert!(faults.partition_drops > 0, "no partition drops: {faults:?}");
+    assert!(faults.corrupted > 0, "no frame corruption: {faults:?}");
+    assert!(faults.latency_spikes > 0, "no latency spikes: {faults:?}");
+    assert!(faults.crashes > 0, "no crash events: {faults:?}");
+    assert!(restarts > 0, "no crash restarts drained");
+    assert_eq!(heals, 1, "exactly one partition window should heal");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

@@ -31,6 +31,7 @@
 //! | `seedless-rng` | every RNG flows from an explicit seed — no `thread_rng`/`from_entropy`/`OsRng`/`getrandom` |
 //! | `unsafe-safety` | every `unsafe` carries a `// SAFETY:` comment naming the proved invariant |
 //! | `wire-discipline` | `p2pclassify` sends charge encoded/estimated byte values, never raw integer literals |
+//! | `send-unchecked` | `p2pclassify` never discards a send `Result` — lost sends must be tracked, not ignored |
 //!
 //! Adding a rule: implement it over the token stream in [`lint_source`],
 //! add its id + description to [`RULES`], a bad fixture under
@@ -81,6 +82,12 @@ pub const RULES: &[Rule] = &[
         id: "wire-discipline",
         description: "p2pclassify network sends must charge bytes from the WireCost/frame \
                       layer, never a raw integer literal",
+    },
+    Rule {
+        id: "send-unchecked",
+        description: "p2pclassify must not discard a send Result (`let _ =` or a \
+                      statement-level `.ok()`): every lost send must be tracked or \
+                      explicitly allowed",
     },
     Rule {
         id: "allow-syntax",
@@ -683,6 +690,101 @@ pub fn lint_source(path: &str, source: &str) -> (Vec<Diagnostic>, Vec<UnsafeSite
         }
     }
 
+    // --- send-unchecked --------------------------------------------------
+    if wire_rule_applies(path) {
+        const SEND_METHODS: &[&str] = &["send", "send_frame", "send_sized"];
+        let is_send_at = |i: usize| -> bool {
+            toks[i].kind == TokKind::Ident
+                && SEND_METHODS.contains(&toks[i].text.as_str())
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        };
+        // `let _ = ... .send*( ... ) ... ;` — the wildcard binding throws the
+        // Result away without the compiler's unused-must-use backstop.
+        let mut i = 0;
+        while i < toks.len() {
+            let is_discard_let = toks[i].kind == TokKind::Ident
+                && toks[i].text == "let"
+                && toks.get(i + 1).is_some_and(|t| t.text == "_")
+                && toks.get(i + 2).is_some_and(|t| t.text == "=");
+            if !is_discard_let {
+                i += 1;
+                continue;
+            }
+            let let_line = toks[i].line;
+            let mut depth = 0usize;
+            let mut j = i + 3;
+            let mut discards_send = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                if is_send_at(j) {
+                    discards_send = true;
+                }
+                j += 1;
+            }
+            if discards_send {
+                raw.push(diag(
+                    let_line,
+                    "send-unchecked",
+                    "`let _ =` discards a send Result: track the loss (protocol \
+                     counters / ReliableLink) or allow with a reason"
+                        .to_string(),
+                ));
+            }
+            i = j;
+        }
+        // `.send*(...).ok();` — the statement-level discard spelling.
+        for i in 0..toks.len() {
+            if !is_send_at(i) {
+                continue;
+            }
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let trailing_ok = toks.get(j).is_some_and(|t| t.text == ".")
+                && toks.get(j + 1).is_some_and(|t| t.text == "ok")
+                && toks.get(j + 2).is_some_and(|t| t.text == "(")
+                && toks.get(j + 3).is_some_and(|t| t.text == ")")
+                && toks.get(j + 4).is_some_and(|t| t.text == ";");
+            // Only a *statement* discards: walk back over the receiver chain
+            // (`self.link.` …) — if the expression starts a statement the
+            // value is dead, while `let got = ….ok();` or an argument
+            // position keeps it alive.
+            let mut k = i - 1; // the `.` before the send ident
+            while k > 0
+                && (toks[k - 1].kind == TokKind::Ident
+                    || toks[k - 1].text == "."
+                    || toks[k - 1].text == "&"
+                    || toks[k - 1].text == "mut")
+            {
+                k -= 1;
+            }
+            let starts_statement = k == 0 || matches!(toks[k - 1].text.as_str(), ";" | "{" | "}");
+            if trailing_ok && starts_statement {
+                raw.push(diag(
+                    toks[i].line,
+                    "send-unchecked",
+                    "statement-level `.ok()` discards a send Result: track the loss \
+                     (protocol counters / ReliableLink) or allow with a reason"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
     // --- apply allows ----------------------------------------------------
     let mut diags = syntax_diags;
     for d in raw {
@@ -892,6 +994,38 @@ mod tests {
         let good = "fn f(net: &mut N) { net.send(a, b, k, frame.len() as u64); }\n";
         assert!(diags("crates/p2pclassify/src/x.rs", good).is_empty());
         assert!(diags("crates/p2psim/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn send_unchecked_flags_discards_only_in_p2pclassify() {
+        let wildcard = "fn f(net: &mut N) { let _ = net.send(a, b, k, frame.len()); }\n";
+        let d = diags("crates/p2pclassify/src/x.rs", wildcard);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "send-unchecked");
+        // The statement-level `.ok()` spelling.
+        let okd = "fn f(net: &mut N) { net.send_frame(a, b, k, &frame).ok(); }\n";
+        assert_eq!(diags("crates/p2pclassify/src/x.rs", okd).len(), 1);
+        // Consuming the Result is fine: `?`, `.is_err()` in a branch, and
+        // `.ok()` as an adapter all keep the outcome alive.
+        let good = "fn f(net: &mut N) -> Result<(), E> {\n\
+                    \x20   net.send(a, b, k, frame.len())?;\n\
+                    \x20   if net.send_frame(a, b, k, &frame).is_err() { lost += 1; }\n\
+                    \x20   let got = link.send_sized(net, a, b, k, n).ok();\n\
+                    \x20   use_it(got);\n\
+                    \x20   Ok(())\n\
+                    }\n";
+        assert!(diags("crates/p2pclassify/src/x.rs", good).is_empty());
+        // `let _ =` over a non-send call is not this rule's business.
+        let other = "fn f() { let _ = compute(); }\n";
+        assert!(diags("crates/p2pclassify/src/x.rs", other).is_empty());
+        // Path-scoped: the sim crate's own plumbing is exempt.
+        assert!(diags("crates/p2psim/src/x.rs", wildcard).is_empty());
+        // A reasoned allow suppresses.
+        let allowed = "fn f(net: &mut N) {\n\
+                       \x20   // lint: allow(send-unchecked, reason = \"best-effort hint\")\n\
+                       \x20   let _ = net.send(a, b, k, frame.len());\n\
+                       }\n";
+        assert!(diags("crates/p2pclassify/src/x.rs", allowed).is_empty());
     }
 
     #[test]

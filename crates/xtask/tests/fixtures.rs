@@ -51,6 +51,12 @@ fn bad_fixtures_are_all_caught() {
             "thread-spawn",
             2,
         ),
+        (
+            "bad/send_unchecked.rs",
+            "crates/p2pclassify/src/fixture.rs",
+            "send-unchecked",
+            3,
+        ),
     ];
     for (file, vpath, rule, expected) in cases {
         let (diags, _) = lint_source(vpath, &fixture(file));
@@ -77,6 +83,7 @@ fn ok_fixtures_lint_clean() {
         ),
         ("ok/unsafe_documented.rs", "crates/textproc/src/fixture.rs"),
         ("ok/wire_measured.rs", "crates/p2pclassify/src/fixture.rs"),
+        ("ok/send_checked.rs", "crates/p2pclassify/src/fixture.rs"),
         ("ok/seeded_rng.rs", "crates/p2psim/src/fixture.rs"),
     ];
     for (file, vpath) in cases {
