@@ -272,8 +272,12 @@ pub fn to_json(rows: &[ChaosRow], epochs: usize, seed: u64) -> String {
                 .map(|f| format!("{f:.4}"))
                 .collect::<Vec<_>>()
                 .join(", ");
+            // Two retransmit/recovery views per cell: the *network's* fault
+            // counters (`faults`, what the chaos harness injected) and the
+            // *protocol's* own reliable-link ledger (`link_*`, what its
+            // ReliableLink observed and repaired).
             out.push_str(&format!(
-                "        {{\"protocol\": \"{}\", \"micro_f1\": {:.4}, \"macro_f1\": {:.4}, \"epoch_macro_f1\": [{}], \"auto_failed\": {}, \"bytes\": {}, \"dropped\": {}, \"corrupted\": {}, \"crashes\": {}, \"retransmits\": {}, \"recovered\": {}, \"resyncs\": {}, \"gave_up\": {}, \"secs\": {:.3}}}{}\n",
+                "        {{\"protocol\": \"{}\", \"micro_f1\": {:.4}, \"macro_f1\": {:.4}, \"epoch_macro_f1\": [{}], \"auto_failed\": {}, \"bytes\": {}, \"dropped\": {}, \"corrupted\": {}, \"crashes\": {}, \"retransmits\": {}, \"recovered\": {}, \"resyncs\": {}, \"link_retransmits\": {}, \"link_recovered\": {}, \"link_resyncs\": {}, \"gave_up\": {}, \"secs\": {:.3}}}{}\n",
                 c.protocol,
                 c.micro_f1,
                 c.macro_f1,
@@ -286,6 +290,9 @@ pub fn to_json(rows: &[ChaosRow], epochs: usize, seed: u64) -> String {
                 c.faults.retransmits,
                 c.faults.recovered,
                 c.faults.resyncs,
+                c.link.retransmits,
+                c.link.recovered,
+                c.link.resyncs,
                 c.link.gave_up,
                 c.secs,
                 if j + 1 < r.cells.len() { "," } else { "" },
@@ -346,6 +353,9 @@ mod tests {
         let json = to_json(&[row], 2, 7);
         validate_json(&json).unwrap();
         assert!(json.contains("\"retransmits\""));
+        assert!(json.contains("\"link_retransmits\""));
+        assert!(json.contains("\"link_recovered\""));
+        assert!(json.contains("\"link_resyncs\""));
         assert!(json.contains("\"epoch_macro_f1\""));
     }
 

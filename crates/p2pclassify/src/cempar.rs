@@ -121,6 +121,90 @@ impl CemparConfig {
     }
 }
 
+/// Trains a peer's local one-vs-all kernel model — the protocol body shared
+/// by the monolithic [`Cempar`] instance and the per-peer sans-io
+/// [`crate::sansio::CemparCore`], so a peer's contribution is identical
+/// whichever driver runs it.
+pub(crate) fn train_cempar_local(
+    config: &CemparConfig,
+    data: &MultiLabelDataset,
+) -> Option<OneVsAllModel<KernelSvm>> {
+    if data.is_empty() {
+        return None;
+    }
+    let model = match config.train_backend {
+        TrainingBackend::Csr => config.one_vs_all.train_kernel_shared(data, &config.svm),
+        TrainingBackend::Scalar => config.one_vs_all.train_kernel(data, &config.svm),
+    };
+    if model.num_tags() == 0 {
+        None
+    } else {
+        Some(model)
+    }
+}
+
+/// Cascades a region's contributed local models into the per-tag regional
+/// models (support-vector pooling + retrain). Pure, and iteration is in
+/// `BTreeMap` order over contributors, so the cascaded result depends only
+/// on the *set* of contributed `(peer, model)` pairs — never on their
+/// arrival order. That order-independence is what lets the sans-io core
+/// reach the same regional models over real sockets (arbitrary delivery
+/// interleaving) as the simulator's sequential loop.
+pub(crate) fn cascade_region_tags<'a>(
+    config: &CemparConfig,
+    contributed: impl Iterator<Item = &'a OneVsAllModel<KernelSvm>>,
+) -> BTreeMap<TagId, KernelSvm> {
+    let cascade = CascadeSvm::new(config.cascade.clone());
+    let mut tags: BTreeMap<TagId, Vec<KernelSvm>> = BTreeMap::new();
+    for model in contributed {
+        for (tag, clf) in model.iter() {
+            tags.entry(tag).or_default().push(clf.clone());
+        }
+    }
+    tags.into_iter()
+        .filter_map(|(tag, models)| cascade.merge(&models).map(|m| (tag, m)))
+        .collect()
+}
+
+/// Scores a query against one region's cascaded models — the super-peer's
+/// half of CEMPaR prediction, shared by both drivers. The scalar and batched
+/// branches produce identical `TagPrediction`s in ascending-tag order.
+pub(crate) fn region_scores(
+    backend: ScoringBackend,
+    regional: &BTreeMap<TagId, KernelSvm>,
+    scorer: &BatchKernelScorer,
+    x: &SparseVector,
+) -> Vec<TagPrediction> {
+    match backend {
+        // Pre-refactor reference: every tag expands its own kernel
+        // sum, re-evaluating K(sv, x) for support vectors shared
+        // between tags.
+        ScoringBackend::Scalar => regional
+            .iter()
+            .map(|(&tag, clf)| {
+                let score = clf.decision(x);
+                TagPrediction {
+                    tag,
+                    score,
+                    confidence: 1.0 / (1.0 + (-score).exp()),
+                }
+            })
+            .collect(),
+        // Batched: one kernel row over the region's distinct support
+        // vectors, shared by every tag. Decisions (and their
+        // ascending-tag order) are identical to the scalar branch.
+        ScoringBackend::Batched => scorer
+            .decisions(x)
+            .into_iter()
+            .map(|(tag, score)| TagPrediction {
+                tag,
+                score,
+                confidence: 1.0 / (1.0 + (-score).exp()),
+            })
+            .collect(),
+    }
+}
+
 /// State of one super-peer region.
 #[derive(Debug, Clone)]
 struct RegionState {
@@ -211,37 +295,14 @@ impl Cempar {
 
     /// Trains a peer's local one-vs-all kernel model.
     fn train_local(&self, data: &MultiLabelDataset) -> Option<OneVsAllModel<KernelSvm>> {
-        if data.is_empty() {
-            return None;
-        }
-        let model = match self.config.train_backend {
-            TrainingBackend::Csr => self
-                .config
-                .one_vs_all
-                .train_kernel_shared(data, &self.config.svm),
-            TrainingBackend::Scalar => self.config.one_vs_all.train_kernel(data, &self.config.svm),
-        };
-        if model.num_tags() == 0 {
-            None
-        } else {
-            Some(model)
-        }
+        train_cempar_local(&self.config, data)
     }
 
     /// Computes the cascaded per-tag regional models of one region from all
     /// contributed local models (pure — does not touch `self.regions`, so
     /// several regions can cascade concurrently).
     fn cascade_tags(&self, state: &RegionState) -> BTreeMap<TagId, KernelSvm> {
-        let cascade = CascadeSvm::new(self.config.cascade.clone());
-        let mut tags: BTreeMap<TagId, Vec<KernelSvm>> = BTreeMap::new();
-        for model in state.contributed.values() {
-            for (tag, clf) in model.iter() {
-                tags.entry(tag).or_default().push(clf.clone());
-            }
-        }
-        tags.into_iter()
-            .filter_map(|(tag, models)| cascade.merge(&models).map(|m| (tag, m)))
-            .collect()
+        cascade_region_tags(&self.config, state.contributed.values())
     }
 
     /// Cascades one region's contributed models and builds the matching
@@ -529,36 +590,7 @@ impl P2PTagClassifier for Cempar {
                 // tolerance: remaining regions still answer).
                 continue;
             }
-            let scores: Vec<TagPrediction> = match self.config.backend {
-                // Pre-refactor reference: every tag expands its own kernel
-                // sum, re-evaluating K(sv, x) for support vectors shared
-                // between tags.
-                ScoringBackend::Scalar => state
-                    .regional
-                    .iter()
-                    .map(|(&tag, clf)| {
-                        let score = clf.decision(x_eval);
-                        TagPrediction {
-                            tag,
-                            score,
-                            confidence: 1.0 / (1.0 + (-score).exp()),
-                        }
-                    })
-                    .collect(),
-                // Batched: one kernel row over the region's distinct support
-                // vectors, shared by every tag. Decisions (and their
-                // ascending-tag order) are identical to the scalar branch.
-                ScoringBackend::Batched => state
-                    .scorer
-                    .decisions(x_eval)
-                    .into_iter()
-                    .map(|(tag, score)| TagPrediction {
-                        tag,
-                        score,
-                        confidence: 1.0 / (1.0 + (-score).exp()),
-                    })
-                    .collect(),
-            };
+            let scores = region_scores(self.config.backend, &state.regional, &state.scorer, x_eval);
             // The response travels back as a real frame too: the requester
             // votes with the scores decoded from it.
             let (response_size, scores) = match self.config.wire.cost {

@@ -36,6 +36,7 @@ pub mod local;
 pub mod pace;
 pub mod protocol;
 pub mod reliable;
+pub mod sansio;
 pub mod wire;
 
 /// Common re-exports.

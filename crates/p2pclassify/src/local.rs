@@ -37,17 +37,46 @@ pub struct LocalOnlyConfig {
 }
 
 /// A peer's local model together with its packed scoring matrix.
+///
+/// Crate-visible: the monolithic [`LocalOnly`] instance and the per-peer
+/// sans-io core ([`crate::sansio::LocalCore`]) hold the same pairing.
 #[derive(Debug, Clone)]
-struct LocalModel {
-    model: OneVsAllModel<LinearSvm>,
-    matrix: TagWeightMatrix,
+pub(crate) struct LocalModel {
+    pub(crate) model: OneVsAllModel<LinearSvm>,
+    pub(crate) matrix: TagWeightMatrix,
 }
 
 impl LocalModel {
-    fn build(model: OneVsAllModel<LinearSvm>) -> Self {
+    pub(crate) fn build(model: OneVsAllModel<LinearSvm>) -> Self {
         let matrix = model.weight_matrix();
         Self { model, matrix }
     }
+}
+
+/// Trains one peer's local-only model, warm-starting from a previous model
+/// when given — the protocol body shared by the monolithic [`LocalOnly`]
+/// instance and the per-peer sans-io [`crate::sansio::LocalCore`].
+pub(crate) fn train_local_only(
+    config: &LocalOnlyConfig,
+    data: &MultiLabelDataset,
+    warm: Option<&OneVsAllModel<LinearSvm>>,
+) -> Option<LocalModel> {
+    if data.is_empty() {
+        return None;
+    }
+    let m = match (config.train_backend, warm) {
+        (TrainingBackend::Csr, Some(prev)) => {
+            config
+                .one_vs_all
+                .train_linear_warm_csr(data, &config.svm, prev)
+        }
+        (TrainingBackend::Csr, None) => config.one_vs_all.train_linear_csr(data, &config.svm),
+        (TrainingBackend::Scalar, Some(prev)) => {
+            config.one_vs_all.train_linear_warm(data, &config.svm, prev)
+        }
+        (TrainingBackend::Scalar, None) => config.one_vs_all.train_linear(data, &config.svm),
+    };
+    (m.num_tags() > 0).then(|| LocalModel::build(m))
 }
 
 /// The local-only baseline instance.
@@ -88,29 +117,7 @@ impl LocalOnly {
         data: &MultiLabelDataset,
         warm: Option<&LocalModel>,
     ) -> Option<LocalModel> {
-        if data.is_empty() {
-            return None;
-        }
-        let m = match (self.config.train_backend, warm) {
-            (TrainingBackend::Csr, Some(prev)) => {
-                self.config
-                    .one_vs_all
-                    .train_linear_warm_csr(data, &self.config.svm, &prev.model)
-            }
-            (TrainingBackend::Csr, None) => self
-                .config
-                .one_vs_all
-                .train_linear_csr(data, &self.config.svm),
-            (TrainingBackend::Scalar, Some(prev)) => {
-                self.config
-                    .one_vs_all
-                    .train_linear_warm(data, &self.config.svm, &prev.model)
-            }
-            (TrainingBackend::Scalar, None) => {
-                self.config.one_vs_all.train_linear(data, &self.config.svm)
-            }
-        };
-        (m.num_tags() > 0).then(|| LocalModel::build(m))
+        train_local_only(&self.config, data, warm.map(|w| &w.model))
     }
 
     fn train_peer(&mut self, peer: PeerId) {

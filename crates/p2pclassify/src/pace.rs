@@ -123,8 +123,13 @@ impl Default for PaceConfig {
 }
 
 /// One peer's contribution to the ensemble.
+///
+/// Crate-visible: the monolithic [`Pace`] instance and the per-peer sans-io
+/// core ([`crate::sansio::PaceCore`]) share this one model body — training,
+/// assembly and scoring live here and in the free functions below, so the
+/// two drivers cannot drift apart.
 #[derive(Debug, Clone)]
-struct PaceModel {
+pub(crate) struct PaceModel {
     source: PeerId,
     /// Dense per-tag classifiers. Present while a model is being assembled
     /// and propagated (the wire paths encode from it) and kept at rest only
@@ -154,7 +159,7 @@ impl PaceModel {
     /// The dense classifiers — borrowed directly when retained, else a
     /// transient reconstruction out of the CSR matrix (identical weights; see
     /// [`TagWeightMatrix::to_one_vs_all`]).
-    fn warm_model(&self) -> std::borrow::Cow<'_, OneVsAllModel<LinearSvm>> {
+    pub(crate) fn warm_model(&self) -> std::borrow::Cow<'_, OneVsAllModel<LinearSvm>> {
         match &self.model {
             Some(m) => std::borrow::Cow::Borrowed(m),
             None => std::borrow::Cow::Owned(self.matrix.to_one_vs_all()),
@@ -193,12 +198,28 @@ impl PaceModel {
         }
     }
 
+    /// The peer that trained this model.
+    pub(crate) fn source(&self) -> PeerId {
+        self.source
+    }
+
+    /// The training accuracy propagated with the model (the vote weight
+    /// numerator).
+    pub(crate) fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// The propagated k-means centroids.
+    pub(crate) fn centroids(&self) -> &[SparseVector] {
+        &self.centroids
+    }
+
     /// Assembles an ensemble entry from its propagated parts, rebuilding the
     /// derived scoring structures (packed weight matrix, cached centroid
     /// norms). Used both when a model is trained locally and when it is
     /// decoded back out of a wire frame — the decoded path **must** rebuild
     /// these here, so lossy wire settings honestly reach every scoring path.
-    fn assemble(
+    pub(crate) fn assemble(
         source: PeerId,
         model: OneVsAllModel<LinearSvm>,
         centroids: Vec<SparseVector>,
@@ -213,6 +234,162 @@ impl PaceModel {
             centroids,
             centroid_norms_sq,
             accuracy,
+        }
+    }
+}
+
+/// Trains one peer's PACE contribution — per-tag linear SVMs, guarded
+/// propagation pruning, averaged training accuracy, k-means centroids — from
+/// its local data, warm-starting from `warm` when given.
+///
+/// This is the single protocol body shared by the monolithic [`Pace`]
+/// instance (simulator driver) and the per-peer sans-io
+/// [`crate::sansio::PaceCore`] (socket driver): both train through here, so
+/// the model a peer propagates is identical whichever driver runs it.
+pub(crate) fn train_pace_model(
+    config: &PaceConfig,
+    peer: PeerId,
+    data: &MultiLabelDataset,
+    warm: Option<&OneVsAllModel<LinearSvm>>,
+) -> Option<PaceModel> {
+    if data.is_empty() {
+        return None;
+    }
+    let model = match (config.train_backend, warm) {
+        (TrainingBackend::Csr, Some(prev)) => {
+            config
+                .one_vs_all
+                .train_linear_warm_csr(data, &config.svm, prev)
+        }
+        (TrainingBackend::Csr, None) => config.one_vs_all.train_linear_csr(data, &config.svm),
+        (TrainingBackend::Scalar, Some(prev)) => {
+            config.one_vs_all.train_linear_warm(data, &config.svm, prev)
+        }
+        (TrainingBackend::Scalar, None) => config.one_vs_all.train_linear(data, &config.svm),
+    };
+    if model.num_tags() == 0 {
+        return None;
+    }
+    // Accuracy-guarded propagation pruning: when the measured wire is
+    // configured to prune, the peer ships (and votes with) the top-k
+    // weights per tag — unless that would cost more local training
+    // accuracy than the guard allows, in which case the full model
+    // stands. The accuracy below is computed on the model that actually
+    // propagates.
+    let model = match (config.wire.cost, config.wire.prune_top_k) {
+        (WireCost::Measured, Some(k)) => {
+            ml::codec::prune_model_guarded(&model, k, data, config.wire.prune_guard)
+        }
+        _ => model,
+    };
+    let matrix = model.weight_matrix();
+    // Training accuracy, averaged over the per-tag binary problems. One
+    // batched pass per training document scores every tag at once; the
+    // per-tag correct counts (and therefore the averaged accuracy) are
+    // identical to running each classifier over the corpus separately.
+    let mut correct = vec![0usize; matrix.num_tags()];
+    let mut decisions = Vec::new();
+    for (x, tags) in data.iter() {
+        matrix.decisions_into(x, &mut decisions);
+        for (slot, &tag) in matrix.tags().iter().enumerate() {
+            if (decisions[slot] >= 0.0) == tags.contains(&tag) {
+                correct[slot] += 1;
+            }
+        }
+    }
+    let accuracy = if matrix.num_tags() > 0 {
+        let acc_sum: f64 = correct.iter().map(|&c| c as f64 / data.len() as f64).sum();
+        acc_sum / matrix.num_tags() as f64
+    } else {
+        0.5
+    };
+    // K-means runs on the borrowed vector slice — no per-peer clone of
+    // the training corpus.
+    let kmeans = KMeans::fit(data.vectors(), &config.kmeans);
+    let centroids = kmeans.centroids().to_vec();
+    let centroid_norms_sq = centroids.iter().map(SparseVector::norm_sq).collect();
+    Some(PaceModel {
+        source: peer,
+        model: Some(model),
+        matrix,
+        centroids,
+        centroid_norms_sq,
+        accuracy,
+    })
+}
+
+/// Ranks `candidates` by their centroid distance to the query and keeps the
+/// `top_k` nearest — PACE's model-retrieval step, shared by the monolithic
+/// exact-ranking path (`use_lsh: false`) and the sans-io core (which holds
+/// its ensemble as a plain per-peer map and always ranks exactly).
+pub(crate) fn rank_pace_models<'a>(
+    config: &PaceConfig,
+    candidates: impl Iterator<Item = &'a PaceModel>,
+    x: &SparseVector,
+    x_norm_sq: f64,
+) -> Vec<(&'a PaceModel, f64)> {
+    let mut ranked: Vec<(&PaceModel, f64)> = candidates
+        .map(|m| (m, m.distance_to(x, config.backend, x_norm_sq)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(config.top_k.max(1));
+    ranked
+}
+
+/// Combines the consulted models' votes into per-tag scores — PACE's
+/// adaptation step (vote weight = accuracy · exp(−sharpness · distance)),
+/// shared verbatim by [`Pace`] and [`crate::sansio::PaceCore`] so both
+/// drivers vote identically over the same ensemble.
+pub(crate) fn combine_pace_votes(
+    config: &PaceConfig,
+    nearest: &[(&PaceModel, f64)],
+    x: &SparseVector,
+) -> Vec<TagPrediction> {
+    match config.backend {
+        ScoringBackend::Scalar => {
+            // Pre-refactor reference: one sorted, allocated score list per
+            // consulted model, one dot product per (model, tag).
+            let votes: Vec<(f64, Vec<TagPrediction>)> = nearest
+                .iter()
+                .map(|&(m, dist)| {
+                    let weight = m.accuracy * (-config.distance_sharpness * dist).exp();
+                    let scores = m
+                        .model
+                        .as_ref()
+                        .expect("the Scalar backend retains dense classifiers")
+                        .scores(x)
+                        .into_iter()
+                        .map(|p| TagPrediction {
+                            score: p.confidence,
+                            ..p
+                        })
+                        .collect();
+                    (weight, scores)
+                })
+                .collect();
+            combine_confidence_votes(&votes, config.coverage_damping)
+        }
+        ScoringBackend::Batched => {
+            // Batched path: each model's packed matrix scores its whole
+            // tag universe in one pass over the document's nonzeros, and
+            // the confidences stream straight into the shared vote
+            // accumulator (no per-model allocation, no per-model sort —
+            // the combination is per-tag, so the order of a model's votes
+            // is irrelevant and the result is identical to the scalar
+            // path).
+            let mut acc = ConfidenceVoteAccumulator::new();
+            let mut decisions = Vec::new();
+            let mut votes = Vec::new();
+            for &(m, dist) in nearest {
+                let weight = m.accuracy * (-config.distance_sharpness * dist).exp();
+                acc.add_voter(weight);
+                m.matrix
+                    .confidence_votes_into(x, &mut decisions, &mut votes);
+                for p in &votes {
+                    acc.add_vote(p.tag, weight, p.score);
+                }
+            }
+            acc.finish(config.coverage_damping)
         }
     }
 }
@@ -297,77 +474,7 @@ impl Pace {
         data: &MultiLabelDataset,
         warm: Option<&OneVsAllModel<LinearSvm>>,
     ) -> Option<PaceModel> {
-        if data.is_empty() {
-            return None;
-        }
-        let model = match (self.config.train_backend, warm) {
-            (TrainingBackend::Csr, Some(prev)) => {
-                self.config
-                    .one_vs_all
-                    .train_linear_warm_csr(data, &self.config.svm, prev)
-            }
-            (TrainingBackend::Csr, None) => self
-                .config
-                .one_vs_all
-                .train_linear_csr(data, &self.config.svm),
-            (TrainingBackend::Scalar, Some(prev)) => {
-                self.config
-                    .one_vs_all
-                    .train_linear_warm(data, &self.config.svm, prev)
-            }
-            (TrainingBackend::Scalar, None) => {
-                self.config.one_vs_all.train_linear(data, &self.config.svm)
-            }
-        };
-        if model.num_tags() == 0 {
-            return None;
-        }
-        // Accuracy-guarded propagation pruning: when the measured wire is
-        // configured to prune, the peer ships (and votes with) the top-k
-        // weights per tag — unless that would cost more local training
-        // accuracy than the guard allows, in which case the full model
-        // stands. The accuracy below is computed on the model that actually
-        // propagates.
-        let model = match (self.config.wire.cost, self.config.wire.prune_top_k) {
-            (WireCost::Measured, Some(k)) => {
-                ml::codec::prune_model_guarded(&model, k, data, self.config.wire.prune_guard)
-            }
-            _ => model,
-        };
-        let matrix = model.weight_matrix();
-        // Training accuracy, averaged over the per-tag binary problems. One
-        // batched pass per training document scores every tag at once; the
-        // per-tag correct counts (and therefore the averaged accuracy) are
-        // identical to running each classifier over the corpus separately.
-        let mut correct = vec![0usize; matrix.num_tags()];
-        let mut decisions = Vec::new();
-        for (x, tags) in data.iter() {
-            matrix.decisions_into(x, &mut decisions);
-            for (slot, &tag) in matrix.tags().iter().enumerate() {
-                if (decisions[slot] >= 0.0) == tags.contains(&tag) {
-                    correct[slot] += 1;
-                }
-            }
-        }
-        let accuracy = if matrix.num_tags() > 0 {
-            let acc_sum: f64 = correct.iter().map(|&c| c as f64 / data.len() as f64).sum();
-            acc_sum / matrix.num_tags() as f64
-        } else {
-            0.5
-        };
-        // K-means runs on the borrowed vector slice — no per-peer clone of
-        // the training corpus.
-        let kmeans = KMeans::fit(data.vectors(), &self.config.kmeans);
-        let centroids = kmeans.centroids().to_vec();
-        let centroid_norms_sq = centroids.iter().map(SparseVector::norm_sq).collect();
-        Some(PaceModel {
-            source: peer,
-            model: Some(model),
-            matrix,
-            centroids,
-            centroid_norms_sq,
-            accuracy,
-        })
+        train_pace_model(&self.config, peer, data, warm)
     }
 
     /// Broadcasts a model to all online peers, recording who received it, and
@@ -505,7 +612,17 @@ impl Pace {
         // The query norm appears in every centroid distance; the batched
         // backend computes it once per query instead of once per centroid.
         let x_norm_sq = x.norm_sq();
-        let mut candidates: Vec<(&PaceModel, f64)> = if self.config.use_lsh {
+        if !self.config.use_lsh {
+            // Exact ranking over everything this peer holds — the same
+            // shared body the sans-io core ranks its ensemble map with.
+            return rank_pace_models(
+                &self.config,
+                available.ones().filter_map(|s| self.model_of(s)),
+                x,
+                x_norm_sq,
+            );
+        }
+        let mut candidates: Vec<(&PaceModel, f64)> = {
             // Over-fetch from the index (several centroids can map to the same
             // model, and some candidates may not have reached this peer).
             let want = self.config.top_k * 4 + 8;
@@ -524,12 +641,6 @@ impl Pace {
                 }
             }
             out
-        } else {
-            available
-                .ones()
-                .filter_map(|s| self.model_of(s))
-                .map(|m| (m, m.distance_to(x, backend, x_norm_sq)))
-                .collect()
         };
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         candidates.truncate(self.config.top_k.max(1));
@@ -563,57 +674,9 @@ impl Pace {
         // them lets a few confidently-negative models drown out the models
         // that actually know a tag (which collapses recall). The per-tag
         // normalization and coverage damping live in
-        // [`combine_confidence_votes`] / [`ConfidenceVoteAccumulator`].
-        match self.config.backend {
-            ScoringBackend::Scalar => {
-                // Pre-refactor reference: one sorted, allocated score list per
-                // consulted model, one dot product per (model, tag).
-                let votes: Vec<(f64, Vec<TagPrediction>)> = nearest
-                    .into_iter()
-                    .map(|(m, dist)| {
-                        let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
-                        let scores = m
-                            .model
-                            .as_ref()
-                            .expect("the Scalar backend retains dense classifiers")
-                            .scores(x)
-                            .into_iter()
-                            .map(|p| TagPrediction {
-                                score: p.confidence,
-                                ..p
-                            })
-                            .collect();
-                        (weight, scores)
-                    })
-                    .collect();
-                Ok(combine_confidence_votes(
-                    &votes,
-                    self.config.coverage_damping,
-                ))
-            }
-            ScoringBackend::Batched => {
-                // Batched path: each model's packed matrix scores its whole
-                // tag universe in one pass over the document's nonzeros, and
-                // the confidences stream straight into the shared vote
-                // accumulator (no per-model allocation, no per-model sort —
-                // the combination is per-tag, so the order of a model's votes
-                // is irrelevant and the result is identical to the scalar
-                // path).
-                let mut acc = ConfidenceVoteAccumulator::new();
-                let mut decisions = Vec::new();
-                let mut votes = Vec::new();
-                for (m, dist) in nearest {
-                    let weight = m.accuracy * (-self.config.distance_sharpness * dist).exp();
-                    acc.add_voter(weight);
-                    m.matrix
-                        .confidence_votes_into(x, &mut decisions, &mut votes);
-                    for p in &votes {
-                        acc.add_vote(p.tag, weight, p.score);
-                    }
-                }
-                Ok(acc.finish(self.config.coverage_damping))
-            }
-        }
+        // [`combine_confidence_votes`] / [`ConfidenceVoteAccumulator`],
+        // reached through the driver-shared [`combine_pace_votes`] body.
+        Ok(combine_pace_votes(&self.config, &nearest, x))
     }
 }
 

@@ -83,6 +83,25 @@ pub enum SendOutcome {
     Offline,
 }
 
+/// Virtual-ms delay charged before retransmit `attempt` (1-based):
+/// `base · 2^(attempt−1)`, **saturating** at `u64::MAX` once the doubling
+/// would overflow. A plain shift wraps past 63 doublings (and panics in
+/// debug builds), which a large [`ReliabilityConfig::max_attempts`] budget
+/// can legitimately reach; past that point the delay is astronomically
+/// larger than any simulation horizon, so the saturated value is the honest
+/// ceiling. Shared by [`ReliableLink`] and the sans-io
+/// [`crate::sansio::ReliableCore`].
+pub(crate) fn backoff_delay_ms(base_ms: u64, attempt: u32) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let shift = attempt.saturating_sub(1);
+    base_ms
+        .checked_shl(shift)
+        .filter(|v| v >> shift == base_ms)
+        .unwrap_or(u64::MAX)
+}
+
 /// Sequence-numbered reliable sender (one per protocol instance).
 #[derive(Debug, Clone, Default)]
 pub struct ReliableLink {
@@ -193,7 +212,10 @@ impl ReliableLink {
         for attempt in 0..cfg.max_attempts {
             if attempt > 0 {
                 self.stats.retransmits += 1;
-                self.stats.backoff_ms += cfg.backoff_base_ms << (attempt - 1);
+                self.stats.backoff_ms = self
+                    .stats
+                    .backoff_ms
+                    .saturating_add(backoff_delay_ms(cfg.backoff_base_ms, attempt));
                 net.note_retransmit();
             }
             if !delivered {
@@ -456,6 +478,41 @@ mod tests {
         assert_eq!(net.stats().total_bytes() - before, 3 * wrapped_len);
         // Backoff doubles: 100 + 200.
         assert_eq!(link.stats().backoff_ms, 300);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing_past_63_doublings() {
+        // The shift itself saturates…
+        assert_eq!(backoff_delay_ms(250, 1), 250);
+        assert_eq!(backoff_delay_ms(250, 2), 500);
+        assert_eq!(backoff_delay_ms(250, 57), 250 << 56);
+        assert_eq!(backoff_delay_ms(250, 58), u64::MAX); // 250·2^57 > u64::MAX
+        assert_eq!(backoff_delay_ms(250, 64), u64::MAX);
+        assert_eq!(backoff_delay_ms(250, 200), u64::MAX); // shift ≥ 64 (checked_shl arm)
+        assert_eq!(backoff_delay_ms(1, 64), 1 << 63);
+        assert_eq!(backoff_delay_ms(1, 65), u64::MAX);
+        assert_eq!(backoff_delay_ms(0, 200), 0);
+        // …and a link with a huge retry budget on a dead channel accumulates
+        // the saturated ledger instead of panicking (debug) or wrapping
+        // (release) on the 64th retransmit.
+        let mut net = net_with(1.0, 0.0, 23); // every send drops
+        let mut link = ReliableLink::new(Some(ReliabilityConfig {
+            max_attempts: 80,
+            backoff_base_ms: 250,
+        }));
+        let payload = frame();
+        let err = link
+            .send_frame(
+                &mut net,
+                PeerId(1),
+                PeerId(2),
+                MessageKind::ModelPropagation,
+                &payload,
+            )
+            .unwrap_err();
+        assert_eq!(err, DeliveryError::Lost);
+        assert_eq!(link.stats().retransmits, 79);
+        assert_eq!(link.stats().backoff_ms, u64::MAX);
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub enum PayloadKind {
     Ack = 9,
     /// An anti-entropy digest: the `(source, version)` pairs a peer holds.
     Digest = 10,
+    /// A versioned install envelope: `(source, version)` plus the inner
+    /// frames that together replace source's model (sans-io cores).
+    Install = 11,
+    /// A correlated prediction query: request id plus the document vector.
+    QueryRequest = 12,
+    /// A correlated prediction response: request id, vote weight, scores.
+    QueryResponse = 13,
 }
 
 impl PayloadKind {
@@ -74,6 +81,9 @@ impl PayloadKind {
             8 => PayloadKind::Reliable,
             9 => PayloadKind::Ack,
             10 => PayloadKind::Digest,
+            11 => PayloadKind::Install,
+            12 => PayloadKind::QueryRequest,
+            13 => PayloadKind::QueryResponse,
             _ => return None,
         })
     }
@@ -229,6 +239,16 @@ impl WireConfig {
 
 fn frame(kind: PayloadKind) -> Vec<u8> {
     vec![MAGIC, VERSION, kind as u8]
+}
+
+/// The payload kind of a frame, without decoding the body — how a sans-io
+/// core routes an incoming frame to the right decoder. `None` when the
+/// envelope is malformed (short, bad magic/version, unknown kind).
+pub fn peek_kind(bytes: &[u8]) -> Option<PayloadKind> {
+    match bytes {
+        [MAGIC, VERSION, kind, ..] => PayloadKind::from_byte(*kind),
+        _ => None,
+    }
 }
 
 fn open(bytes: &[u8], expected: PayloadKind) -> Result<ByteReader<'_>, WireError> {
@@ -472,6 +492,88 @@ pub fn decode_digest(bytes: &[u8]) -> Result<Vec<(u64, u64)>, WireError> {
     finish(r, entries)
 }
 
+/// Encodes a versioned install envelope: the `(source, version)` identity of
+/// a model replica plus the inner frames (already framed) that together
+/// replace it. PACE ships `[LinearModel, Centroids]`, CEMPaR `[KernelModel]`,
+/// the Centralized baseline `[TrainingData]`. Carrying the version on the
+/// envelope lets sans-io cores install idempotently and version-monotonically
+/// no matter how the driver reorders or duplicates deliveries.
+pub fn encode_install(source: u64, version: u64, parts: &[&[u8]]) -> Vec<u8> {
+    let mut buf = frame(PayloadKind::Install);
+    codec::put_varint(&mut buf, source);
+    codec::put_varint(&mut buf, version);
+    codec::put_varint(&mut buf, parts.len() as u64);
+    for part in parts {
+        codec::put_varint(&mut buf, part.len() as u64);
+        buf.extend_from_slice(part);
+    }
+    buf
+}
+
+/// Decodes an install envelope to `(source, version, inner frames)`.
+pub fn decode_install(bytes: &[u8]) -> Result<(u64, u64, Vec<Vec<u8>>), WireError> {
+    let mut r = open(bytes, PayloadKind::Install)?;
+    let source = r.read_varint()?;
+    let version = r.read_varint()?;
+    let n = r.read_varint()? as usize;
+    // Each part costs at least a 1-byte length prefix; a count the remaining
+    // bytes cannot hold is corrupt and must not size an allocation.
+    if n > r.remaining() + 1 {
+        return Err(WireError::Codec(CodecError::Invalid(
+            "install part count exceeds frame",
+        )));
+    }
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.read_varint()? as usize;
+        if len > r.remaining() {
+            return Err(WireError::Codec(CodecError::Invalid(
+                "install part length exceeds frame",
+            )));
+        }
+        parts.push(r.read_bytes(len).map_err(WireError::from)?.to_vec());
+    }
+    finish(r, (source, version, parts))
+}
+
+/// Encodes a correlated prediction query: a request id (scoped to the asking
+/// peer) plus the document vector. The id lets a sans-io requester match the
+/// response to the outstanding query without relying on delivery order.
+pub fn encode_query_request(request: u64, x: &SparseVector) -> Vec<u8> {
+    let mut buf = frame(PayloadKind::QueryRequest);
+    codec::put_varint(&mut buf, request);
+    codec::encode_vector(x, &mut buf);
+    buf
+}
+
+/// Decodes a correlated prediction query to `(request id, vector)`.
+pub fn decode_query_request(bytes: &[u8]) -> Result<(u64, SparseVector), WireError> {
+    let mut r = open(bytes, PayloadKind::QueryRequest)?;
+    let request = r.read_varint()?;
+    let x = codec::decode_vector(&mut r)?;
+    finish(r, (request, x))
+}
+
+/// Encodes a correlated prediction response: the echoed request id, the
+/// responder's vote weight (e.g. contributing models behind a CEMPaR region),
+/// and the scored tag list.
+pub fn encode_query_response(request: u64, weight: u64, scores: &[TagPrediction]) -> Vec<u8> {
+    let mut buf = frame(PayloadKind::QueryResponse);
+    codec::put_varint(&mut buf, request);
+    codec::put_varint(&mut buf, weight);
+    codec::encode_predictions(scores, &mut buf);
+    buf
+}
+
+/// Decodes a correlated prediction response to `(request id, weight, scores)`.
+pub fn decode_query_response(bytes: &[u8]) -> Result<(u64, u64, Vec<TagPrediction>), WireError> {
+    let mut r = open(bytes, PayloadKind::QueryResponse)?;
+    let request = r.read_varint()?;
+    let weight = r.read_varint()?;
+    let scores = codec::decode_predictions(&mut r)?;
+    finish(r, (request, weight, scores))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,5 +721,56 @@ mod tests {
         let mut buf = vec![MAGIC, VERSION, PayloadKind::Digest as u8];
         codec::put_varint(&mut buf, u64::MAX); // claims ~1.8e19 entries
         assert!(decode_digest(&buf).is_err());
+    }
+
+    #[test]
+    fn install_envelope_roundtrips_nested_frames() {
+        let q = SparseVector::from_pairs([(1, 0.5)]);
+        let part_a = encode_query(&q);
+        let part_b = encode_ack(9);
+        let bytes = encode_install(7, 3, &[&part_a, &part_b]);
+        let (source, version, parts) = decode_install(&bytes).unwrap();
+        assert_eq!(source, 7);
+        assert_eq!(version, 3);
+        assert_eq!(parts, vec![part_a.clone(), part_b]);
+        // Inner frames survive verbatim (full envelope validation included).
+        assert_eq!(decode_query(&parts[0]).unwrap(), q);
+        // Empty envelopes are legal (tombstone installs).
+        assert_eq!(
+            decode_install(&encode_install(0, 1, &[])).unwrap().2,
+            Vec::<Vec<u8>>::new()
+        );
+    }
+
+    #[test]
+    fn install_counts_cannot_size_absurd_allocations() {
+        let mut buf = vec![MAGIC, VERSION, PayloadKind::Install as u8];
+        codec::put_varint(&mut buf, 1); // source
+        codec::put_varint(&mut buf, 1); // version
+        codec::put_varint(&mut buf, u64::MAX); // claims ~1.8e19 parts
+        assert!(decode_install(&buf).is_err());
+        let mut buf = vec![MAGIC, VERSION, PayloadKind::Install as u8];
+        codec::put_varint(&mut buf, 1);
+        codec::put_varint(&mut buf, 1);
+        codec::put_varint(&mut buf, 1); // one part…
+        codec::put_varint(&mut buf, u64::MAX); // …claiming ~1.8e19 bytes
+        assert!(decode_install(&buf).is_err());
+    }
+
+    #[test]
+    fn correlated_query_frames_roundtrip() {
+        let q = SparseVector::from_pairs([(2, 1.0), (5, -0.25)]);
+        let bytes = encode_query_request(11, &q);
+        assert_eq!(decode_query_request(&bytes).unwrap(), (11, q));
+        let scores = vec![TagPrediction {
+            tag: 3,
+            score: 0.4,
+            confidence: 1.0 / (1.0 + (-0.4f64).exp()),
+        }];
+        let bytes = encode_query_response(11, 5, &scores);
+        assert_eq!(decode_query_response(&bytes).unwrap(), (11, 5, scores));
+        // Weight 0 responses (empty region) are legal and roundtrip.
+        let bytes = encode_query_response(2, 0, &[]);
+        assert_eq!(decode_query_response(&bytes).unwrap(), (2, 0, vec![]));
     }
 }

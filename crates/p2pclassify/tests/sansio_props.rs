@@ -1,0 +1,218 @@
+//! Delivery-order properties of the sans-io cores (satellite of the sans-io
+//! PR): installs must be **idempotent** and **version-monotonic** no matter
+//! how the network mangles delivery.
+//!
+//! The pool of genuine install envelopes (two trained versions per source)
+//! is delivered to a fresh core under a proptest-chosen schedule — a random
+//! permutation plus random duplicates — and the final state must equal the
+//! canonical in-order, exactly-once delivery:
+//!
+//! 1. the installed `(source, version)` set is identical (order-independent,
+//!    duplicate-proof, stale-version-proof);
+//! 2. `Installed` effects per source carry strictly increasing versions
+//!    (a stale or duplicate delivery never re-announces);
+//! 3. for PACE, the resulting ensemble *scores identically* — state
+//!    equivalence all the way to the predictions.
+//!
+//! This is exactly the degree of freedom a real socket driver adds over the
+//! deterministic simulator, which is why the sim-vs-socket equivalence suite
+//! in `crates/peerd` can demand bit-identical results.
+
+use ml::{MultiLabelDataset, MultiLabelExample, TagId};
+use p2pclassify::sansio::{
+    CemparCore, CentralizedCore, LocalEffect, Output, PaceCore, ProtocolCore,
+};
+use p2pclassify::{CemparConfig, CentralizedConfig, PaceConfig};
+use p2psim::PeerId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use textproc::SparseVector;
+
+fn dataset(feature: u32, tag: TagId, scale: f64) -> MultiLabelDataset {
+    MultiLabelDataset::from_examples(
+        (0..6)
+            .map(|i| {
+                MultiLabelExample::new(
+                    SparseVector::from_pairs([(feature, scale + 0.05 * i as f64)]),
+                    [tag],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Every `Emit` frame from a batch of outputs, regardless of target: the
+/// observer core under test plays "the whole network".
+fn emitted_frames(outputs: &[Output]) -> Vec<Vec<u8>> {
+    outputs
+        .iter()
+        .filter_map(|o| match o {
+            Output::Emit { frame, .. } => Some(frame.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The envelope pools, built once per protocol (training dominates cost):
+/// three producers, each trained twice (so v1 *and* v2 envelopes coexist in
+/// the pool — random schedules will deliver stale versions late).
+fn pace_pool() -> &'static Vec<Vec<u8>> {
+    static POOL: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let peers: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let mut pool = Vec::new();
+        for i in 1..4u64 {
+            let mut producer = PaceCore::new(PeerId(i), peers.clone(), PaceConfig::default());
+            let out = producer.train(0, &dataset(i as u32, i as TagId, 0.8));
+            pool.push(emitted_frames(&out).remove(0));
+            let out = producer.train(0, &dataset(i as u32 + 1, i as TagId + 1, 1.1));
+            pool.push(emitted_frames(&out).remove(0));
+        }
+        pool
+    })
+}
+
+fn cempar_pool() -> &'static Vec<Vec<u8>> {
+    static POOL: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let peers: Vec<PeerId> = (0..6).map(PeerId).collect();
+        // Two regions over this ring: peer 3 super-peers region 0, peer 1
+        // region 1. Producers 2, 4 and 5 are *not* their own super-peers,
+        // so every train emits a routable install envelope.
+        let config = CemparConfig {
+            regions: 2,
+            ..CemparConfig::default()
+        };
+        let mut pool = Vec::new();
+        for i in [2u64, 4, 5] {
+            let mut producer = CemparCore::new(PeerId(i), peers.clone(), config.clone());
+            for (round, scale) in [(0u32, 0.8f64), (1, 1.1)] {
+                let out = producer.train(0, &dataset(i as u32 + round, i as TagId, scale));
+                let frames = emitted_frames(&out);
+                assert_eq!(
+                    frames.len(),
+                    1,
+                    "producer {i} should emit to its super-peer"
+                );
+                pool.extend(frames);
+            }
+        }
+        pool
+    })
+}
+
+fn centralized_pool() -> &'static Vec<Vec<u8>> {
+    static POOL: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut pool = Vec::new();
+        for i in 1..4u64 {
+            let mut producer = CentralizedCore::new(PeerId(i), CentralizedConfig::default());
+            for (round, scale) in [(0u32, 0.8f64), (1, 1.1)] {
+                let out = producer.train(0, &dataset(i as u32 + round, i as TagId, scale));
+                pool.extend(emitted_frames(&out));
+            }
+        }
+        pool
+    })
+}
+
+/// Delivers `pool[schedule[..]]` into `core`, checking effect monotonicity
+/// along the way; returns the final installed set.
+fn deliver<C: ProtocolCore + ?Sized>(
+    core: &mut C,
+    pool: &[Vec<u8>],
+    schedule: &[usize],
+) -> Vec<(u64, u64)> {
+    let mut last_version: std::collections::BTreeMap<u64, u64> = Default::default();
+    for (step, &idx) in schedule.iter().enumerate() {
+        // Modulo guards pools smaller than the schedule's index space while
+        // still covering every entry (a permutation of 0..n hits every
+        // residue class of a smaller pool).
+        let outputs = core.ingest(step as u64, PeerId(99), &pool[idx % pool.len()]);
+        for output in outputs {
+            if let Output::Effect(LocalEffect::Installed { source, version }) = output {
+                let prev = last_version.insert(source, version);
+                assert!(
+                    prev.map_or(true, |p| p < version),
+                    "non-monotonic install announcement for source {source}: \
+                     {prev:?} then {version}"
+                );
+            }
+        }
+    }
+    last_version.into_iter().collect()
+}
+
+/// A delivery schedule over `n` pool entries: a full random permutation
+/// (everything arrives at least once) plus duplicated stale re-deliveries.
+fn schedules(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    (any::<u64>(), prop::collection::vec(0..n, 0..2 * n)).prop_map(move |(seed, dups)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        order.extend(dups);
+        // The tail duplicates arrive in a second shuffled wave.
+        order[n..].shuffle(&mut rng);
+        order
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pace_installs_are_order_independent(schedule in schedules(6)) {
+        let pool = pace_pool();
+        let peers: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let canonical: Vec<usize> = (0..pool.len()).collect();
+        let mut reference = PaceCore::new(PeerId(0), peers.clone(), PaceConfig::default());
+        let expected = deliver(&mut reference, pool, &canonical);
+        let mut shuffled = PaceCore::new(PeerId(0), peers, PaceConfig::default());
+        let got = deliver(&mut shuffled, pool, &schedule);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(reference.installed_versions(), shuffled.installed_versions());
+        // State equivalence reaches the predictions: identical ensembles
+        // score identically.
+        for feature in 0..5u32 {
+            let x = SparseVector::from_pairs([(feature, 1.0)]);
+            let (_, a) = reference.predict(0, &x);
+            let (_, b) = shuffled.predict(0, &x);
+            let scores = |out: Vec<Output>| match out.into_iter().next() {
+                Some(Output::Effect(LocalEffect::Prediction { scores, .. })) => scores,
+                other => panic!("expected immediate prediction, got {other:?}"),
+            };
+            prop_assert_eq!(scores(a), scores(b));
+        }
+    }
+
+    #[test]
+    fn cempar_installs_are_order_independent(schedule in schedules(6)) {
+        let pool = cempar_pool();
+        prop_assert!(!pool.is_empty());
+        let peers: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let config = CemparConfig { regions: 2, ..CemparConfig::default() };
+        let canonical: Vec<usize> = (0..pool.len()).collect();
+        let mut reference = CemparCore::new(PeerId(0), peers.clone(), config.clone());
+        let expected = deliver(&mut reference, pool, &canonical);
+        let mut shuffled = CemparCore::new(PeerId(0), peers, config);
+        let got = deliver(&mut shuffled, pool, &schedule);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(reference.installed_versions(), shuffled.installed_versions());
+    }
+
+    #[test]
+    fn centralized_uploads_are_order_independent(schedule in schedules(6)) {
+        let pool = centralized_pool();
+        prop_assert!(!pool.is_empty());
+        let canonical: Vec<usize> = (0..pool.len()).collect();
+        let mut reference = CentralizedCore::new(PeerId(0), CentralizedConfig::default());
+        let expected = deliver(&mut reference, pool, &canonical);
+        let mut shuffled = CentralizedCore::new(PeerId(0), CentralizedConfig::default());
+        let got = deliver(&mut shuffled, pool, &schedule);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(reference.installed_versions(), shuffled.installed_versions());
+    }
+}

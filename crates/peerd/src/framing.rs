@@ -1,0 +1,121 @@
+//! Length-prefixed framing for protocol frames over a TCP byte stream.
+//!
+//! The wire codec (`p2pclassify::wire`) produces self-describing frames but
+//! TCP is a byte stream, so each frame travels as
+//!
+//! ```text
+//! u32 (BE): length of the rest   |   u64 (BE): sender peer id   |   frame
+//! ```
+//!
+//! The sender id rides in the transport header (not the frame) because the
+//! sans-io cores take `from` as an `ingest` argument — the simulator knows
+//! it from its queue, the daemon learns it here.
+
+use std::collections::VecDeque;
+
+/// Upper bound on a single framed message. Generous for model envelopes
+/// (kernel models over the evaluation corpora are far smaller); mainly a
+/// desync detector — a corrupt length prefix fails loudly instead of
+/// allocating gigabytes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Encodes one transport message: length prefix, sender id, frame bytes.
+pub fn encode_frame(from: u64, frame: &[u8]) -> Vec<u8> {
+    let len = 8 + frame.len();
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    out.extend_from_slice(&from.to_be_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Incremental decoder: push raw socket bytes in, pop `(from, frame)`
+/// messages out. Tolerates arbitrary fragmentation (TCP gives no message
+/// boundaries).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: VecDeque<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Pops the next complete message, if one is buffered.
+    ///
+    /// Returns `Err(())` on a length prefix beyond [`MAX_FRAME_LEN`] or
+    /// shorter than its own sender header — the stream is desynced and the
+    /// connection should be dropped.
+    #[allow(clippy::result_unit_err)]
+    pub fn next_frame(&mut self) -> Result<Option<(u64, Vec<u8>)>, ()> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        for (i, b) in self.buf.iter().take(4).enumerate() {
+            len_bytes[i] = *b;
+        }
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if !(8..=MAX_FRAME_LEN).contains(&len) {
+            return Err(());
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let mut from_bytes = [0u8; 8];
+        for (i, b) in self.buf.drain(..8).enumerate() {
+            from_bytes[i] = b;
+        }
+        let from = u64::from_be_bytes(from_bytes);
+        let frame: Vec<u8> = self.buf.drain(..len - 8).collect();
+        Ok(Some((from, frame)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_across_arbitrary_fragmentation() {
+        let messages: Vec<(u64, Vec<u8>)> = vec![
+            (3, b"first".to_vec()),
+            (u64::MAX, Vec::new()),
+            (0, vec![0xD7; 300]),
+        ];
+        let mut stream = Vec::new();
+        for (from, frame) in &messages {
+            stream.extend_from_slice(&encode_frame(*from, frame));
+        }
+        // Feed the byte stream one byte at a time — the cruellest split.
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for byte in stream {
+            reader.push(&[byte]);
+            while let Some(msg) = reader.next_frame().expect("well-formed") {
+                decoded.push(msg);
+            }
+        }
+        assert_eq!(decoded, messages);
+        assert_eq!(reader.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_a_desync_error() {
+        let mut reader = FrameReader::new();
+        reader.push(&u32::MAX.to_be_bytes());
+        assert_eq!(reader.next_frame(), Err(()));
+        // Too short to carry its own sender header: also desync.
+        let mut reader = FrameReader::new();
+        reader.push(&3u32.to_be_bytes());
+        assert_eq!(reader.next_frame(), Err(()));
+    }
+}

@@ -26,8 +26,8 @@
 //! | id | invariant |
 //! |----|-----------|
 //! | `hash-iter` | no iteration over `HashMap`/`HashSet` (order-sensitive paths must sort or use `BTreeMap`) |
-//! | `wall-clock` | no `Instant`/`SystemTime` outside `crates/bench`, `vendor/criterion` and `crates/doctagger/src/timing.rs` |
-//! | `thread-spawn` | no `thread::spawn`/`mpsc` outside `vendor/parallel` (the deterministic substrate) |
+//! | `wall-clock` | no `Instant`/`SystemTime` outside `crates/bench`, `vendor/criterion`, `crates/doctagger/src/timing.rs` and the real-socket boundary (`crates/peerd`, `vendor/reactor`) |
+//! | `thread-spawn` | no `thread::spawn`/`mpsc` outside `vendor/parallel` (the deterministic substrate) and the real-socket boundary (`crates/peerd`, `vendor/reactor`) |
 //! | `seedless-rng` | every RNG flows from an explicit seed — no `thread_rng`/`from_entropy`/`OsRng`/`getrandom` |
 //! | `unsafe-safety` | every `unsafe` carries a `// SAFETY:` comment naming the proved invariant |
 //! | `wire-discipline` | `p2pclassify` sends charge encoded/estimated byte values, never raw integer literals |
@@ -60,12 +60,14 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "wall-clock",
-        description: "no Instant/SystemTime outside crates/bench, vendor/criterion and \
-                      crates/doctagger/src/timing.rs: sim code runs on virtual time",
+        description: "no Instant/SystemTime outside crates/bench, vendor/criterion, \
+                      crates/doctagger/src/timing.rs and the audited real-socket boundary \
+                      (crates/peerd, vendor/reactor): sim code runs on virtual time",
     },
     Rule {
         id: "thread-spawn",
-        description: "no thread::spawn or std::sync::mpsc outside vendor/parallel: all \
+        description: "no thread::spawn or std::sync::mpsc outside vendor/parallel and the \
+                      audited real-socket boundary (crates/peerd, vendor/reactor): sim \
                       concurrency goes through the index-deterministic substrate",
     },
     Rule {
@@ -365,14 +367,23 @@ const ENTROPY_TOKENS: &[&str] = &[
     "from_os_rng",
 ];
 
+/// The audited real-socket boundary: the peer daemon and its reactor shim
+/// necessarily touch the wall clock (epoll timeouts, timer wheel) and spawn
+/// one thread per peer. Simulation and protocol crates stay banned — the
+/// fixtures pin that scoping.
+fn socket_boundary(path: &str) -> bool {
+    path.starts_with("crates/peerd/") || path.starts_with("vendor/reactor/")
+}
+
 fn wall_clock_allowed(path: &str) -> bool {
     path.starts_with("crates/bench/")
         || path.starts_with("vendor/criterion/")
         || path == "crates/doctagger/src/timing.rs"
+        || socket_boundary(path)
 }
 
 fn thread_spawn_allowed(path: &str) -> bool {
-    path.starts_with("vendor/parallel/")
+    path.starts_with("vendor/parallel/") || socket_boundary(path)
 }
 
 fn wire_rule_applies(path: &str) -> bool {
@@ -942,6 +953,10 @@ mod tests {
         assert!(diags("crates/bench/src/x.rs", src).is_empty());
         assert!(diags("crates/doctagger/src/timing.rs", src).is_empty());
         assert!(diags("vendor/criterion/src/lib.rs", src).is_empty());
+        // The real-socket boundary is audited; the sim crates stay banned.
+        assert!(diags("crates/peerd/src/daemon.rs", src).is_empty());
+        assert!(diags("vendor/reactor/src/timer.rs", src).is_empty());
+        assert_eq!(diags("crates/p2psim/src/x.rs", src).len(), 1);
     }
 
     #[test]
@@ -951,6 +966,8 @@ mod tests {
         let d = diags("crates/p2psim/src/x.rs", src);
         assert!(d.iter().filter(|d| d.rule == "thread-spawn").count() >= 2);
         assert!(diags("vendor/parallel/src/lib.rs", src).is_empty());
+        assert!(diags("crates/peerd/src/loopback.rs", src).is_empty());
+        assert!(diags("vendor/reactor/src/poll.rs", src).is_empty());
         let src = "fn f() { let r = StdRng::from_entropy(); let x: f64 = rand::random(); }\n";
         let d = diags("crates/ml/src/x.rs", src);
         assert_eq!(d.iter().filter(|d| d.rule == "seedless-rng").count(), 2);

@@ -103,6 +103,37 @@ fn bad_fixtures_outside_scoped_paths_do_not_fire_scoped_rules() {
     // wall-clock is allowed in crates/bench.
     let (diags, _) = lint_source("crates/bench/src/fixture.rs", &fixture("bad/wall_clock.rs"));
     assert!(diags.is_empty(), "{diags:#?}");
+    // The real-socket boundary (peer daemon + reactor shim) is an audited
+    // exception for both wall-clock and thread-spawn...
+    for vpath in [
+        "crates/peerd/src/fixture.rs",
+        "vendor/reactor/src/fixture.rs",
+    ] {
+        let (diags, _) = lint_source(vpath, &fixture("bad/wall_clock.rs"));
+        assert!(diags.is_empty(), "{vpath}: {diags:#?}");
+        let (diags, _) = lint_source(vpath, &fixture("bad/thread_spawn.rs"));
+        let hits = diags.iter().filter(|d| d.rule == "thread-spawn").count();
+        assert_eq!(hits, 0, "{vpath}: {diags:#?}");
+    }
+    // ...while the simulation crates stay banned from both.
+    let (diags, _) = lint_source(
+        "crates/p2psim/src/fixture.rs",
+        &fixture("bad/wall_clock.rs"),
+    );
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "wall-clock").count(),
+        2,
+        "{diags:#?}"
+    );
+    let (diags, _) = lint_source(
+        "crates/p2pclassify/src/fixture.rs",
+        &fixture("bad/thread_spawn.rs"),
+    );
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "thread-spawn").count(),
+        2,
+        "{diags:#?}"
+    );
 }
 
 #[test]

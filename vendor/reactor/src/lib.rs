@@ -1,0 +1,30 @@
+//! # reactor — minimal epoll readiness loop + monotonic timer wheel
+//!
+//! The offline stand-in for the event-loop slice of `mio`/`polling` that the
+//! [`peerd`] daemon drives its sockets with: a [`Poller`] wrapping a Linux
+//! `epoll` instance (level-triggered, `FFI` against the libc already linked
+//! into every Rust binary — no crates.io), and a [`TimerWheel`] ordering
+//! wall-clock deadlines for the sans-io cores' `SetTimer` outputs.
+//!
+//! This crate is one of the two audited wall-clock/thread boundaries in the
+//! workspace (the other is `crates/peerd`): simulation and protocol crates
+//! must stay virtual-time and single-threaded, while the real-socket driver
+//! below necessarily blocks on `epoll_wait` with real timeouts. The xtask
+//! `wall-clock` lint encodes that scoping.
+//!
+//! Deliberate gaps versus the upstream crates it stands in for: Linux only
+//! (`epoll`), level-triggered only, no edge-triggered or oneshot modes, no
+//! waker/eventfd, and the timer wheel is a binary heap rather than a
+//! hierarchical wheel — at loopback-harness scale none of that matters.
+//!
+//! [`peerd`]: ../peerd/index.html
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg(target_os = "linux")]
+
+mod poll;
+mod timer;
+
+pub use poll::{Event, Interest, Poller, Token};
+pub use timer::TimerWheel;

@@ -1,0 +1,299 @@
+//! Level-triggered `epoll` readiness polling.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+use std::time::Duration;
+
+// The slice of the libc ABI this crate needs. Every Rust binary on Linux
+// already links libc, so declaring these avoids any crates.io dependency.
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it so
+/// the 64-bit data field sits at offset 4; other architectures use natural
+/// C layout.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Caller-chosen identifier attached to a registration and echoed back on
+/// its [`Event`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness directions a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Readable readiness only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the source was registered with.
+    pub token: Token,
+    /// Readable (or peer-closed: errors/hang-ups surface as readable so the
+    /// owner's read path observes the failure).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// A level-triggered `epoll` instance.
+///
+/// Registrations are identified by fd; the kernel echoes back the [`Token`]
+/// supplied at registration. Dropping the poller closes the epoll fd (the
+/// registered sources are untouched — they are borrowed, not owned).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 has no pointer arguments; the flag is one of
+        // its documented values. A negative return is reported via errno.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut event = event;
+        let ptr = event
+            .as_mut()
+            .map(|e| e as *mut EpollEvent)
+            .unwrap_or(std::ptr::null_mut());
+        // SAFETY: `ptr` is either null (EPOLL_CTL_DEL, which ignores it on
+        // any kernel this crate targets) or points at a live stack-local
+        // EpollEvent that outlives the call; epfd/fd are caller-supplied
+        // open descriptors and the kernel rejects stale ones with EBADF.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` for `interest`, tagging its events with `token`.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let event = EpollEvent {
+            events: interest.mask(),
+            data: token.0 as u64,
+        };
+        self.ctl(EPOLL_CTL_ADD, fd, Some(event))
+    }
+
+    /// Replaces the interest/token of an existing registration.
+    pub fn modify(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let event = EpollEvent {
+            events: interest.mask(),
+            data: token.0 as u64,
+        };
+        self.ctl(EPOLL_CTL_MOD, fd, Some(event))
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` = wait forever), appending the ready set to `events`.
+    /// Returns the number of events appended (0 = timed out).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        // epoll_wait takes whole milliseconds; round sub-millisecond waits
+        // up so a 100µs deadline never degenerates into a busy loop.
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis() + u128::from(d.as_nanos() % 1_000_000 != 0);
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+        let cap = buf.len() as c_int;
+        let n = loop {
+            // SAFETY: the buffer pointer and capacity describe a live,
+            // properly aligned (packed layouts only lower alignment) local
+            // array the kernel writes at most `maxevents` entries into.
+            let rc = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), cap, timeout_ms) };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry. (The timeout restarts in full — acceptable
+            // imprecision for a shim whose callers re-derive deadlines from
+            // the timer wheel on every loop iteration.)
+        };
+        for raw in &buf[..n] {
+            let (bits, data) = (raw.events, raw.data);
+            events.push(Event {
+                token: Token(data as usize),
+                readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                writable: bits & EPOLLOUT != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: epfd came from a successful epoll_create1 and is closed
+        // exactly once, here.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().expect("poller");
+        poller
+            .register(b.as_raw_fd(), Token(7), Interest::READABLE)
+            .expect("register");
+
+        // Nothing buffered yet: a zero timeout reports no events.
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert_eq!((n, events.len()), (0, 0));
+
+        a.write_all(b"ping").expect("write");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readable);
+
+        let mut buf = [0u8; 4];
+        let mut b = b;
+        b.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_readable() {
+        let (a, b) = pair();
+        let poller = Poller::new().expect("poller");
+        poller
+            .register(b.as_raw_fd(), Token(1), Interest::READABLE)
+            .expect("register");
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.token == Token(1) && e.readable));
+    }
+
+    #[test]
+    fn modify_and_deregister_change_the_ready_set() {
+        let (a, b) = pair();
+        let poller = Poller::new().expect("poller");
+        // A fresh socket with room in its send buffer is writable.
+        poller
+            .register(b.as_raw_fd(), Token(2), Interest::WRITABLE)
+            .expect("register");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.token == Token(2) && e.writable));
+
+        // Swap to readable-only: with nothing buffered, nothing is ready.
+        poller
+            .modify(b.as_raw_fd(), Token(2), Interest::READABLE)
+            .expect("modify");
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::ZERO))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        poller.deregister(b.as_raw_fd()).expect("deregister");
+        drop(a);
+        // Deregistered: even the peer closing produces no event.
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        drop(b);
+    }
+}

@@ -1,0 +1,156 @@
+//! A monotonic-clock timer wheel (binary-heap flavoured).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::time::{Duration, Instant};
+
+/// Orders wall-clock deadlines for an event loop.
+///
+/// Entries are identified by the caller's `id` (the sans-io cores' `TimerId`
+/// maps here directly). Arming an id that is already armed re-arms it:
+/// the newest deadline wins, matching the cores' own deadline ledgers.
+/// Cancellation is lazy — a tombstone marks the id dead and the stale heap
+/// entry is skipped when it surfaces — so both `cancel` and `insert` are
+/// `O(log n)` with no heap surgery.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// The armed ids with their live deadline; heap entries not matching
+    /// this map are stale.
+    armed: BTreeSet<(u64, Instant)>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel::default()
+    }
+
+    /// Arms (or re-arms) timer `id` to fire at `deadline`.
+    pub fn insert(&mut self, id: u64, deadline: Instant) {
+        // Exactly one live deadline per id, newest wins.
+        self.cancel(id);
+        self.armed.insert((id, deadline));
+        self.heap.push(Reverse((deadline, id)));
+    }
+
+    /// Disarms timer `id` (a no-op when it is not armed).
+    pub fn cancel(&mut self, id: u64) {
+        let stale: Vec<(u64, Instant)> = self
+            .armed
+            .iter()
+            .filter(|&&(armed_id, _)| armed_id == id)
+            .copied()
+            .collect();
+        for entry in stale {
+            self.armed.remove(&entry);
+        }
+    }
+
+    /// The earliest live deadline, if any timer is armed.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        self.compact();
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// How long an event loop should block before the next timer fires:
+    /// `None` when nothing is armed (block forever), `Some(ZERO)` when a
+    /// timer is already due at `now`.
+    pub fn timeout_from(&mut self, now: Instant) -> Option<Duration> {
+        self.next_deadline()
+            .map(|at| at.saturating_duration_since(now))
+    }
+
+    /// Pops every timer due at `now`, earliest first.
+    pub fn pop_due(&mut self, now: Instant) -> Vec<u64> {
+        let mut due = Vec::new();
+        loop {
+            self.compact();
+            match self.heap.peek() {
+                Some(&Reverse((at, id))) if at <= now => {
+                    self.heap.pop();
+                    self.armed.remove(&(id, at));
+                    due.push(id);
+                }
+                _ => return due,
+            }
+        }
+    }
+
+    /// Number of live (armed) timers.
+    pub fn len(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Whether no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+    }
+
+    /// Discards stale heap entries (cancelled or re-armed ids) from the top.
+    fn compact(&mut self) {
+        while let Some(&Reverse((at, id))) = self.heap.peek() {
+            if self.armed.contains(&(id, at)) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut wheel = TimerWheel::new();
+        let base = Instant::now();
+        wheel.insert(3, base + Duration::from_millis(30));
+        wheel.insert(1, base + Duration::from_millis(10));
+        wheel.insert(2, base + Duration::from_millis(20));
+        assert_eq!(wheel.len(), 3);
+        assert_eq!(
+            wheel.next_deadline(),
+            Some(base + Duration::from_millis(10))
+        );
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(5)), vec![]);
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(25)), vec![1, 2]);
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(100)), vec![3]);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_deadline(), None);
+    }
+
+    #[test]
+    fn cancel_and_rearm_leave_only_the_newest_deadline() {
+        let mut wheel = TimerWheel::new();
+        let base = Instant::now();
+        wheel.insert(1, base + Duration::from_millis(10));
+        wheel.insert(2, base + Duration::from_millis(20));
+        wheel.cancel(1);
+        assert_eq!(wheel.len(), 1);
+        // Re-arming 2 moves it: the old deadline must not fire.
+        wheel.insert(2, base + Duration::from_millis(50));
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(30)), vec![]);
+        assert_eq!(wheel.pop_due(base + Duration::from_millis(60)), vec![2]);
+        assert!(wheel.is_empty());
+        // Cancelling an unknown id is a no-op.
+        wheel.cancel(99);
+    }
+
+    #[test]
+    fn timeout_from_clamps_to_zero_when_overdue() {
+        let mut wheel = TimerWheel::new();
+        let base = Instant::now();
+        assert_eq!(wheel.timeout_from(base), None);
+        wheel.insert(1, base + Duration::from_millis(40));
+        assert_eq!(
+            wheel.timeout_from(base + Duration::from_millis(15)),
+            Some(Duration::from_millis(25))
+        );
+        assert_eq!(
+            wheel.timeout_from(base + Duration::from_millis(100)),
+            Some(Duration::ZERO)
+        );
+    }
+}
